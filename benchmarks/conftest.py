@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+One ReVerb45K-shaped and one NYTimes2018-shaped dataset at the scale the
+tables were tuned on, plus a JOCL model trained once on the ReVerb45K
+validation split (the paper trains all parameters there, Section 4.1).
+Results of every table/figure are also appended to
+``benchmarks/results.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import JOCL, JOCLConfig
+from repro.core.learning import GoldAnnotations
+from repro.datasets import (
+    NYTimes2018Config,
+    ReVerb45KConfig,
+    generate_nytimes2018,
+    generate_reverb45k,
+)
+
+#: The configuration every benchmark uses (paper constants, bounded LBP).
+BENCH_CONFIG = JOCLConfig(lbp_iterations=20, learn_iterations=10)
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def record_result(text: str) -> None:
+    """Print a table and append it to the results file."""
+    print("\n" + text)
+    with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def reverb():
+    return generate_reverb45k(
+        ReVerb45KConfig(n_entities=120, n_facts=260, n_triples=400, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def reverb_side(reverb):
+    return reverb.side_information("test")
+
+
+@pytest.fixture(scope="session")
+def nytimes():
+    return generate_nytimes2018(NYTimes2018Config())
+
+
+@pytest.fixture(scope="session")
+def nytimes_side(nytimes):
+    return nytimes.side_information("test")
+
+
+@pytest.fixture(scope="session")
+def trained_jocl(reverb):
+    """JOCL with weights learned on the ReVerb45K validation split."""
+    model = JOCL(BENCH_CONFIG)
+    validation_side = reverb.side_information("validation")
+    gold = GoldAnnotations.from_triples(reverb.validation_triples)
+    model.fit(validation_side, gold)
+    return model
+
+
+@pytest.fixture(scope="session")
+def reverb_output(trained_jocl, reverb_side):
+    return trained_jocl.infer(reverb_side)
+
+
+@pytest.fixture(scope="session")
+def nytimes_output(trained_jocl, nytimes_side):
+    return trained_jocl.infer(nytimes_side)

@@ -1,0 +1,107 @@
+"""Extra benches: LBP convergence (Section 3.4) and scaling.
+
+* The paper reports that learning "achieved convergence within twenty
+  iterations" and inference LBP converges quickly; we measure both.
+* Scaling: graph construction and inference cost as the OKB grows, and
+  the sensitivity of the pair-pruning threshold (0.5 in the paper).
+"""
+
+import dataclasses
+
+import pytest
+from conftest import BENCH_CONFIG, record_result
+
+from repro.core import GraphBuilder, JOCL, JOCLConfig
+from repro.datasets import ReVerb45KConfig, generate_reverb45k
+from repro.factorgraph.lbp import LoopyBP
+
+
+def test_lbp_converges_fast(benchmark, reverb_side):
+    builder = GraphBuilder(reverb_side, BENCH_CONFIG)
+    graph, _index = builder.build()
+    engine = LoopyBP(
+        graph, schedule=builder.schedule(), max_iterations=50, tolerance=1e-4
+    )
+    result = benchmark.pedantic(engine.run, rounds=1, iterations=1)
+    record_result(
+        "LBP convergence — iterations to tolerance 1e-4: "
+        f"{result.iterations} (converged={result.converged})"
+    )
+    assert result.converged
+    assert result.iterations <= 20  # the paper's "within twenty"
+
+
+def test_inference_scales_with_triples(benchmark):
+    import time
+
+    lines = ["Scaling — inference wall time vs OKB size:"]
+
+    def _sweep():
+        timings = []
+        for n_triples in (100, 200, 400):
+            dataset = generate_reverb45k(
+                ReVerb45KConfig(
+                    n_entities=120, n_facts=260, n_triples=n_triples, seed=7
+                )
+            )
+            side = dataset.side_information("test")
+            model = JOCL(BENCH_CONFIG)
+            start = time.perf_counter()
+            model.infer(side)
+            timings.append((n_triples, time.perf_counter() - start))
+        return timings
+
+    timings = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for n_triples, seconds in timings:
+        lines.append(f"  {n_triples:>5} triples: {seconds:.2f}s")
+    record_result("\n".join(lines))
+    # Sanity: bounded growth (not super-linear blow-up at this scale).
+    assert timings[-1][1] < 60.0
+
+
+def test_pair_threshold_sensitivity(benchmark, reverb, reverb_side):
+    """DESIGN.md ablation: the 0.5 IDF pair threshold trades graph size
+    against canonicalization recall."""
+    from repro.metrics import evaluate_clustering
+
+    def _sweep():
+        rows = []
+        for threshold in (0.3, 0.5, 0.7):
+            config = dataclasses.replace(BENCH_CONFIG, pair_threshold=threshold)
+            builder = GraphBuilder(reverb_side, config)
+            _graph, index = builder.build()
+            n_pairs = sum(len(p) for p in index.pairs.values())
+            output = JOCL(config).infer(reverb_side)
+            f1 = evaluate_clustering(
+                output.np_clusters, reverb.gold.np_clusters
+            ).average_f1
+            rows.append((threshold, n_pairs, f1))
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["Pair-threshold sensitivity (threshold, #pairs, NP avg F1):"]
+    for threshold, n_pairs, f1 in rows:
+        lines.append(f"  {threshold:.1f}  {n_pairs:>6}  {f1:.3f}")
+    record_result("\n".join(lines))
+    # Lower threshold => at least as many pair variables.
+    assert rows[0][1] >= rows[1][1] >= rows[2][1]
+
+
+def test_learning_convergence(benchmark, reverb):
+    """Gradient norms must decrease over learning iterations."""
+    from repro.core.learning import GoldAnnotations
+
+    def _fit():
+        model = JOCL(JOCLConfig(lbp_iterations=15, learn_iterations=10))
+        history = model.fit(
+            reverb.side_information("validation"),
+            GoldAnnotations.from_triples(reverb.validation_triples),
+        )
+        return history
+
+    history = benchmark.pedantic(_fit, rounds=1, iterations=1)
+    record_result(
+        "Learning convergence — gradient norms: "
+        + ", ".join(f"{g:.4f}" for g in history.gradient_norms)
+    )
+    assert history.gradient_norms[-1] <= history.gradient_norms[0]

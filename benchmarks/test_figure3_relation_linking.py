@@ -1,0 +1,62 @@
+"""Figure 3: OKB relation linking on ReVerb45K.
+
+Falcon, EARL, KBPearl, ReMatch and JOCL, scored by accuracy on the gold
+relation links.  Shape assertions: JOCL is the most accurate, and —
+the paper's observation — relation linking is harder than entity
+linking for every joint system.
+"""
+
+from conftest import record_result
+
+from repro.baselines import (
+    EarlBaseline,
+    FalconBaseline,
+    KBPearlBaseline,
+    RematchBaseline,
+)
+from repro.metrics import linking_accuracy
+from repro.pipeline.experiment import LinkingRow, format_table, run_linking_systems
+
+LINKERS = [FalconBaseline(), EarlBaseline(), KBPearlBaseline(), RematchBaseline()]
+
+
+def _figure(side, gold_links, output):
+    rows = run_linking_systems(LINKERS, side, gold_links, "relation")
+    rows.append(
+        LinkingRow("JOCL", linking_accuracy(output.relation_links, gold_links))
+    )
+    record_result(
+        format_table("Figure 3 — OKB relation linking, ReVerb45K-shaped", rows)
+    )
+    return rows
+
+
+def test_figure3_relation_linking(benchmark, reverb, reverb_side, reverb_output):
+    rows = benchmark.pedantic(
+        _figure,
+        args=(reverb_side, reverb.gold.relation_links, reverb_output),
+        rounds=1,
+        iterations=1,
+    )
+    by_system = {row.system: row.accuracy for row in rows}
+    jocl = by_system.pop("JOCL")
+    assert jocl >= max(by_system.values()), by_system
+
+
+def test_relation_linking_harder_than_entity_linking(
+    reverb, reverb_side, reverb_output
+):
+    """Section 4.3.2: 'the performance of all the methods on this task is
+    not well compared with the OKB entity linking task'."""
+    for system in (FalconBaseline(), EarlBaseline(), KBPearlBaseline()):
+        result = system.link(reverb_side)
+        entity = linking_accuracy(result.entity_links, reverb.gold.entity_links)
+        relation = linking_accuracy(result.relation_links, reverb.gold.relation_links)
+        assert relation < entity, system.name
+    jocl_entity = linking_accuracy(
+        reverb_output.entity_links, reverb.gold.entity_links
+    )
+    jocl_relation = linking_accuracy(
+        reverb_output.relation_links, reverb.gold.relation_links
+    )
+    assert jocl_relation < jocl_entity

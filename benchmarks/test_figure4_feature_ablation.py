@@ -1,0 +1,91 @@
+"""Figures 4(a) and 4(b): effect of feature combinations (Table 5).
+
+JOCL-single (one feature per factor), JOCL-double (two) and JOCL-all
+(the full Section 3 vectors) on NP canonicalization and OKB entity
+linking over ReVerb45K.  Shape: JOCL-all achieves the best score on
+both tasks ("the more useful signals, the better the performance").
+"""
+
+import pytest
+from conftest import BENCH_CONFIG, record_result
+
+from repro.core import JOCL
+from repro.core.learning import GoldAnnotations
+from repro.core.variants import (
+    jocl_all_config,
+    jocl_double_config,
+    jocl_single_config,
+)
+from repro.metrics import evaluate_clustering, linking_accuracy
+from repro.pipeline.experiment import CanonicalizationRow, LinkingRow, format_table
+
+VARIANTS = {
+    "JOCL-single": jocl_single_config,
+    "JOCL-double": jocl_double_config,
+    "JOCL-all": jocl_all_config,
+}
+
+
+@pytest.fixture(scope="module")
+def variant_outputs(reverb, reverb_side):
+    outputs = {}
+    for name, make_config in VARIANTS.items():
+        model = JOCL(make_config(BENCH_CONFIG))
+        model.fit(
+            reverb.side_information("validation"),
+            GoldAnnotations.from_triples(reverb.validation_triples),
+        )
+        outputs[name] = model.infer(reverb_side)
+    return outputs
+
+
+def test_figure4a_np_canonicalization(benchmark, reverb, variant_outputs):
+    gold = reverb.gold.np_clusters
+
+    def _figure():
+        rows = []
+        for name, output in variant_outputs.items():
+            report = evaluate_clustering(output.np_clusters, gold)
+            rows.append(
+                CanonicalizationRow(
+                    system=name,
+                    macro_f1=report.macro.f1,
+                    micro_f1=report.micro.f1,
+                    pairwise_f1=report.pairwise.f1,
+                    average_f1=report.average_f1,
+                )
+            )
+        record_result(
+            format_table(
+                "Figure 4(a) — feature ablation, NP canonicalization",
+                rows,
+                highlight=None,
+            )
+        )
+        return {row.system: row.average_f1 for row in rows}
+
+    scores = benchmark.pedantic(_figure, rounds=1, iterations=1)
+    assert scores["JOCL-all"] >= scores["JOCL-single"], scores
+    assert scores["JOCL-all"] >= scores["JOCL-double"] - 0.02, scores
+
+
+def test_figure4b_entity_linking(benchmark, reverb, variant_outputs):
+    gold = reverb.gold.entity_links
+
+    def _figure():
+        rows = [
+            LinkingRow(name, linking_accuracy(output.entity_links, gold))
+            for name, output in variant_outputs.items()
+        ]
+        record_result(
+            format_table(
+                "Figure 4(b) — feature ablation, OKB entity linking",
+                rows,
+                highlight=None,
+            )
+        )
+        return {row.system: row.accuracy for row in rows}
+
+    scores = benchmark.pedantic(_figure, rounds=1, iterations=1)
+    assert scores["JOCL-all"] >= scores["JOCL-single"], scores
+    assert scores["JOCL-all"] >= scores["JOCL-double"] - 0.02, scores

@@ -1,0 +1,74 @@
+"""Table 1: NP canonicalization on ReVerb45K and NYTimes2018.
+
+Regenerates both halves of the paper's Table 1: macro/micro/pairwise/
+average F1 for the seven baselines and JOCL.  The assertion is the
+paper's headline shape — JOCL has the best average F1 on both datasets.
+"""
+
+from conftest import record_result
+
+from repro.baselines import (
+    AttributeOverlapBaseline,
+    CesiBaseline,
+    IdfTokenOverlapBaseline,
+    MorphNormBaseline,
+    SistBaseline,
+    TextSimilarityBaseline,
+    WikidataIntegratorBaseline,
+)
+from repro.pipeline.experiment import (
+    format_table,
+    run_canonicalization_systems,
+    score_clustering,
+)
+
+BASELINES = [
+    MorphNormBaseline(),
+    WikidataIntegratorBaseline(),
+    TextSimilarityBaseline(),
+    IdfTokenOverlapBaseline(),
+    AttributeOverlapBaseline(),
+    CesiBaseline(),
+    SistBaseline(),
+]
+
+
+def _table(side, gold_clusters, output, title):
+    rows = run_canonicalization_systems(BASELINES, side, gold_clusters, "S")
+    rows.append(score_clustering("JOCL", output.np_clusters, gold_clusters))
+    record_result(format_table(title, rows))
+    return rows
+
+
+def test_table1_reverb45k(benchmark, reverb, reverb_side, reverb_output):
+    rows = benchmark.pedantic(
+        _table,
+        args=(
+            reverb_side,
+            reverb.gold.np_clusters,
+            reverb_output,
+            "Table 1 — NP canonicalization, ReVerb45K-shaped",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_system = {row.system: row.average_f1 for row in rows}
+    jocl = by_system.pop("JOCL")
+    assert jocl > max(by_system.values()), by_system
+
+
+def test_table1_nytimes2018(benchmark, nytimes, nytimes_side, nytimes_output):
+    rows = benchmark.pedantic(
+        _table,
+        args=(
+            nytimes_side,
+            nytimes.gold.np_clusters,
+            nytimes_output,
+            "Table 1 — NP canonicalization, NYTimes2018-shaped",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_system = {row.system: row.average_f1 for row in rows}
+    jocl = by_system.pop("JOCL")
+    assert jocl > max(by_system.values()), by_system

@@ -1,0 +1,70 @@
+"""Table 3: OKB entity linking on ReVerb45K and NYTimes2018.
+
+Falcon, EARL, Spotlight, TagMe, KBPearl and JOCL, scored by accuracy on
+the gold subject links.  Shape: JOCL is the most accurate system on
+both datasets; TagMe (coherence voting with almost no context) trails.
+"""
+
+from conftest import record_result
+
+from repro.baselines import (
+    EarlBaseline,
+    FalconBaseline,
+    KBPearlBaseline,
+    SpotlightBaseline,
+    TagmeBaseline,
+)
+from repro.metrics import linking_accuracy
+from repro.pipeline.experiment import LinkingRow, format_table, run_linking_systems
+
+LINKERS = [
+    FalconBaseline(),
+    EarlBaseline(),
+    SpotlightBaseline(),
+    TagmeBaseline(),
+    KBPearlBaseline(),
+]
+
+
+def _table(side, gold_links, output, title):
+    rows = run_linking_systems(LINKERS, side, gold_links, "entity")
+    rows.append(
+        LinkingRow("JOCL", linking_accuracy(output.entity_links, gold_links))
+    )
+    record_result(format_table(title, rows))
+    return rows
+
+
+def test_table3_reverb45k(benchmark, reverb, reverb_side, reverb_output):
+    rows = benchmark.pedantic(
+        _table,
+        args=(
+            reverb_side,
+            reverb.gold.entity_links,
+            reverb_output,
+            "Table 3 — OKB entity linking, ReVerb45K-shaped",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_system = {row.system: row.accuracy for row in rows}
+    jocl = by_system.pop("JOCL")
+    assert jocl > max(by_system.values()), by_system
+    assert by_system["TagMe"] == min(by_system.values()), by_system
+
+
+def test_table3_nytimes2018(benchmark, nytimes, nytimes_side, nytimes_output):
+    rows = benchmark.pedantic(
+        _table,
+        args=(
+            nytimes_side,
+            nytimes.gold.entity_links,
+            nytimes_output,
+            "Table 3 — OKB entity linking, NYTimes2018-shaped",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_system = {row.system: row.accuracy for row in rows}
+    jocl = by_system.pop("JOCL")
+    assert jocl > max(by_system.values()), by_system

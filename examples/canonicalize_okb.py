@@ -1,0 +1,68 @@
+"""OKB canonicalization scenario: JOCL against the classic baselines.
+
+This is the paper's Table 1 workload in miniature: cluster the subject
+noun phrases of a noisy OKB so that paraphrased mentions ("University
+of Maryland", "UMD", typo'd variants) share one group.  Every system
+sees the same side information; JOCL additionally exploits the CKB via
+the joint linking task.
+
+Run:  python examples/canonicalize_okb.py
+"""
+
+from repro.baselines import (
+    CesiBaseline,
+    IdfTokenOverlapBaseline,
+    MorphNormBaseline,
+    SistBaseline,
+    TextSimilarityBaseline,
+)
+from repro.core import JOCLConfig
+from repro.datasets import ReVerb45KConfig, generate_reverb45k
+from repro.pipeline import (
+    JOCLPipeline,
+    format_table,
+    run_canonicalization_systems,
+)
+from repro.pipeline.experiment import score_clustering
+
+def main() -> None:
+    dataset = generate_reverb45k(
+        ReVerb45KConfig(n_entities=80, n_facts=180, n_triples=240, seed=11)
+    )
+    side = dataset.side_information("test")
+    gold = dataset.gold
+
+    systems = [
+        MorphNormBaseline(),
+        TextSimilarityBaseline(),
+        IdfTokenOverlapBaseline(),
+        CesiBaseline(),
+        SistBaseline(),
+    ]
+    rows = run_canonicalization_systems(systems, side, gold.np_clusters, "S")
+
+    pipeline = JOCLPipeline.from_dataset(
+        dataset, JOCLConfig(lbp_iterations=20, learn_iterations=10)
+    )
+    pipeline.side = side
+    result = pipeline.run()
+    rows.append(score_clustering("JOCL", result.output.np_clusters, gold.np_clusters))
+
+    print(format_table("NP canonicalization (ReVerb45K-shaped OKB)", rows))
+
+    # Show one concrete win: groups that only the joint model recovers.
+    print("\ngroups JOCL recovers that IDF-overlap clustering misses:")
+    idf_clusters = systems[2].cluster(side, "S")
+    shown = 0
+    for group in result.output.np_clusters.non_singletons():
+        members = sorted(group)
+        if not idf_clusters.same_cluster(members[0], members[-1]) and (
+            gold.np_clusters.same_cluster(members[0], members[-1])
+        ):
+            print(f"  {members}")
+            shown += 1
+            if shown == 5:
+                break
+
+if __name__ == "__main__":
+    main()

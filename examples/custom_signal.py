@@ -1,0 +1,76 @@
+"""Extending JOCL with a new signal (the paper's flexibility claim).
+
+Section 1: "JOCL is flexible enough to combine different signals from
+both tasks, and able to extend to fit any new signals."  The mechanism:
+every feature-bearing factor template takes a vector of named feature
+functions whose weights are learned jointly, so a new signal is one
+``PairSignal`` appended to the registry.
+
+Here we add an *acronym* signal to the NP canonicalization factors F1
+and F3: ``Sim_acr("umd", "university of maryland") = 1`` because "umd"
+spells the initials of the expansion.  Acronym pairs share no tokens
+(IDF overlap 0) and little character shape, so the stock signals miss
+them — the new signal gives the factor graph direct evidence.
+
+Run:  python examples/custom_signal.py
+"""
+
+from repro.core import JOCL, JOCLConfig
+from repro.core.signals.base import PairSignal
+from repro.core.signals.registry import default_registry
+from repro.datasets import ReVerb45KConfig, generate_reverb45k
+from repro.metrics import evaluate_clustering
+
+def acronym_similarity(first: str, second: str) -> float:
+    """1.0 when one phrase spells the initials of the other."""
+
+    def initials(phrase: str) -> str:
+        return "".join(word[0] for word in phrase.split() if word)
+
+    shorter, longer = sorted((first, second), key=len)
+    if " " in shorter or " " not in longer:
+        return 0.0
+    return 1.0 if shorter == initials(longer) else 0.0
+
+def registry_with_acronyms(side, variant):
+    registry = default_registry(side, variant)
+    registry.np_pair.append(PairSignal("f_acronym", acronym_similarity))
+    return registry
+
+def main() -> None:
+    dataset = generate_reverb45k(
+        ReVerb45KConfig(n_entities=80, n_facts=180, n_triples=240, seed=23)
+    )
+    side = dataset.side_information("test")
+    gold = dataset.gold
+    config = JOCLConfig(lbp_iterations=20)
+
+    stock = JOCL(config).infer(side)
+    extended_model = JOCL(config, registry_factory=registry_with_acronyms)
+    graph, _index, _builder = extended_model.build_graph(side)
+    print("F1 feature vector with the new signal:",
+          graph.templates["F1"].feature_names)
+    extended = extended_model.infer(side)
+
+    stock_f1 = evaluate_clustering(stock.np_clusters, gold.np_clusters).average_f1
+    extended_f1 = evaluate_clustering(
+        extended.np_clusters, gold.np_clusters
+    ).average_f1
+    print(f"NP canonicalization average F1 without acronym signal: {stock_f1:.3f}")
+    print(f"NP canonicalization average F1 with acronym signal:    {extended_f1:.3f}")
+
+    print("\nexample scores of the new signal:")
+    print("  bu / bertor university  ->",
+          acronym_similarity("bu", "bertor university"))
+    print("  uom / university of maryland ->",
+          acronym_similarity("uom", "university of maryland"))
+    print("  bu / bertor             ->",
+          acronym_similarity("bu", "bertor"))
+
+    # Note: under the paper's pair pruning (IDF token overlap >= 0.5),
+    # token-disjoint acronym pairs receive no canonicalization variable,
+    # so the signal influences only pairs the graph instantiates; the
+    # joint linking side is what recovers fully disjoint acronyms.
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP 660
+editable installs (which build a wheel) fail.  This shim enables the
+legacy ``pip install -e . --no-use-pep517`` path; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""JOCL reproduction: Joint Open Knowledge Base Canonicalization and Linking.
+
+This package is a from-scratch reproduction of the SIGMOD 2021 paper
+*Joint Open Knowledge Base Canonicalization and Linking* (Liu, Shen,
+Wang, Wang, Yang, Yuan).  It contains:
+
+* the JOCL factor-graph framework itself (:mod:`repro.core`),
+* every substrate the paper depends on (curated KB, OKB triple store,
+  embeddings, paraphrase DB, AMIE rule mining, KBP-style relation
+  categorizer, string similarity, clustering, metrics),
+* every baseline system used in the paper's evaluation
+  (:mod:`repro.baselines`),
+* synthetic dataset generators shaped like ReVerb45K and NYTimes2018
+  (:mod:`repro.datasets`), and
+* an experiment pipeline (:mod:`repro.pipeline`) used by the benchmark
+  harness to regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro.datasets import ReVerb45KConfig, generate_reverb45k
+    from repro.pipeline import JOCLPipeline
+
+    dataset = generate_reverb45k(ReVerb45KConfig(n_entities=120, seed=7))
+    pipeline = JOCLPipeline.from_dataset(dataset)
+    result = pipeline.run()
+    print(result.np_clusters)       # canonicalization groups
+    print(result.entity_links)      # NP -> CKB entity
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,65 @@
+"""Baseline systems from the paper's evaluation (Section 4).
+
+Canonicalization baselines (Tables 1-2):
+
+* :class:`MorphNormBaseline` — Fader et al. (2011) normalization.
+* :class:`WikidataIntegratorBaseline` — link-then-group via an entity
+  linking tool.
+* :class:`TextSimilarityBaseline` — Jaro-Winkler + HAC (Galárraga'14).
+* :class:`IdfTokenOverlapBaseline` — IDF token overlap + HAC.
+* :class:`AttributeOverlapBaseline` — attribute Jaccard + HAC.
+* :class:`CesiBaseline` — embeddings + side information (CESI).
+* :class:`SistBaseline` — source-text side information (SIST).
+* :class:`AmieClusteringBaseline` — RP groups from mined Horn rules.
+* :class:`PattyBaseline` — RP groups from shared NP-pair support.
+
+Linking baselines (Table 3, Figure 3):
+
+* :class:`SpotlightBaseline` — popularity-first independent linking.
+* :class:`TagmeBaseline` — collective voting by candidate relatedness.
+* :class:`FalconBaseline` — English-morphology rules, joint E+R.
+* :class:`EarlBaseline` — GTSP-style joint candidate selection.
+* :class:`KBPearlBaseline` — triple-context joint linking pipeline.
+* :class:`RematchBaseline` — relation matching (relation task only).
+"""
+
+from repro.baselines.base import CanonicalizationBaseline, LinkingBaseline, LinkingResult
+from repro.baselines.canonicalization import (
+    AttributeOverlapBaseline,
+    IdfTokenOverlapBaseline,
+    MorphNormBaseline,
+    TextSimilarityBaseline,
+    WikidataIntegratorBaseline,
+)
+from repro.baselines.cesi import CesiBaseline
+from repro.baselines.linking import (
+    EarlBaseline,
+    FalconBaseline,
+    KBPearlBaseline,
+    RematchBaseline,
+    SpotlightBaseline,
+    TagmeBaseline,
+)
+from repro.baselines.rp_baselines import AmieClusteringBaseline, PattyBaseline
+from repro.baselines.sist import SistBaseline
+
+__all__ = [
+    "AmieClusteringBaseline",
+    "AttributeOverlapBaseline",
+    "CanonicalizationBaseline",
+    "CesiBaseline",
+    "EarlBaseline",
+    "FalconBaseline",
+    "IdfTokenOverlapBaseline",
+    "KBPearlBaseline",
+    "LinkingBaseline",
+    "LinkingResult",
+    "MorphNormBaseline",
+    "PattyBaseline",
+    "RematchBaseline",
+    "SistBaseline",
+    "SpotlightBaseline",
+    "TagmeBaseline",
+    "TextSimilarityBaseline",
+    "WikidataIntegratorBaseline",
+]

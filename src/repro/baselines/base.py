@@ -1,0 +1,67 @@
+"""Baseline interfaces.
+
+All canonicalization baselines implement
+``cluster(side, kind) -> Clustering`` over the distinct phrases of one
+slot kind ("S" subjects, "P" predicates, "O" objects); all linking
+baselines implement ``link(side) -> LinkingResult``.  Both consume the
+same :class:`~repro.core.side_info.SideInformation` bundle JOCL does,
+so every system sees identical inputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.clustering.clusters import Clustering
+from repro.core.side_info import SideInformation
+
+
+def phrases_of_kind(side: SideInformation, kind: str) -> list[str]:
+    """Distinct normalized phrases of one slot kind, sorted."""
+    triples = side.okb.triples
+    if kind == "S":
+        return sorted({t.subject_norm for t in triples})
+    if kind == "P":
+        return sorted({t.predicate_norm for t in triples})
+    if kind == "O":
+        return sorted({t.object_norm for t in triples})
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+class CanonicalizationBaseline(abc.ABC):
+    """A system that clusters NPs or RPs."""
+
+    #: Display name used in benchmark tables.
+    name: str = "baseline"
+    #: Which slot kinds the system supports.
+    kinds: tuple[str, ...] = ("S", "P", "O")
+
+    @abc.abstractmethod
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        """Cluster the distinct phrases of ``kind``."""
+
+    def _check_kind(self, kind: str) -> None:
+        if kind not in self.kinds:
+            raise ValueError(f"{self.name} does not support kind {kind!r}")
+
+
+@dataclass
+class LinkingResult:
+    """Phrase -> CKB identifier maps produced by a linking system."""
+
+    entity_links: dict[str, str | None] = field(default_factory=dict)
+    relation_links: dict[str, str | None] = field(default_factory=dict)
+    object_links: dict[str, str | None] = field(default_factory=dict)
+
+
+class LinkingBaseline(abc.ABC):
+    """A system that links NPs (and possibly RPs) to the CKB."""
+
+    name: str = "baseline"
+    #: Whether the system produces relation links (Figure 3 eligibility).
+    links_relations: bool = False
+
+    @abc.abstractmethod
+    def link(self, side: SideInformation) -> LinkingResult:
+        """Link every distinct subject NP (and RP, if supported)."""

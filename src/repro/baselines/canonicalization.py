@@ -1,0 +1,128 @@
+"""Classic canonicalization baselines (Table 1, rows 1-5).
+
+* Morph Norm — Fader et al. (2011): group by morphologically
+  normalized surface form.
+* Wikidata Integrator — link each NP independently by exact alias
+  match (popularity tie-break), group by linked entity.
+* Text Similarity — Galárraga et al. (2014): Jaro-Winkler + HAC.
+* IDF Token Overlap — Galárraga et al. (2014): IDF overlap + HAC.
+* Attribute Overlap — Galárraga et al. (2014): Jaccard of the (RP,
+  other-NP) attribute sets + HAC.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CanonicalizationBaseline, phrases_of_kind
+from repro.clustering.clusters import Clustering
+from repro.clustering.hac import Linkage, hac_cluster
+from repro.core.side_info import SideInformation
+from repro.okb.normalize import morph_normalize
+from repro.strings.idf import idf_token_overlap
+from repro.strings.similarity import jaccard, jaro_winkler
+
+
+class MorphNormBaseline(CanonicalizationBaseline):
+    """Group phrases whose morphological normal forms coincide."""
+
+    name = "Morph Norm"
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        assignment = {
+            phrase: morph_normalize(phrase, drop_auxiliaries=(kind == "P"))
+            for phrase in phrases
+        }
+        return Clustering.from_assignment(assignment)
+
+
+class WikidataIntegratorBaseline(CanonicalizationBaseline):
+    """Link-then-group: NPs linked to the same entity share a cluster.
+
+    Linking is what the real tool does for well-formed inputs: exact
+    alias lookup, resolved by anchor popularity; unresolvable phrases
+    stay singletons.
+    """
+
+    name = "Wikidata Integrator"
+    kinds = ("S", "O")
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        assignment: dict[str, str] = {}
+        for phrase in phrases:
+            matches = side.kb.entities_with_alias(phrase)
+            if not matches:
+                assignment[phrase] = f"~nil:{phrase}"
+                continue
+            best = max(
+                matches,
+                key=lambda entity_id: (side.anchors.popularity(phrase, entity_id), entity_id),
+            )
+            assignment[phrase] = best
+        return Clustering.from_assignment(assignment)
+
+
+class TextSimilarityBaseline(CanonicalizationBaseline):
+    """Jaro-Winkler similarity + hierarchical agglomerative clustering."""
+
+    name = "Text Similarity"
+
+    def __init__(self, threshold: float = 0.88) -> None:
+        self._threshold = threshold
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        return hac_cluster(
+            phrases, jaro_winkler, self._threshold, linkage=Linkage.AVERAGE
+        )
+
+
+class IdfTokenOverlapBaseline(CanonicalizationBaseline):
+    """IDF token overlap + HAC (the similarity JOCL also prunes with)."""
+
+    name = "IDF Token Overlap"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        self._threshold = threshold
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        stats = side.okb.rp_idf if kind == "P" else side.okb.np_idf
+
+        def similarity(first: str, second: str) -> float:
+            return idf_token_overlap(first, second, stats)
+
+        return hac_cluster(phrases, similarity, self._threshold, linkage=Linkage.AVERAGE)
+
+
+class AttributeOverlapBaseline(CanonicalizationBaseline):
+    """Jaccard over NP attribute sets ((RP, other NP) pairs) + HAC."""
+
+    name = "Attribute Overlap"
+    kinds = ("S", "O")
+
+    def __init__(self, threshold: float = 0.2) -> None:
+        self._threshold = threshold
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        # Attributes are morph-normalized first (the Galárraga et al.
+        # pipeline normalizes triples before comparing), otherwise
+        # inflectional variants of the same RP never match.
+        attributes = {
+            phrase: frozenset(
+                (morph_normalize(rp), morph_normalize(np, drop_auxiliaries=False))
+                for rp, np in side.okb.attributes(phrase)
+            )
+            for phrase in phrases
+        }
+
+        def similarity(first: str, second: str) -> float:
+            return jaccard(attributes[first], attributes[second])
+
+        return hac_cluster(phrases, similarity, self._threshold, linkage=Linkage.AVERAGE)

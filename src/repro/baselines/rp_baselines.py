@@ -1,0 +1,85 @@
+"""Relation-phrase canonicalization baselines (Table 2).
+
+* AMIE clustering — Galárraga et al. (2013/2014): two RPs share a group
+  when bidirectional implication rules pass support and confidence;
+  most RPs fall below the support threshold and stay singletons (the
+  coverage weakness the paper points out).
+* PATTY-like — Nakashole et al. (2012): RPs whose NP-pair support sets
+  overlap strongly (or that share a synset in the paraphrase lexicon)
+  belong to one pattern synset.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baselines.base import CanonicalizationBaseline, phrases_of_kind
+from repro.clustering.clusters import Clustering
+from repro.core.side_info import SideInformation
+from repro.okb.normalize import morph_normalize
+from repro.strings.idf import idf_token_overlap
+from repro.strings.similarity import jaccard
+
+
+class AmieClusteringBaseline(CanonicalizationBaseline):
+    """Connected components of bidirectional AMIE implications."""
+
+    name = "AMIE"
+    kinds = ("P",)
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        merged = [
+            (first, second)
+            for first, second in itertools.combinations(phrases, 2)
+            if side.amie.equivalent(first, second)
+        ]
+        return Clustering.from_pairs(phrases, merged)
+
+
+class PattyBaseline(CanonicalizationBaseline):
+    """Shared NP-pair support sets + synset lexicon."""
+
+    name = "PATTY"
+    kinds = ("P",)
+
+    def __init__(self, support_overlap: float = 0.25, min_shared: int = 1) -> None:
+        self._support_overlap = support_overlap
+        self._min_shared = min_shared
+
+    def cluster(self, side: SideInformation, kind: str) -> Clustering:
+        self._check_kind(kind)
+        phrases = phrases_of_kind(side, kind)
+        # Support sets are morph-normalized NP pairs (PATTY works on
+        # entity pairs; normalization stands in for that resolution).
+        support = {
+            phrase: {
+                (
+                    morph_normalize(subject, drop_auxiliaries=False),
+                    morph_normalize(obj, drop_auxiliaries=False),
+                )
+                for subject, obj in side.okb.np_pairs_of_rp(phrase)
+            }
+            for phrase in phrases
+        }
+        stats = side.okb.rp_idf
+        merged: list[tuple[str, str]] = []
+        for first, second in itertools.combinations(phrases, 2):
+            if side.ppdb.equivalent(first, second):
+                merged.append((first, second))
+                continue
+            if morph_normalize(first) == morph_normalize(second):
+                merged.append((first, second))
+                continue
+            shared = len(support[first] & support[second])
+            if shared < self._min_shared:
+                continue
+            if jaccard(support[first], support[second]) < self._support_overlap:
+                continue
+            # Support evidence must be corroborated lexically (PATTY's
+            # SOL patterns generalize words, they do not merge arbitrary
+            # co-occurring relations).
+            if idf_token_overlap(first, second, stats) >= 0.2:
+                merged.append((first, second))
+        return Clustering.from_pairs(phrases, merged)

@@ -1,0 +1,30 @@
+"""Curated Knowledge Base substrate (the paper's Freebase/DBpedia role).
+
+A CKB holds canonicalized entities ``e``, relations ``r`` and facts
+``<e_i, r_k, e_j>`` (Section 2).  This package provides:
+
+* :class:`Entity`, :class:`Relation`, :class:`CuratedKB` — the KB with
+  alias tables, a type system, and a fact index (used by the
+  fact-inclusion factor ``U4``).
+* :class:`AnchorStatistics` — Wikipedia-anchor-style (surface form,
+  entity) counts backing the entity-popularity signal ``f_pop``
+  (Section 3.2.3).
+* :class:`CandidateGenerator` — NP -> candidate entities and RP ->
+  candidate relations, the state spaces of linking variables
+  (Section 3.2.1).
+"""
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.candidates import CandidateGenerator, EntityCandidate, RelationCandidate
+from repro.ckb.kb import CuratedKB, Entity, Fact, Relation
+
+__all__ = [
+    "AnchorStatistics",
+    "CandidateGenerator",
+    "CuratedKB",
+    "Entity",
+    "EntityCandidate",
+    "Fact",
+    "Relation",
+    "RelationCandidate",
+]

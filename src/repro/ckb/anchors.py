@@ -1,0 +1,88 @@
+"""Anchor-link statistics: the entity-popularity prior ``f_pop``.
+
+The paper computes ``f_pop(s_i, e) = count(s_i, e) / count(s_i)`` from
+Wikipedia anchor links (Section 3.2.3).  :class:`AnchorStatistics` is
+the count table; the dataset generator populates it from the synthetic
+world's alias-usage frequencies, which plays exactly the role of a
+Wikipedia anchor dump.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.strings.tokenize import normalize_text
+
+
+class AnchorStatistics:
+    """Counts of (surface form, entity) anchor occurrences.
+
+    Surface forms are normalized on both write and read, so lookups are
+    case/whitespace insensitive.
+    """
+
+    def __init__(self) -> None:
+        self._pair_counts: Counter[tuple[str, str]] = Counter()
+        self._surface_counts: Counter[str] = Counter()
+
+    def record(self, surface_form: str, entity_id: str, count: int = 1) -> None:
+        """Record ``count`` anchors with ``surface_form`` -> ``entity_id``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        form = normalize_text(surface_form)
+        self._pair_counts[(form, entity_id)] += count
+        self._surface_counts[form] += count
+
+    def count(self, surface_form: str) -> int:
+        """Total anchors with this surface form — ``count(s_i)``."""
+        return self._surface_counts[normalize_text(surface_form)]
+
+    def count_pair(self, surface_form: str, entity_id: str) -> int:
+        """Anchors with this surface form pointing at ``entity_id``."""
+        return self._pair_counts[(normalize_text(surface_form), entity_id)]
+
+    def popularity(self, surface_form: str, entity_id: str) -> float:
+        """``f_pop = count(s, e) / count(s)``; 0.0 for unseen forms."""
+        total = self.count(surface_form)
+        if total == 0:
+            return 0.0
+        return self.count_pair(surface_form, entity_id) / total
+
+    def entities_for(self, surface_form: str) -> list[tuple[str, int]]:
+        """Entities this surface form has pointed at, most popular first."""
+        form = normalize_text(surface_form)
+        matches = [
+            (entity_id, count)
+            for (anchor, entity_id), count in self._pair_counts.items()
+            if anchor == form
+        ]
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        return matches
+
+    @property
+    def surface_forms(self) -> frozenset[str]:
+        """All surface forms with at least one recorded anchor."""
+        return frozenset(self._surface_counts)
+
+    def merge(self, other: "AnchorStatistics") -> None:
+        """Add all counts of ``other`` into this table."""
+        for (form, entity_id), count in other._pair_counts.items():
+            self._pair_counts[(form, entity_id)] += count
+            self._surface_counts[form] += count
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[tuple[str, str, int]]
+    ) -> "AnchorStatistics":
+        """Build from ``(surface form, entity id, count)`` rows."""
+        stats = cls()
+        for surface_form, entity_id, count in records:
+            stats.record(surface_form, entity_id, count)
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnchorStatistics(surface_forms={len(self._surface_counts)}, "
+            f"pairs={len(self._pair_counts)})"
+        )

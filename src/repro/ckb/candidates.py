@@ -1,0 +1,199 @@
+"""Candidate generation: the state spaces of JOCL's linking variables.
+
+Section 3.2.1: a subject linking variable ``e_{s_i}`` has one state per
+*candidate entity* the NP may refer to; a predicate linking variable
+``r_{p_i}`` has one state per candidate relation.  This module builds
+those candidate lists from the CKB:
+
+* entities: exact alias hits, anchor-statistics hits, and fuzzy token
+  matches, ranked by popularity and string similarity, truncated to
+  ``max_candidates``;
+* relations: lexicalization hits plus fuzzy n-gram / token matches over
+  relation surface forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.kb import CuratedKB
+from repro.okb.normalize import morph_normalize
+from repro.strings.idf import IdfStatistics, idf_token_overlap
+from repro.strings.similarity import (
+    ngram_jaccard,
+    ngram_set,
+    normalized_levenshtein_similarity,
+)
+from repro.strings.tokenize import normalize_text, word_set
+
+
+@dataclass(frozen=True)
+class EntityCandidate:
+    """One candidate entity for an NP, with its retrieval score."""
+
+    entity_id: str
+    score: float
+
+
+@dataclass(frozen=True)
+class RelationCandidate:
+    """One candidate relation for an RP, with its retrieval score."""
+
+    relation_id: str
+    score: float
+
+
+class CandidateGenerator:
+    """NP -> candidate entities; RP -> candidate relations.
+
+    Parameters
+    ----------
+    kb:
+        The curated KB to link against.
+    anchors:
+        Anchor statistics for the popularity prior; may be empty.
+    max_candidates:
+        Hard cap on candidates per phrase (the linking-variable domain
+        size).
+    min_fuzzy_similarity:
+        Token-overlap floor below which fuzzy matches are discarded.
+    """
+
+    def __init__(
+        self,
+        kb: CuratedKB,
+        anchors: AnchorStatistics | None = None,
+        max_candidates: int = 8,
+        min_fuzzy_similarity: float = 0.3,
+    ) -> None:
+        if max_candidates < 1:
+            raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+        self._kb = kb
+        self._anchors = anchors or AnchorStatistics()
+        self._max_candidates = max_candidates
+        self._min_fuzzy = min_fuzzy_similarity
+        # IDF over the alias vocabulary makes rare alias tokens decisive.
+        self._alias_idf = IdfStatistics(kb.alias_vocabulary)
+        # Token inverted index over aliases for fuzzy retrieval.
+        self._alias_token_index: dict[str, set[str]] = {}
+        self._alias_to_entities: dict[str, frozenset[str]] = {}
+        # Character-trigram index for typo-tolerant retrieval.
+        self._alias_ngram_index: dict[str, set[str]] = {}
+        for alias in kb.alias_vocabulary:
+            self._alias_to_entities[alias] = kb.entities_with_alias(alias)
+            for token in word_set(alias):
+                self._alias_token_index.setdefault(token, set()).add(alias)
+            for gram in ngram_set(alias, 3):
+                self._alias_ngram_index.setdefault(gram, set()).add(alias)
+        # Relation surface-form table (normalized and morph-normalized).
+        self._relation_forms: dict[str, set[str]] = {}
+        for relation_id, relation in kb.relations.items():
+            forms = set(relation.all_surface_forms())
+            forms.update(morph_normalize(form) for form in set(forms))
+            self._relation_forms[relation_id] = forms
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    def entity_candidates(self, noun_phrase: str) -> list[EntityCandidate]:
+        """Ranked candidate entities for ``noun_phrase``.
+
+        Scoring: exact alias match and anchor popularity dominate; fuzzy
+        token-overlap matches fill the remainder of the candidate list.
+        """
+        phrase = normalize_text(noun_phrase)
+        scores: dict[str, float] = {}
+
+        for entity_id in self._kb.entities_with_alias(phrase):
+            scores[entity_id] = max(scores.get(entity_id, 0.0), 1.0)
+
+        for entity_id, count in self._anchors.entities_for(phrase):
+            popularity = self._anchors.popularity(phrase, entity_id)
+            score = 0.5 + 0.5 * popularity  # anchor hits rank above fuzzy
+            scores[entity_id] = max(scores.get(entity_id, 0.0), score)
+            del count  # popularity already folds the count in
+
+        for alias in self._fuzzy_alias_matches(phrase):
+            similarity = idf_token_overlap(phrase, alias, self._alias_idf)
+            if similarity < self._min_fuzzy:
+                continue
+            for entity_id in self._alias_to_entities[alias]:
+                scores[entity_id] = max(scores.get(entity_id, 0.0), similarity)
+
+        # Typo-tolerant fallback: when token-level retrieval found nothing
+        # strong (misspellings break tokens), fall back to character
+        # trigram matching, slightly discounted so clean matches win.
+        if not scores or max(scores.values()) < 0.8:
+            for alias in self._ngram_alias_matches(phrase):
+                similarity = 0.9 * ngram_jaccard(phrase, alias)
+                if similarity < self._min_fuzzy:
+                    continue
+                for entity_id in self._alias_to_entities[alias]:
+                    scores[entity_id] = max(scores.get(entity_id, 0.0), similarity)
+
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [
+            EntityCandidate(entity_id=entity_id, score=score)
+            for entity_id, score in ranked[: self._max_candidates]
+        ]
+
+    def _fuzzy_alias_matches(self, phrase: str) -> set[str]:
+        """Aliases sharing at least one token with ``phrase``."""
+        matches: set[str] = set()
+        for token in word_set(phrase):
+            matches.update(self._alias_token_index.get(token, ()))
+        return matches
+
+    def _ngram_alias_matches(self, phrase: str, min_shared: int = 2) -> set[str]:
+        """Aliases sharing at least ``min_shared`` character trigrams."""
+        counts: dict[str, int] = {}
+        for gram in ngram_set(phrase, 3):
+            for alias in self._alias_ngram_index.get(gram, ()):
+                counts[alias] = counts.get(alias, 0) + 1
+        return {alias for alias, count in counts.items() if count >= min_shared}
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def relation_candidates(self, relation_phrase: str) -> list[RelationCandidate]:
+        """Ranked candidate relations for ``relation_phrase``.
+
+        Scoring: exact lexicalization match dominates; otherwise the
+        best n-gram Jaccard against any known surface form of the
+        relation (computed on the morph-normalized phrase, which strips
+        tense/auxiliaries as in "be an early member of" -> "early member
+        of").
+        """
+        phrase = normalize_text(relation_phrase)
+        normalized = morph_normalize(phrase)
+        scores: dict[str, float] = {}
+
+        for relation_id in self._kb.relations_with_lexicalization(phrase):
+            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+        for relation_id in self._kb.relations_with_lexicalization(normalized):
+            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+
+        for relation_id, forms in self._relation_forms.items():
+            best = 0.0
+            for form in forms:
+                best = max(
+                    best,
+                    ngram_jaccard(normalized, form),
+                    normalized_levenshtein_similarity(normalized, form),
+                )
+                if best == 1.0:
+                    break
+            if best >= self._min_fuzzy:
+                scores[relation_id] = max(scores.get(relation_id, 0.0), best)
+
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [
+            RelationCandidate(relation_id=relation_id, score=score)
+            for relation_id, score in ranked[: self._max_candidates]
+        ]
+
+    @property
+    def max_candidates(self) -> int:
+        """Domain-size cap for linking variables."""
+        return self._max_candidates

@@ -1,0 +1,191 @@
+"""The curated KB: entities, relations, facts, aliases and types.
+
+Models the slice of Freebase/DBpedia the paper links against.  All
+lookups used by JOCL signals are O(1):
+
+* alias -> entities (candidate generation),
+* relation lemma -> relations,
+* fact membership ``(e_i, r_k, e_j) in kb`` (fact-inclusion factor U4),
+* entity -> types (used by the SIST-like baseline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.strings.tokenize import normalize_text
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A canonicalized entity.
+
+    Attributes
+    ----------
+    entity_id:
+        Unique identifier (e.g. ``"e:university_of_maryland"``).
+    name:
+        Canonical human-readable name.
+    aliases:
+        Known surface forms (the canonical name is always an alias).
+    types:
+        Coarse ontology types (e.g. ``"organization"``), used by
+        type-aware baselines.
+    """
+
+    entity_id: str
+    name: str
+    aliases: frozenset[str] = frozenset()
+    types: frozenset[str] = frozenset()
+
+    def all_surface_forms(self) -> frozenset[str]:
+        """Normalized alias set, always including the canonical name."""
+        forms = {normalize_text(self.name)}
+        forms.update(normalize_text(alias) for alias in self.aliases)
+        return frozenset(forms)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A canonicalized relation.
+
+    Attributes
+    ----------
+    relation_id:
+        Unique identifier (e.g. ``"r:organizations_founded"``).
+    name:
+        Canonical name; usually underscore- or dot-separated like
+        Freebase ("location.contained_by").
+    lexicalizations:
+        Natural-language phrases known to express the relation (used by
+        candidate generation and the Rematch-like baseline).
+    category:
+        Coarse category grouping near-equivalent relations (the KBP
+        signal checks whether two RPs map to the same category, §3.1.4).
+    """
+
+    relation_id: str
+    name: str
+    lexicalizations: frozenset[str] = frozenset()
+    category: str | None = None
+
+    def all_surface_forms(self) -> frozenset[str]:
+        """Normalized lexicalizations plus the name with separators spaced."""
+        forms = {normalize_text(self.name.replace("_", " ").replace(".", " "))}
+        forms.update(normalize_text(phrase) for phrase in self.lexicalizations)
+        return frozenset(forms)
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One curated fact ``<subject entity, relation, object entity>``."""
+
+    subject_id: str
+    relation_id: str
+    object_id: str
+
+
+@dataclass
+class CuratedKB:
+    """An in-memory curated KB with the indexes JOCL needs.
+
+    Build with :meth:`add_entity` / :meth:`add_relation` /
+    :meth:`add_fact`, or pass complete collections to the constructor.
+    """
+
+    entities: dict[str, Entity] = field(default_factory=dict)
+    relations: dict[str, Relation] = field(default_factory=dict)
+    facts: set[Fact] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._alias_index: dict[str, set[str]] = {}
+        self._lexical_index: dict[str, set[str]] = {}
+        self._fact_index: set[tuple[str, str, str]] = set()
+        self._facts_by_pair: dict[tuple[str, str], set[str]] = {}
+        for entity in list(self.entities.values()):
+            self._index_entity(entity)
+        for relation in list(self.relations.values()):
+            self._index_relation(relation)
+        for fact in list(self.facts):
+            self._index_fact(fact)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: Entity) -> None:
+        """Register an entity; id must be new."""
+        if entity.entity_id in self.entities:
+            raise ValueError(f"duplicate entity id {entity.entity_id!r}")
+        self.entities[entity.entity_id] = entity
+        self._index_entity(entity)
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation; id must be new."""
+        if relation.relation_id in self.relations:
+            raise ValueError(f"duplicate relation id {relation.relation_id!r}")
+        self.relations[relation.relation_id] = relation
+        self._index_relation(relation)
+
+    def add_fact(self, fact: Fact) -> None:
+        """Register a fact; end points must already be registered."""
+        if fact.subject_id not in self.entities:
+            raise KeyError(f"unknown subject entity {fact.subject_id!r}")
+        if fact.object_id not in self.entities:
+            raise KeyError(f"unknown object entity {fact.object_id!r}")
+        if fact.relation_id not in self.relations:
+            raise KeyError(f"unknown relation {fact.relation_id!r}")
+        self.facts.add(fact)
+        self._index_fact(fact)
+
+    def _index_entity(self, entity: Entity) -> None:
+        for form in entity.all_surface_forms():
+            self._alias_index.setdefault(form, set()).add(entity.entity_id)
+
+    def _index_relation(self, relation: Relation) -> None:
+        for form in relation.all_surface_forms():
+            self._lexical_index.setdefault(form, set()).add(relation.relation_id)
+
+    def _index_fact(self, fact: Fact) -> None:
+        self._fact_index.add((fact.subject_id, fact.relation_id, fact.object_id))
+        self._facts_by_pair.setdefault((fact.subject_id, fact.object_id), set()).add(
+            fact.relation_id
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def entity(self, entity_id: str) -> Entity:
+        """Entity by id (KeyError if absent)."""
+        return self.entities[entity_id]
+
+    def relation(self, relation_id: str) -> Relation:
+        """Relation by id (KeyError if absent)."""
+        return self.relations[relation_id]
+
+    def entities_with_alias(self, surface_form: str) -> frozenset[str]:
+        """Entity ids whose alias table contains ``surface_form``."""
+        return frozenset(self._alias_index.get(normalize_text(surface_form), ()))
+
+    def relations_with_lexicalization(self, phrase: str) -> frozenset[str]:
+        """Relation ids lexicalized by ``phrase``."""
+        return frozenset(self._lexical_index.get(normalize_text(phrase), ()))
+
+    def has_fact(self, subject_id: str, relation_id: str, object_id: str) -> bool:
+        """Fact membership test — the ``u4`` signal (Section 3.2.5)."""
+        return (subject_id, relation_id, object_id) in self._fact_index
+
+    def relations_between(self, subject_id: str, object_id: str) -> frozenset[str]:
+        """Relations the CKB asserts between two entities."""
+        return frozenset(self._facts_by_pair.get((subject_id, object_id), ()))
+
+    @property
+    def alias_vocabulary(self) -> frozenset[str]:
+        """All normalized entity surface forms known to the KB."""
+        return frozenset(self._alias_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CuratedKB(entities={len(self.entities)}, "
+            f"relations={len(self.relations)}, facts={len(self.facts)})"
+        )

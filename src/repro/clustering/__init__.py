@@ -1,0 +1,14 @@
+"""Clustering substrate: union-find, cluster containers, and HAC.
+
+Every canonicalization system in this package (JOCL itself and all the
+baselines) produces a :class:`Clustering`, and the evaluation metrics in
+:mod:`repro.metrics` consume one.  Hierarchical agglomerative clustering
+(:func:`hac_cluster`) is the clustering engine used by the Galárraga et
+al. baselines, CESI, and SIST.
+"""
+
+from repro.clustering.clusters import Clustering
+from repro.clustering.hac import Linkage, hac_cluster
+from repro.clustering.unionfind import UnionFind
+
+__all__ = ["Clustering", "Linkage", "UnionFind", "hac_cluster"]

@@ -1,0 +1,124 @@
+"""The :class:`Clustering` container: a partition of hashable items.
+
+This is the lingua franca between canonicalization systems and the
+macro/micro/pairwise metrics: a clustering is a set of disjoint groups
+covering a set of items, with O(1) "which cluster is this item in?"
+lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+from repro.clustering.unionfind import UnionFind
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Clustering:
+    """An immutable partition of items into disjoint clusters.
+
+    Parameters
+    ----------
+    groups:
+        Iterable of iterables; each inner iterable is one cluster.  Items
+        must not repeat across (or within) clusters.
+    """
+
+    def __init__(self, groups: Iterable[Iterable[T]]) -> None:
+        self._groups: list[frozenset[T]] = []
+        self._cluster_of: dict[T, int] = {}
+        for group in groups:
+            members = frozenset(group)
+            if not members:
+                continue
+            index = len(self._groups)
+            for item in members:
+                if item in self._cluster_of:
+                    raise ValueError(f"item {item!r} appears in two clusters")
+                self._cluster_of[item] = index
+            self._groups.append(members)
+
+    @classmethod
+    def from_pairs(
+        cls, items: Iterable[T], merged_pairs: Iterable[tuple[T, T]]
+    ) -> "Clustering":
+        """Build a clustering as connected components of merge decisions.
+
+        ``items`` fixes the universe (unmerged items become singletons);
+        each pair in ``merged_pairs`` joins two items.
+        """
+        finder: UnionFind = UnionFind(items)
+        for first, second in merged_pairs:
+            finder.union(first, second)
+        return cls(finder.groups())
+
+    @classmethod
+    def from_assignment(cls, assignment: dict[T, Hashable]) -> "Clustering":
+        """Build a clustering from an item -> label mapping."""
+        by_label: dict[Hashable, set[T]] = {}
+        for item, label in assignment.items():
+            by_label.setdefault(label, set()).add(item)
+        return cls(by_label.values())
+
+    @property
+    def groups(self) -> list[frozenset[T]]:
+        """The clusters, as a list of frozensets."""
+        return list(self._groups)
+
+    @property
+    def items(self) -> frozenset[T]:
+        """All items covered by the clustering."""
+        return frozenset(self._cluster_of)
+
+    def cluster_of(self, item: T) -> frozenset[T]:
+        """The cluster containing ``item`` (KeyError if absent)."""
+        return self._groups[self._cluster_of[item]]
+
+    def same_cluster(self, first: T, second: T) -> bool:
+        """Whether both items are present and share a cluster."""
+        index_a = self._cluster_of.get(first)
+        index_b = self._cluster_of.get(second)
+        return index_a is not None and index_a == index_b
+
+    def restricted_to(self, items: Iterable[T]) -> "Clustering":
+        """Project the clustering onto a subset of items.
+
+        Used when gold labels exist only for a sample (the NYTimes2018
+        protocol in the paper: 100 manually labeled groups).
+        """
+        keep = set(items)
+        projected = (group & keep for group in self._groups)
+        return Clustering(group for group in projected if group)
+
+    def non_singletons(self) -> list[frozenset[T]]:
+        """Clusters with at least two members."""
+        return [group for group in self._groups if len(group) > 1]
+
+    def merged_pairs(self) -> set[frozenset[T]]:
+        """All unordered within-cluster pairs (for pairwise metrics)."""
+        pairs: set[frozenset[T]] = set()
+        for group in self._groups:
+            members = sorted(group, key=repr)
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    pairs.add(frozenset((first, second)))
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._cluster_of
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return set(self._groups) == set(other._groups)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._groups))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clustering(n_clusters={len(self)}, n_items={len(self._cluster_of)})"

@@ -1,0 +1,69 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint-set over arbitrary hashable items.
+
+    Items are added lazily on first use; :meth:`find` on an unseen item
+    makes it its own singleton set.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Ensure ``item`` is tracked (as a singleton if unseen)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: T) -> T:
+        """Return the representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: T, second: T) -> T:
+        """Merge the sets of ``first`` and ``second``; return the new root."""
+        root_a = self.find(first)
+        root_b = self.find(second)
+        if root_a == root_b:
+            return root_a
+        # Union by size: attach the smaller tree under the larger.
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def connected(self, first: T, second: T) -> bool:
+        """Whether the two items are currently in the same set."""
+        return self.find(first) == self.find(second)
+
+    def groups(self) -> list[set[T]]:
+        """Materialize all current sets (singletons included)."""
+        by_root: dict[T, set[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent

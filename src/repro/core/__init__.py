@@ -1,0 +1,48 @@
+"""JOCL: the paper's primary contribution (Section 3).
+
+Public API:
+
+* :class:`~repro.core.config.JOCLConfig` — every knob from the paper
+  (pair-pruning threshold 0.5, learning rate 0.05, heuristic scores for
+  the ``u`` feature functions, feature variants).
+* :class:`~repro.core.side_info.SideInformation` — the bundle of
+  substrates the signals consume (OKB, CKB, anchors, embeddings, PPDB,
+  AMIE, KBP, candidate generator).
+* :class:`~repro.core.model.JOCL` — the framework facade:
+  ``fit(validation)`` learns template weights, ``infer()`` runs LBP and
+  decoding, returning a :class:`~repro.core.inference.JOCLOutput`.
+* :mod:`~repro.core.variants` — JOCL-single / JOCL-double / JOCL-all
+  and the JOCL_cano / JOCL_link ablations (Tables 4 and 5).
+"""
+
+from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
+from repro.core.builder import GraphBuilder, GraphIndex
+from repro.core.inference import JOCLOutput, decode
+from repro.core.learning import build_evidence
+from repro.core.model import JOCL
+from repro.core.side_info import SideInformation
+from repro.core.variants import (
+    jocl_all_config,
+    jocl_cano_config,
+    jocl_double_config,
+    jocl_link_config,
+    jocl_single_config,
+)
+
+__all__ = [
+    "FactorToggles",
+    "FeatureVariant",
+    "GraphBuilder",
+    "GraphIndex",
+    "JOCL",
+    "JOCLConfig",
+    "JOCLOutput",
+    "SideInformation",
+    "build_evidence",
+    "decode",
+    "jocl_all_config",
+    "jocl_cano_config",
+    "jocl_double_config",
+    "jocl_link_config",
+    "jocl_single_config",
+]

@@ -1,0 +1,414 @@
+"""Factor-graph construction (Sections 3.1-3.3).
+
+The builder turns an OKB + side information into the JOCL factor graph:
+
+* one *linking variable* per distinct (surface string, slot) node —
+  ``link:S:<np>``, ``link:P:<rp>``, ``link:O:<np>`` — whose domain is
+  the candidate list (plus a NIL state when no candidate exists);
+* one *canonicalization variable* per admissible same-slot phrase pair
+  — ``canon:S:<a>||<b>`` etc. — admitted when IDF token overlap reaches
+  ``config.pair_threshold`` (Section 4.1, threshold 0.5);
+* factor instances: F1/F2/F3 per canonicalization variable, U1/U2/U3
+  per pair-variable triangle, F4/F5/F6 per linking variable, U4 per
+  OIE triple, U5/U6/U7 per (pair, its two linking variables).
+
+Identical-string mentions share one node (their pairwise
+canonicalization variable would be trivially 1); see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import JOCLConfig
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import SignalRegistry
+from repro.core.signals.interaction import (
+    consistency_table,
+    fact_inclusion_table,
+    transitivity_table,
+)
+from repro.core.signals.registry import default_registry
+from repro.factorgraph.graph import FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.lbp import Schedule
+from repro.strings.idf import IdfStatistics, idf_token_overlap
+from repro.strings.tokenize import word_set
+
+#: Domain label for "no candidate in the CKB".
+NIL = "~NIL"
+
+#: Slot kinds: subject, predicate, object.
+KINDS = ("S", "P", "O")
+
+#: Variable-group tags used by the LBP schedule.
+CANON_GROUP = "canonicalization"
+LINK_GROUP = "linking"
+
+
+def link_var(kind: str, phrase: str) -> str:
+    """Name of the linking variable of a (kind, phrase) node."""
+    return f"link:{kind}:{phrase}"
+
+
+def canon_var(kind: str, first: str, second: str) -> str:
+    """Name of the canonicalization variable of a same-kind pair."""
+    a, b = sorted((first, second))
+    return f"canon:{kind}:{a}||{b}"
+
+
+@dataclass
+class GraphIndex:
+    """Everything the decoder needs to interpret a built graph."""
+
+    #: Distinct phrases per kind ("S" / "P" / "O"), sorted.
+    nodes: dict[str, list[str]] = field(default_factory=dict)
+    #: Candidate domains per (kind, phrase), in variable-domain order.
+    candidates: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
+    #: Admitted canonicalization pairs per kind (sorted tuples).
+    pairs: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    #: Triangles wired with transitivity factors, per kind.
+    triangles: dict[str, list[tuple[str, str, str]]] = field(default_factory=dict)
+    #: Triple ids that received a fact-inclusion factor.
+    fact_factors: list[str] = field(default_factory=list)
+    #: Whether linking / canonicalization variables exist.
+    has_linking: bool = True
+    has_canonicalization: bool = True
+
+    def kind_nodes(self, kind: str) -> list[str]:
+        """Phrases of one kind (empty when the kind is absent)."""
+        return self.nodes.get(kind, [])
+
+
+class GraphBuilder:
+    """Builds the JOCL factor graph for one OKB.
+
+    Parameters
+    ----------
+    side:
+        Substrate bundle (OKB, CKB, signals' resources).
+    config:
+        Hyper-parameters; ``config.toggles`` picks the factor families,
+        ``config.variant`` the feature subsets.
+    registry:
+        Signal registry; defaults to the paper's signals filtered by
+        ``config.variant``.
+    """
+
+    def __init__(
+        self,
+        side: SideInformation,
+        config: JOCLConfig | None = None,
+        registry: SignalRegistry | None = None,
+    ) -> None:
+        self._side = side
+        self._config = config or JOCLConfig()
+        self._registry = registry or default_registry(side, self._config.variant)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def build(self) -> tuple[FactorGraph, GraphIndex]:
+        """Construct the graph and its index."""
+        graph = FactorGraph()
+        index = GraphIndex()
+        toggles = self._config.toggles
+        index.has_linking = toggles.linking
+        index.has_canonicalization = toggles.canonicalization
+
+        okb = self._side.okb
+        subjects = sorted({t.subject_norm for t in okb.triples})
+        predicates = sorted({t.predicate_norm for t in okb.triples})
+        objects = sorted({t.object_norm for t in okb.triples})
+        index.nodes = {"S": subjects, "P": predicates, "O": objects}
+
+        templates = self._make_templates(graph)
+
+        if toggles.linking:
+            self._add_linking_variables(graph, index, templates)
+            if toggles.fact_inclusion:
+                self._add_fact_inclusion(graph, index, templates)
+
+        if toggles.canonicalization:
+            self._add_canonicalization(graph, index, templates)
+            if toggles.transitivity:
+                self._add_transitivity(graph, index, templates)
+
+        if toggles.consistency:
+            self._add_consistency(graph, index, templates)
+
+        return graph, index
+
+    def schedule(self) -> Schedule:
+        """The paper's message-passing order (Section 3.4), restricted to
+        the factor families enabled by the toggles."""
+        toggles = self._config.toggles
+        factor_groups: list[list[str]] = []
+        variable_groups: list[list[str]] = []
+        if toggles.canonicalization:
+            factor_groups.append(["F1", "F2", "F3"])
+            if toggles.transitivity:
+                factor_groups.append(["U1", "U2", "U3"])
+        if toggles.linking:
+            factor_groups.append(["F4", "F5", "F6"])
+            if toggles.fact_inclusion:
+                factor_groups.append(["U4"])
+        if toggles.consistency:
+            factor_groups.append(["U5", "U6", "U7"])
+        if toggles.canonicalization:
+            variable_groups.append([CANON_GROUP])
+        if toggles.linking:
+            variable_groups.append([LINK_GROUP])
+        return Schedule.grouped(factor_groups, variable_groups)
+
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+    def _make_templates(self, graph: FactorGraph) -> dict[str, FactorTemplate]:
+        registry = self._registry
+        templates = {
+            "F1": FactorTemplate("F1", registry.names(registry.np_pair)),
+            "F2": FactorTemplate("F2", registry.names(registry.rp_pair)),
+            "F3": FactorTemplate("F3", registry.names(registry.np_pair)),
+            "F4": FactorTemplate("F4", registry.names(registry.entity_link)),
+            "F5": FactorTemplate("F5", registry.names(registry.relation_link)),
+            "F6": FactorTemplate("F6", registry.names(registry.entity_link)),
+            "U1": FactorTemplate("U1", ["u"]),
+            "U2": FactorTemplate("U2", ["u"]),
+            "U3": FactorTemplate("U3", ["u"]),
+            "U4": FactorTemplate("U4", ["u_fact", "u_pair"]),
+            "U5": FactorTemplate("U5", ["u"]),
+            "U6": FactorTemplate("U6", ["u"]),
+            "U7": FactorTemplate("U7", ["u"]),
+        }
+        for template in templates.values():
+            graph.add_template(template)
+        return templates
+
+    # ------------------------------------------------------------------
+    # Linking side
+    # ------------------------------------------------------------------
+    def _add_linking_variables(
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        templates: dict[str, FactorTemplate],
+    ) -> None:
+        registry = self._registry
+        generator = self._side.candidates
+        factor_of_kind = {"S": "F4", "P": "F5", "O": "F6"}
+        signals_of_kind = {
+            "S": registry.entity_link,
+            "P": registry.relation_link,
+            "O": registry.entity_link,
+        }
+        for kind in KINDS:
+            for phrase in index.kind_nodes(kind):
+                if kind == "P":
+                    ranked = generator.relation_candidates(phrase)
+                    domain = tuple(c.relation_id for c in ranked)
+                else:
+                    ranked = generator.entity_candidates(phrase)
+                    domain = tuple(c.entity_id for c in ranked)
+                if not domain:
+                    domain = (NIL,)
+                index.candidates[(kind, phrase)] = domain
+                graph.add_variable(
+                    Variable(link_var(kind, phrase), domain, group=LINK_GROUP)
+                )
+                table = registry.link_feature_table(
+                    signals_of_kind[kind], phrase, domain
+                )
+                graph.add_factor(
+                    f"{factor_of_kind[kind]}:{phrase}",
+                    templates[factor_of_kind[kind]],
+                    [link_var(kind, phrase)],
+                    table,
+                )
+
+    def _add_fact_inclusion(
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        templates: dict[str, FactorTemplate],
+    ) -> None:
+        kb = self._side.kb
+        for triple in self._side.okb.triples:
+            subject, predicate, obj = triple.as_tuple()
+            scope = [
+                link_var("S", subject),
+                link_var("P", predicate),
+                link_var("O", obj),
+            ]
+            if len(set(scope)) != 3:
+                continue  # degenerate triple (subject == object string)
+            table = fact_inclusion_table(
+                self._config,
+                index.candidates[("S", subject)],
+                index.candidates[("P", predicate)],
+                index.candidates[("O", obj)],
+                kb.has_fact,
+                kb.relations_between,
+            )
+            graph.add_factor(
+                f"U4:{triple.triple_id}", templates["U4"], scope, table
+            )
+            index.fact_factors.append(triple.triple_id)
+
+    # ------------------------------------------------------------------
+    # Canonicalization side
+    # ------------------------------------------------------------------
+    def _add_canonicalization(
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        templates: dict[str, FactorTemplate],
+    ) -> None:
+        registry = self._registry
+        okb = self._side.okb
+        idf_of_kind = {"S": okb.np_idf, "P": okb.rp_idf, "O": okb.np_idf}
+        factor_of_kind = {"S": "F1", "P": "F2", "O": "F3"}
+        signals_of_kind = {
+            "S": registry.np_pair,
+            "P": registry.rp_pair,
+            "O": registry.np_pair,
+        }
+        for kind in KINDS:
+            pairs = _admissible_pairs(
+                index.kind_nodes(kind),
+                idf_of_kind[kind],
+                self._config.pair_threshold,
+            )
+            index.pairs[kind] = pairs
+            for first, second in pairs:
+                name = canon_var(kind, first, second)
+                graph.add_variable(Variable(name, (0, 1), group=CANON_GROUP))
+                table = registry.pair_feature_table(
+                    signals_of_kind[kind], first, second
+                )
+                graph.add_factor(
+                    f"{factor_of_kind[kind]}:{first}||{second}",
+                    templates[factor_of_kind[kind]],
+                    [name],
+                    table,
+                )
+
+    def _add_transitivity(
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        templates: dict[str, FactorTemplate],
+    ) -> None:
+        table = transitivity_table(self._config)
+        template_of_kind = {"S": "U1", "P": "U2", "O": "U3"}
+        for kind in KINDS:
+            triangles = _triangles(
+                index.pairs.get(kind, []), self._config.max_triangles
+            )
+            index.triangles[kind] = triangles
+            for a, b, c in triangles:
+                scope = [
+                    canon_var(kind, a, b),
+                    canon_var(kind, b, c),
+                    canon_var(kind, a, c),
+                ]
+                graph.add_factor(
+                    f"{template_of_kind[kind]}:{a}|{b}|{c}",
+                    templates[template_of_kind[kind]],
+                    scope,
+                    table,
+                )
+
+    # ------------------------------------------------------------------
+    # Interaction (Section 3.3)
+    # ------------------------------------------------------------------
+    def _add_consistency(
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        templates: dict[str, FactorTemplate],
+    ) -> None:
+        template_of_kind = {"S": "U5", "P": "U6", "O": "U7"}
+        nil_labels = frozenset((NIL,))
+        for kind in KINDS:
+            for first, second in index.pairs.get(kind, []):
+                table = consistency_table(
+                    self._config,
+                    index.candidates[(kind, first)],
+                    index.candidates[(kind, second)],
+                    nil_labels,
+                )
+                scope = [
+                    link_var(kind, first),
+                    link_var(kind, second),
+                    canon_var(kind, first, second),
+                ]
+                graph.add_factor(
+                    f"{template_of_kind[kind]}:{first}||{second}",
+                    templates[template_of_kind[kind]],
+                    scope,
+                    table,
+                )
+
+
+# ----------------------------------------------------------------------
+# Pair and triangle enumeration
+# ----------------------------------------------------------------------
+def _admissible_pairs(
+    phrases: Sequence[str],
+    idf_stats: IdfStatistics,
+    threshold: float,
+    max_bucket: int = 1000,
+) -> list[tuple[str, str]]:
+    """Same-kind phrase pairs with IDF token overlap >= ``threshold``.
+
+    Uses a token inverted index so only pairs sharing at least one token
+    are scored (disjoint token sets have overlap 0).  Buckets larger
+    than ``max_bucket`` (ultra-frequent tokens) are skipped: pairs whose
+    only shared tokens are that frequent cannot reach a meaningful
+    threshold.
+    """
+    token_index: dict[str, list[str]] = {}
+    for phrase in phrases:
+        for token in word_set(phrase):
+            token_index.setdefault(token, []).append(phrase)
+    seen: set[tuple[str, str]] = set()
+    pairs: list[tuple[str, str]] = []
+    for bucket in token_index.values():
+        if len(bucket) > max_bucket:
+            continue
+        members = sorted(set(bucket))
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                key = (first, second)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if idf_token_overlap(first, second, idf_stats) >= threshold:
+                    pairs.append(key)
+    pairs.sort()
+    return pairs
+
+
+def _triangles(
+    pairs: Sequence[tuple[str, str]], max_triangles: int
+) -> list[tuple[str, str, str]]:
+    """Triangles in the pair graph: all three edges must be admitted.
+
+    Deterministic (sorted) and capped at ``max_triangles``.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for first, second in pairs:
+        adjacency.setdefault(first, set()).add(second)
+        adjacency.setdefault(second, set()).add(first)
+    triangles: list[tuple[str, str, str]] = []
+    for first, second in pairs:
+        # Common neighbors guarantee all three edges exist; requiring
+        # third > second emits each triangle exactly once, sorted.
+        for third in sorted(adjacency[first] & adjacency[second]):
+            if third <= second:
+                continue
+            triangles.append((first, second, third))
+            if len(triangles) >= max_triangles:
+                return triangles
+    return triangles

@@ -1,0 +1,120 @@
+"""JOCL configuration: every constant the paper specifies, in one place.
+
+Paper constants reproduced as defaults:
+
+* canonicalization-pair pruning threshold 0.5 on IDF token overlap
+  (Section 4.1);
+* learning rate 0.05, convergence within ~20 iterations (Sections 3.4,
+  4.1);
+* transitive-relation scores high/middle/low = 0.9 / 0.5 / 0.1
+  (Section 3.1.5);
+* fact-inclusion scores high/low = 0.9 / 0.1 (Section 3.2.5);
+* consistency scores high/low = 0.7 / 0.3 (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FeatureVariant(enum.Enum):
+    """Feature-combination variants of Table 5.
+
+    * ``SINGLE`` — F1/F3: f_idf; F2: f_idf; F4/F6: f_pop; F5: f_ngram.
+    * ``DOUBLE`` — adds f_emb (f'_emb for linking) to each factor.
+    * ``ALL`` — the full feature vectors of Section 3.
+    """
+
+    SINGLE = "single"
+    DOUBLE = "double"
+    ALL = "all"
+
+
+@dataclass(frozen=True)
+class FactorToggles:
+    """Which factor families participate in the graph.
+
+    The Table 4 ablation: ``JOCL_cano`` keeps only the canonicalization
+    side, ``JOCL_link`` only the linking side, and removing
+    ``consistency`` disables the interaction between the two tasks.
+    """
+
+    canonicalization: bool = True  # F1, F2, F3
+    transitivity: bool = True  # U1, U2, U3
+    linking: bool = True  # F4, F5, F6
+    fact_inclusion: bool = True  # U4
+    consistency: bool = True  # U5, U6, U7
+
+    def __post_init__(self) -> None:
+        if self.consistency and not (self.canonicalization and self.linking):
+            raise ValueError(
+                "consistency factors couple canonicalization and linking "
+                "variables; enable both sides or disable consistency"
+            )
+        if self.transitivity and not self.canonicalization:
+            raise ValueError("transitivity factors need canonicalization variables")
+        if self.fact_inclusion and not self.linking:
+            raise ValueError("fact-inclusion factors need linking variables")
+
+
+@dataclass(frozen=True)
+class JOCLConfig:
+    """All hyper-parameters of the JOCL framework."""
+
+    # --- graph construction -------------------------------------------
+    #: IDF-token-overlap threshold for generating canonicalization
+    #: variables (Section 4.1: "whose threshold is set to 0.5").
+    pair_threshold: float = 0.5
+    #: Cap on candidate entities/relations per linking variable.
+    max_candidates: int = 8
+    #: Cap on transitive-relation triangles per variable kind (keeps
+    #: dense OKBs tractable; triangles are selected deterministically).
+    max_triangles: int = 20000
+    #: Which factor families to instantiate.
+    toggles: FactorToggles = field(default_factory=FactorToggles)
+    #: Feature combination (Table 5).
+    variant: FeatureVariant = FeatureVariant.ALL
+
+    # --- heuristic factor scores (Sections 3.1.5, 3.2.5, 3.3) ---------
+    transitive_high: float = 0.9
+    transitive_middle: float = 0.5
+    transitive_low: float = 0.1
+    fact_high: float = 0.9
+    fact_low: float = 0.1
+    consistency_high: float = 0.7
+    consistency_low: float = 0.3
+
+    # --- learning (Sections 3.4, 4.1) ----------------------------------
+    learning_rate: float = 0.05
+    learn_iterations: int = 20
+    l2: float = 0.0
+
+    # --- inference ------------------------------------------------------
+    lbp_iterations: int = 30
+    lbp_tolerance: float = 1e-4
+    lbp_damping: float = 0.0
+    #: Apply the conflict-resolution step of Section 3.5.
+    conflict_resolution: bool = True
+    #: Minimum marginal probability of ``x_ij = 1`` for a pair to drive
+    #: conflict resolution (0.5 reproduces the paper's plain MAP rule;
+    #: higher values only act on confident merges).
+    conflict_confidence: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pair_threshold <= 1.0:
+            raise ValueError(f"pair_threshold must be in [0,1], got {self.pair_threshold}")
+        if self.max_candidates < 1:
+            raise ValueError(f"max_candidates must be >= 1, got {self.max_candidates}")
+        for name in (
+            "transitive_high",
+            "transitive_middle",
+            "transitive_low",
+            "fact_high",
+            "fact_low",
+            "consistency_high",
+            "consistency_low",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")

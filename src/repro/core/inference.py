@@ -1,0 +1,150 @@
+"""Decoding and conflict resolution (Section 3.5).
+
+After LBP, every variable takes the state with the highest marginal
+probability.  The canonicalization and linking decisions can still
+disagree; the paper's conflict-elimination rule is:
+
+    "If a pair of NPs are located in two different groups according to
+    the linking result and the corresponding canonicalization variable
+    of this pair has a value of 1, we select the label of the larger
+    group as the final label for both NPs."
+
+:func:`decode` implements that: nodes start with their linked target as
+group label (a unique NIL label when unlinked), positive
+canonicalization pairs are visited in decreasing marginal confidence,
+and each conflicting pair is resolved toward the larger group.  Final
+clusters are the label groups; final links are the (possibly
+reassigned) labels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.clustering.clusters import Clustering
+from repro.clustering.unionfind import UnionFind
+from repro.core.builder import NIL, GraphIndex, canon_var, link_var
+from repro.core.config import JOCLConfig
+from repro.factorgraph.lbp import LBPResult
+
+
+@dataclass
+class JOCLOutput:
+    """Joint canonicalization + linking result.
+
+    Canonicalization clusters and links are reported per node kind:
+    subjects ("S"), predicates ("P"), objects ("O").  ``links`` values
+    are CKB identifiers or ``None`` for NIL.
+    """
+
+    clusters: dict[str, Clustering] = field(default_factory=dict)
+    links: dict[str, dict[str, str | None]] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = False
+
+    # Convenience accessors matching the paper's task names ------------
+    @property
+    def np_clusters(self) -> Clustering:
+        """Subject-NP canonicalization groups (the Table 1 task)."""
+        return self.clusters["S"]
+
+    @property
+    def rp_clusters(self) -> Clustering:
+        """RP canonicalization groups (the Table 2 task)."""
+        return self.clusters["P"]
+
+    @property
+    def entity_links(self) -> dict[str, str | None]:
+        """Subject NP -> entity id (the Table 3 task)."""
+        return self.links["S"]
+
+    @property
+    def relation_links(self) -> dict[str, str | None]:
+        """RP -> relation id (the Figure 3 task)."""
+        return self.links["P"]
+
+    @property
+    def object_links(self) -> dict[str, str | None]:
+        """Object NP -> entity id."""
+        return self.links["O"]
+
+
+def decode(result: LBPResult, index: GraphIndex, config: JOCLConfig) -> JOCLOutput:
+    """Marginal-max decoding plus conflict resolution for all kinds."""
+    output = JOCLOutput(iterations=result.iterations, converged=result.converged)
+    for kind in ("S", "P", "O"):
+        clusters, links = _decode_kind(result, index, config, kind)
+        output.clusters[kind] = clusters
+        output.links[kind] = links
+    return output
+
+
+def _decode_kind(
+    result: LBPResult,
+    index: GraphIndex,
+    config: JOCLConfig,
+    kind: str,
+) -> tuple[Clustering, dict[str, str | None]]:
+    nodes = index.kind_nodes(kind)
+    if not nodes:
+        return Clustering([]), {}
+
+    # --- linked targets (marginal-max) --------------------------------
+    linked: dict[str, str | None] = {}
+    if index.has_linking:
+        for phrase in nodes:
+            state = result.map_state(link_var(kind, phrase))
+            linked[phrase] = None if state == NIL else str(state)
+    else:
+        linked = {phrase: None for phrase in nodes}
+
+    # --- positive canonicalization pairs, most confident first --------
+    positive_pairs: list[tuple[float, str, str]] = []
+    if index.has_canonicalization:
+        for first, second in index.pairs.get(kind, []):
+            name = canon_var(kind, first, second)
+            if result.map_state(name) == 1:
+                positive_pairs.append(
+                    (result.map_probability(name), first, second)
+                )
+        positive_pairs.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+    if not index.has_linking:
+        # Canonicalization-only variant: clusters are the connected
+        # components of positive pairs.
+        merged = [(first, second) for _confidence, first, second in positive_pairs]
+        return Clustering.from_pairs(nodes, merged), linked
+
+    # --- conflict resolution (Section 3.5) -----------------------------
+    labels: dict[str, str] = {}
+    for phrase in nodes:
+        target = linked[phrase]
+        labels[phrase] = target if target is not None else f"~nil:{phrase}"
+    sizes: Counter[str] = Counter(labels.values())
+
+    if config.conflict_resolution:
+        for confidence, first, second in positive_pairs:
+            if confidence < config.conflict_confidence:
+                continue
+            label_a = labels[first]
+            label_b = labels[second]
+            if label_a == label_b:
+                continue
+            # The larger linked group wins; ties break lexicographically
+            # for determinism.
+            if (sizes[label_a], label_b) > (sizes[label_b], label_a):
+                winner, loser_phrase = label_a, second
+            else:
+                winner, loser_phrase = label_b, first
+            old = labels[loser_phrase]
+            labels[loser_phrase] = winner
+            sizes[old] -= 1
+            sizes[winner] += 1
+
+    clusters = Clustering.from_assignment(labels)
+    links: dict[str, str | None] = {}
+    for phrase in nodes:
+        label = labels[phrase]
+        links[phrase] = None if label.startswith("~nil:") else label
+    return clusters, links

@@ -1,0 +1,98 @@
+"""Gold annotations and evidence construction for learning (Section 3.4).
+
+The paper trains on a labeled configuration ``Y^L`` derived from the
+validation split (triples of 20% of the Freebase entities of ReVerb45K).
+:class:`GoldAnnotations` carries phrase-level gold labels;
+:func:`build_evidence` turns them into the variable clamping the
+:class:`~repro.factorgraph.learner.TemplateLearner` consumes:
+
+* linking variables clamp to the gold entity/relation (when it is in
+  the candidate domain — a gold target outside the domain cannot be
+  expressed and the variable stays free);
+* canonicalization variables clamp to 1 when both phrases' gold targets
+  coincide, 0 when both are annotated and differ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.builder import GraphIndex, canon_var, link_var
+from repro.okb.triples import OIETriple
+
+
+@dataclass
+class GoldAnnotations:
+    """Phrase-level gold labels against the CKB.
+
+    Keys are normalized surface strings (the graph's node names).
+    """
+
+    subject_entity: dict[str, str] = field(default_factory=dict)
+    object_entity: dict[str, str] = field(default_factory=dict)
+    relation: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[OIETriple]) -> "GoldAnnotations":
+        """Collect gold labels from annotated triples.
+
+        Conflicting annotations for one string keep the first seen (the
+        generators never emit conflicts; real data could, and first-wins
+        is deterministic).
+        """
+        gold = cls()
+        for triple in triples:
+            if triple.gold is None:
+                continue
+            if triple.gold.subject_entity is not None:
+                gold.subject_entity.setdefault(
+                    triple.subject_norm, triple.gold.subject_entity
+                )
+            if triple.gold.object_entity is not None:
+                gold.object_entity.setdefault(
+                    triple.object_norm, triple.gold.object_entity
+                )
+            if triple.gold.relation is not None:
+                gold.relation.setdefault(triple.predicate_norm, triple.gold.relation)
+        return gold
+
+    def of_kind(self, kind: str) -> dict[str, str]:
+        """Gold map for a node kind ("S" / "P" / "O")."""
+        if kind == "S":
+            return self.subject_entity
+        if kind == "P":
+            return self.relation
+        if kind == "O":
+            return self.object_entity
+        raise ValueError(f"unknown kind {kind!r}")
+
+
+def build_evidence(
+    index: GraphIndex, gold: GoldAnnotations
+) -> dict[str, Hashable]:
+    """The labeled configuration ``Y^L`` for a built graph.
+
+    Returns variable name -> clamped state label, covering linking
+    variables (gold target, when in-domain) and canonicalization
+    variables (pair label from gold target equality).
+    """
+    evidence: dict[str, Hashable] = {}
+    for kind in ("S", "P", "O"):
+        kind_gold = gold.of_kind(kind)
+        if index.has_linking:
+            for phrase in index.kind_nodes(kind):
+                target = kind_gold.get(phrase)
+                if target is None:
+                    continue
+                domain = index.candidates.get((kind, phrase), ())
+                if target in domain:
+                    evidence[link_var(kind, phrase)] = target
+        if index.has_canonicalization:
+            for first, second in index.pairs.get(kind, []):
+                target_a = kind_gold.get(first)
+                target_b = kind_gold.get(second)
+                if target_a is None or target_b is None:
+                    continue
+                evidence[canon_var(kind, first, second)] = int(target_a == target_b)
+    return evidence

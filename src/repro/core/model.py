@@ -1,0 +1,130 @@
+"""The JOCL facade: build, learn, infer.
+
+Typical use (the paper's protocol, Section 4.1)::
+
+    model = JOCL(config)
+    model.fit(validation_side, validation_gold)   # learn ω* (lr 0.05)
+    output = model.infer(test_side)               # LBP + decoding
+
+``fit`` builds the factor graph of the validation OKB, clamps the gold
+configuration ``Y^L``, and runs the clamped/free gradient learner; the
+learned template weights are stored on the model and installed into
+every subsequently built graph.  ``infer`` builds the graph of the
+target OKB, runs LBP with the paper's message schedule, and decodes
+with conflict resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import GraphBuilder, GraphIndex
+from repro.core.config import JOCLConfig
+from repro.core.inference import JOCLOutput, decode
+from repro.core.learning import GoldAnnotations, build_evidence
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import SignalRegistry
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.lbp import LBPResult, LoopyBP
+from repro.factorgraph.learner import LearningHistory, TemplateLearner
+
+
+class JOCL:
+    """Joint OKB canonicalization and linking.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters; defaults reproduce the paper's constants.
+    registry_factory:
+        Optional ``(side, variant) -> SignalRegistry`` override for
+        plugging in new signals (the framework's extensibility claim);
+        defaults to the paper's signal set.
+    """
+
+    def __init__(
+        self,
+        config: JOCLConfig | None = None,
+        registry_factory=None,
+    ) -> None:
+        self.config = config or JOCLConfig()
+        self._registry_factory = registry_factory
+        self.weights: dict[str, np.ndarray] | None = None
+        self.history: LearningHistory | None = None
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _registry(self, side: SideInformation) -> SignalRegistry | None:
+        if self._registry_factory is None:
+            return None
+        return self._registry_factory(side, self.config.variant)
+
+    def build_graph(
+        self, side: SideInformation
+    ) -> tuple[FactorGraph, GraphIndex, GraphBuilder]:
+        """Build the factor graph for an OKB, installing learned weights."""
+        builder = GraphBuilder(side, self.config, self._registry(side))
+        graph, index = builder.build()
+        if self.weights is not None:
+            for name, weights in self.weights.items():
+                if name in graph.templates:
+                    graph.templates[name].set_weights(weights.copy())
+        return graph, index, builder
+
+    # ------------------------------------------------------------------
+    # Learning (Section 3.4)
+    # ------------------------------------------------------------------
+    def fit(
+        self, side: SideInformation, gold: GoldAnnotations
+    ) -> LearningHistory:
+        """Learn template weights on a labeled (validation) OKB."""
+        builder = GraphBuilder(side, self.config, self._registry(side))
+        graph, index = builder.build()
+        evidence = build_evidence(index, gold)
+        if not evidence:
+            raise ValueError(
+                "no gold label maps onto the validation graph; check that "
+                "gold targets appear in the candidate domains"
+            )
+        learner = TemplateLearner(
+            graph,
+            schedule=builder.schedule(),
+            learning_rate=self.config.learning_rate,
+            max_iterations=self.config.learn_iterations,
+            lbp_iterations=self.config.lbp_iterations,
+            lbp_damping=self.config.lbp_damping,
+            l2=self.config.l2,
+        )
+        self.history = learner.fit(evidence)
+        self.weights = {
+            name: template.weights.copy()
+            for name, template in graph.templates.items()
+        }
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Inference (Sections 3.4-3.5)
+    # ------------------------------------------------------------------
+    def infer(self, side: SideInformation) -> JOCLOutput:
+        """Run LBP and decoding on an OKB; weights from :meth:`fit` if set."""
+        graph, index, builder = self.build_graph(side)
+        result = self._run_lbp(graph, builder)
+        return decode(result, index, self.config)
+
+    def infer_raw(
+        self, side: SideInformation
+    ) -> tuple[LBPResult, GraphIndex]:
+        """Like :meth:`infer` but returns raw marginals (for diagnostics)."""
+        graph, index, builder = self.build_graph(side)
+        return self._run_lbp(graph, builder), index
+
+    def _run_lbp(self, graph: FactorGraph, builder: GraphBuilder) -> LBPResult:
+        engine = LoopyBP(
+            graph,
+            schedule=builder.schedule(),
+            max_iterations=self.config.lbp_iterations,
+            tolerance=self.config.lbp_tolerance,
+            damping=self.config.lbp_damping,
+        )
+        return engine.run()

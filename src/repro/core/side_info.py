@@ -1,0 +1,91 @@
+"""The :class:`SideInformation` bundle: everything JOCL's signals consume.
+
+One object carries the OKB being canonicalized, the CKB being linked
+against, and all auxiliary resources (anchor statistics, embeddings,
+paraphrase DB, AMIE miner, KBP categorizer, candidate generator).  The
+:meth:`SideInformation.build` constructor wires defaults for anything
+not supplied, mirroring how the paper assembles its signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.candidates import CandidateGenerator
+from repro.ckb.kb import CuratedKB
+from repro.embeddings.base import WordEmbedding
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+from repro.kbp.categorizer import RelationCategorizer
+from repro.okb.store import OpenKB
+from repro.paraphrase.ppdb import ParaphraseDB
+from repro.rules.amie import AmieConfig, AmieMiner
+
+
+@dataclass
+class SideInformation:
+    """All substrates required by the JOCL feature functions."""
+
+    okb: OpenKB
+    kb: CuratedKB
+    anchors: AnchorStatistics
+    candidates: CandidateGenerator
+    embedding: WordEmbedding
+    ppdb: ParaphraseDB
+    amie: AmieMiner
+    kbp: RelationCategorizer
+
+    @classmethod
+    def build(
+        cls,
+        okb: OpenKB,
+        kb: CuratedKB,
+        anchors: AnchorStatistics | None = None,
+        candidates: CandidateGenerator | None = None,
+        embedding: WordEmbedding | None = None,
+        ppdb: ParaphraseDB | None = None,
+        amie: AmieMiner | None = None,
+        kbp: RelationCategorizer | None = None,
+        max_candidates: int = 8,
+    ) -> "SideInformation":
+        """Assemble side information, defaulting any missing resource.
+
+        Defaults: empty anchor table, hashed char-n-gram embeddings,
+        empty PPDB, AMIE mined from the OKB itself, KBP categorizer
+        distantly supervised by the CKB.
+        """
+        anchors = anchors or AnchorStatistics()
+        candidates = candidates or CandidateGenerator(
+            kb, anchors=anchors, max_candidates=max_candidates
+        )
+        embedding = embedding or HashedCharNgramEmbedding(dimension=64)
+        ppdb = ppdb or ParaphraseDB()
+        amie = amie or AmieMiner(okb.triples, AmieConfig())
+        kbp = kbp or RelationCategorizer(kb, okb.triples)
+        return cls(
+            okb=okb,
+            kb=kb,
+            anchors=anchors,
+            candidates=candidates,
+            embedding=embedding,
+            ppdb=ppdb,
+            amie=amie,
+            kbp=kbp,
+        )
+
+    @cached_property
+    def entity_surface_forms(self) -> dict[str, frozenset[str]]:
+        """Entity id -> normalized surface forms (name + aliases)."""
+        return {
+            entity_id: entity.all_surface_forms()
+            for entity_id, entity in self.kb.entities.items()
+        }
+
+    @cached_property
+    def relation_surface_forms(self) -> dict[str, frozenset[str]]:
+        """Relation id -> normalized surface forms (name + lexicalizations)."""
+        return {
+            relation_id: relation.all_surface_forms()
+            for relation_id, relation in self.kb.relations.items()
+        }

@@ -1,0 +1,43 @@
+"""JOCL feature functions (the "signals" of Sections 3.1-3.3).
+
+Each signal is a named similarity in ``[0, 1]``:
+
+* pair signals (for canonicalization factors F1/F2/F3) compare two
+  phrases: ``f_idf``, ``f_emb``, ``f_PPDB``, and for RPs additionally
+  ``f_AMIE`` and ``f_KBP``;
+* link signals (for linking factors F4/F5/F6) compare a phrase with a
+  CKB candidate: ``f_pop``, ``f'_emb``, ``f'_PPDB``, ``f_ngram``,
+  ``f_LD``;
+* interaction scores ``u1``-``u7`` for the heuristic factors U1-U7.
+
+The registry (:func:`default_registry`) maps factor templates to signal
+lists; JOCL's extensibility claim ("able to extend to fit any new
+signals") is exercised by registering additional signals — see
+``examples/custom_signal.py``.
+"""
+
+from repro.core.signals.base import LinkSignal, PairSignal, SignalRegistry
+from repro.core.signals.entity_linking import entity_link_signals
+from repro.core.signals.interaction import (
+    consistency_table,
+    fact_inclusion_table,
+    transitivity_table,
+)
+from repro.core.signals.np_signals import np_pair_signals
+from repro.core.signals.registry import default_registry
+from repro.core.signals.relation_linking import relation_link_signals
+from repro.core.signals.rp_signals import rp_pair_signals
+
+__all__ = [
+    "LinkSignal",
+    "PairSignal",
+    "SignalRegistry",
+    "consistency_table",
+    "default_registry",
+    "entity_link_signals",
+    "fact_inclusion_table",
+    "np_pair_signals",
+    "relation_link_signals",
+    "rp_pair_signals",
+    "transitivity_table",
+]

@@ -1,0 +1,81 @@
+"""Signal abstractions and the per-template registry.
+
+A :class:`PairSignal` scores two phrases (canonicalization factors);
+a :class:`LinkSignal` scores a phrase against a CKB candidate id
+(linking factors).  A :class:`SignalRegistry` holds the signal lists
+for the six feature-bearing templates F1..F6 and builds the factor
+feature tables the graph builder installs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PairSignal:
+    """A named similarity between two phrases, in ``[0, 1]``."""
+
+    name: str
+    score: Callable[[str, str], float]
+
+    def __call__(self, first: str, second: str) -> float:
+        value = float(self.score(first, second))
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class LinkSignal:
+    """A named similarity between a phrase and a CKB candidate id."""
+
+    name: str
+    score: Callable[[str, str], float]
+
+    def __call__(self, phrase: str, candidate_id: str) -> float:
+        value = float(self.score(phrase, candidate_id))
+        return min(1.0, max(0.0, value))
+
+
+@dataclass
+class SignalRegistry:
+    """Signal lists per feature-bearing factor template.
+
+    ``F1``/``F3`` share the NP canonicalization signals (the paper
+    defines F3 "based on the NP canonicalization signals above as
+    well"), but each template still learns its own weights.
+    """
+
+    np_pair: list[PairSignal] = field(default_factory=list)
+    rp_pair: list[PairSignal] = field(default_factory=list)
+    entity_link: list[LinkSignal] = field(default_factory=list)
+    relation_link: list[LinkSignal] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Feature-table builders
+    # ------------------------------------------------------------------
+    def pair_feature_table(
+        self, signals: Sequence[PairSignal], first: str, second: str
+    ) -> np.ndarray:
+        """Table for a canonicalization factor: rows = states (0, 1).
+
+        Row for state 1 holds the similarities ``Sim(s_i, s_j)``; row
+        for state 0 holds ``1 − Sim`` (the paper's two-case feature
+        functions, e.g. ``f_idf`` in Section 3.1.3).
+        """
+        scores = np.array([signal(first, second) for signal in signals])
+        return np.vstack([1.0 - scores, scores])
+
+    def link_feature_table(
+        self, signals: Sequence[LinkSignal], phrase: str, candidates: Sequence[str]
+    ) -> np.ndarray:
+        """Table for a linking factor: one row per candidate state."""
+        return np.array(
+            [[signal(phrase, candidate) for signal in signals] for candidate in candidates]
+        )
+
+    def names(self, signals: Sequence[PairSignal] | Sequence[LinkSignal]) -> list[str]:
+        """Feature names of a signal list (template feature names)."""
+        return [signal.name for signal in signals]

@@ -1,0 +1,41 @@
+"""OKB entity linking signals (Section 3.2.3): f_pop, f'_emb, f'_PPDB.
+
+``f'_emb`` and ``f'_PPDB`` compare the NP with the *surface forms* of
+the candidate entity; we take the best score over the entity's known
+surface forms (name plus aliases), which is how a practical linker uses
+an alias table.
+"""
+
+from __future__ import annotations
+
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import LinkSignal
+
+
+def entity_link_signals(side: SideInformation) -> list[LinkSignal]:
+    """The feature vector ``f_4 = <f_pop, f'_emb, f'_PPDB>`` for F4/F6."""
+    anchors = side.anchors
+    embedding = side.embedding
+    ppdb = side.ppdb
+    surface_forms = side.entity_surface_forms
+
+    def popularity(phrase: str, entity_id: str) -> float:
+        return anchors.popularity(phrase, entity_id)
+
+    def embedding_similarity(phrase: str, entity_id: str) -> float:
+        forms = surface_forms.get(entity_id)
+        if not forms:
+            return 0.0
+        return max(embedding.similarity(phrase, form) for form in forms)
+
+    def ppdb_similarity(phrase: str, entity_id: str) -> float:
+        forms = surface_forms.get(entity_id)
+        if not forms:
+            return 0.0
+        return max(ppdb.similarity(phrase, form) for form in forms)
+
+    return [
+        LinkSignal(name="f_pop", score=popularity),
+        LinkSignal(name="f_emb'", score=embedding_similarity),
+        LinkSignal(name="f_ppdb'", score=ppdb_similarity),
+    ]

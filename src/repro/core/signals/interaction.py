@@ -1,0 +1,108 @@
+"""Heuristic factor tables: transitivity (U1-U3), fact inclusion (U4),
+consistency (U5-U7).
+
+Each factor has a single feature — the heuristic score ``u`` — whose
+weight ``β`` is learned.  The tables enumerate the factor scope in
+C-order (the same order :class:`repro.factorgraph.graph.Factor`
+expects).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import JOCLConfig
+
+
+def transitivity_table(config: JOCLConfig) -> np.ndarray:
+    """``u1`` over three binary canonicalization variables (Section 3.1.5).
+
+    * all three equal 1 — transitivity satisfied: high score (0.9);
+    * exactly one equals 0 — violation (a=b, b=c, but a≠c): low (0.1);
+    * otherwise — no constraint active: middle (0.5).
+    """
+    rows = []
+    for states in itertools.product((0, 1), repeat=3):
+        ones = sum(states)
+        if ones == 3:
+            score = config.transitive_high
+        elif ones == 2:
+            score = config.transitive_low
+        else:
+            score = config.transitive_middle
+        rows.append([score])
+    return np.array(rows)
+
+
+def fact_inclusion_table(
+    config: JOCLConfig,
+    subject_candidates: Sequence[str],
+    relation_candidates: Sequence[str],
+    object_candidates: Sequence[str],
+    has_fact,
+    relations_between=None,
+) -> np.ndarray:
+    """``u4`` over a triple's three linking variables (Section 3.2.5).
+
+    Two features per assignment:
+
+    * ``u_fact`` — the paper's signal: ``has_fact(e_s, r, e_o)`` scores
+      high (0.9) when the assignment composes a known CKB fact, low
+      (0.1) otherwise.
+    * ``u_pair`` — an extension signal (the "fit any new signals" hook
+      of Section 1, documented in DESIGN.md): the chosen subject and
+      object entities are connected by *some* CKB fact, regardless of
+      the relation.  This keeps entity disambiguation informed even
+      when the gold relation is missing from the candidate domain.
+
+    ``relations_between(e_s, e_o)`` may be ``None``, in which case
+    ``u_pair`` is constantly low.
+    """
+    rows = []
+    pair_connected: dict[tuple[str, str], bool] = {}
+    for subject_id, relation_id, object_id in itertools.product(
+        subject_candidates, relation_candidates, object_candidates
+    ):
+        included = has_fact(subject_id, relation_id, object_id)
+        key = (subject_id, object_id)
+        if key not in pair_connected:
+            pair_connected[key] = bool(
+                relations_between is not None and relations_between(*key)
+            )
+        rows.append(
+            [
+                config.fact_high if included else config.fact_low,
+                config.fact_high if pair_connected[key] else config.fact_low,
+            ]
+        )
+    return np.array(rows)
+
+
+def consistency_table(
+    config: JOCLConfig,
+    candidates_a: Sequence[str],
+    candidates_b: Sequence[str],
+    nil_labels: frozenset[str] = frozenset(),
+) -> np.ndarray:
+    """``u5``/``u6``/``u7`` over (link_a, link_b, canon_ab) (Section 3.3).
+
+    Consistent assignments — same target & canon=1, or different target
+    & canon=0 — score high (0.7); inconsistent ones score low (0.3).
+    NIL states never count as "the same target": two unlinkable phrases
+    give no evidence of co-reference.
+    """
+    rows = []
+    for candidate_a, candidate_b, canon in itertools.product(
+        candidates_a, candidates_b, (0, 1)
+    ):
+        same = (
+            candidate_a == candidate_b
+            and candidate_a not in nil_labels
+            and candidate_b not in nil_labels
+        )
+        consistent = (same and canon == 1) or (not same and canon == 0)
+        rows.append([config.consistency_high if consistent else config.consistency_low])
+    return np.array(rows)

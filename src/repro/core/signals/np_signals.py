@@ -1,0 +1,22 @@
+"""NP canonicalization signals (Section 3.1.3): f_idf, f_emb, f_PPDB."""
+
+from __future__ import annotations
+
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import PairSignal
+from repro.strings.idf import idf_token_overlap
+
+
+def np_pair_signals(side: SideInformation) -> list[PairSignal]:
+    """The feature vector ``f_1 = <f_idf, f_emb, f_PPDB>`` for F1/F3."""
+    np_idf = side.okb.np_idf
+    embedding = side.embedding
+    ppdb = side.ppdb
+    return [
+        PairSignal(
+            name="f_idf",
+            score=lambda a, b: idf_token_overlap(a, b, np_idf),
+        ),
+        PairSignal(name="f_emb", score=embedding.similarity),
+        PairSignal(name="f_ppdb", score=ppdb.similarity),
+    ]

@@ -1,0 +1,56 @@
+"""Default signal registry and the Table 5 feature-variant subsets."""
+
+from __future__ import annotations
+
+from repro.core.config import FeatureVariant
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import SignalRegistry
+from repro.core.signals.entity_linking import entity_link_signals
+from repro.core.signals.np_signals import np_pair_signals
+from repro.core.signals.relation_linking import relation_link_signals
+from repro.core.signals.rp_signals import rp_pair_signals
+
+#: Feature subsets per variant (Table 5 of the paper).
+_VARIANT_FEATURES = {
+    FeatureVariant.SINGLE: {
+        "np_pair": ("f_idf",),
+        "rp_pair": ("f_idf",),
+        "entity_link": ("f_pop",),
+        "relation_link": ("f_ngram",),
+    },
+    FeatureVariant.DOUBLE: {
+        "np_pair": ("f_idf", "f_emb"),
+        "rp_pair": ("f_idf", "f_emb"),
+        "entity_link": ("f_pop", "f_emb'"),
+        "relation_link": ("f_ngram", "f_emb'"),
+    },
+}
+
+
+def default_registry(
+    side: SideInformation, variant: FeatureVariant = FeatureVariant.ALL
+) -> SignalRegistry:
+    """Build the signal registry for a feature variant.
+
+    ``ALL`` returns the full Section 3 feature vectors; ``SINGLE`` and
+    ``DOUBLE`` are the Table 5 subsets used in the Figure 4 ablation.
+    """
+    registry = SignalRegistry(
+        np_pair=np_pair_signals(side),
+        rp_pair=rp_pair_signals(side),
+        entity_link=entity_link_signals(side),
+        relation_link=relation_link_signals(side),
+    )
+    if variant is FeatureVariant.ALL:
+        return registry
+    wanted = _VARIANT_FEATURES[variant]
+    return SignalRegistry(
+        np_pair=[s for s in registry.np_pair if s.name in wanted["np_pair"]],
+        rp_pair=[s for s in registry.rp_pair if s.name in wanted["rp_pair"]],
+        entity_link=[
+            s for s in registry.entity_link if s.name in wanted["entity_link"]
+        ],
+        relation_link=[
+            s for s in registry.relation_link if s.name in wanted["relation_link"]
+        ],
+    )

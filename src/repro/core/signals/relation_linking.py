@@ -1,0 +1,48 @@
+"""OKB relation linking signals (Section 3.2.4).
+
+``f_5 = <f_ngram, f_LD, f'_emb, f'_PPDB>``: character-n-gram Jaccard,
+normalized Levenshtein similarity, embedding similarity and PPDB
+equivalence between the RP and the candidate relation's surface forms.
+RPs are morphologically normalized before string comparison so "be an
+early member of" matches "member of"-style lexicalizations.
+"""
+
+from __future__ import annotations
+
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import LinkSignal
+from repro.okb.normalize import morph_normalize
+from repro.strings.similarity import ngram_jaccard, normalized_levenshtein_similarity
+
+
+def relation_link_signals(side: SideInformation) -> list[LinkSignal]:
+    """The feature vector for the predicate linking factor F5."""
+    embedding = side.embedding
+    ppdb = side.ppdb
+    surface_forms = side.relation_surface_forms
+
+    def best_over_forms(phrase: str, relation_id: str, score) -> float:
+        forms = surface_forms.get(relation_id)
+        if not forms:
+            return 0.0
+        normalized = morph_normalize(phrase)
+        return max(score(normalized, form) for form in forms)
+
+    def ngram_similarity(phrase: str, relation_id: str) -> float:
+        return best_over_forms(phrase, relation_id, ngram_jaccard)
+
+    def levenshtein_similarity(phrase: str, relation_id: str) -> float:
+        return best_over_forms(phrase, relation_id, normalized_levenshtein_similarity)
+
+    def embedding_similarity(phrase: str, relation_id: str) -> float:
+        return best_over_forms(phrase, relation_id, embedding.similarity)
+
+    def ppdb_similarity(phrase: str, relation_id: str) -> float:
+        return best_over_forms(phrase, relation_id, ppdb.similarity)
+
+    return [
+        LinkSignal(name="f_ngram", score=ngram_similarity),
+        LinkSignal(name="f_ld", score=levenshtein_similarity),
+        LinkSignal(name="f_emb'", score=embedding_similarity),
+        LinkSignal(name="f_ppdb'", score=ppdb_similarity),
+    ]

@@ -1,0 +1,31 @@
+"""RP canonicalization signals (Section 3.1.4).
+
+The RP feature vector extends the NP one with the AMIE rule-mining
+signal and the KBP category signal:
+``f_2 = <f_idf, f_emb, f_PPDB, f_AMIE, f_KBP>``.
+"""
+
+from __future__ import annotations
+
+from repro.core.side_info import SideInformation
+from repro.core.signals.base import PairSignal
+from repro.strings.idf import idf_token_overlap
+
+
+def rp_pair_signals(side: SideInformation) -> list[PairSignal]:
+    """The feature vector for the predicate canonicalization factor F2."""
+    rp_idf = side.okb.rp_idf
+    embedding = side.embedding
+    ppdb = side.ppdb
+    amie = side.amie
+    kbp = side.kbp
+    return [
+        PairSignal(
+            name="f_idf",
+            score=lambda a, b: idf_token_overlap(a, b, rp_idf),
+        ),
+        PairSignal(name="f_emb", score=embedding.similarity),
+        PairSignal(name="f_ppdb", score=ppdb.similarity),
+        PairSignal(name="f_amie", score=amie.similarity),
+        PairSignal(name="f_kbp", score=kbp.similarity),
+    ]

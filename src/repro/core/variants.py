@@ -1,0 +1,69 @@
+"""Named JOCL variants used in the paper's ablations (Tables 4 and 5).
+
+* :func:`jocl_single_config` / :func:`jocl_double_config` /
+  :func:`jocl_all_config` — the Table 5 feature combinations behind
+  Figure 4.
+* :func:`jocl_cano_config` — JOCL_cano: canonicalization factors only
+  (no linking, no interaction), Table 4.
+* :func:`jocl_link_config` — JOCL_link: linking factors only, Table 4.
+* :func:`jocl_no_interaction_config` — both sides present but the
+  consistency factors removed (the "unable to interact" condition the
+  Table 4 caption describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
+
+
+def jocl_all_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """Full JOCL: all signals, all factor families."""
+    return replace(base or JOCLConfig(), variant=FeatureVariant.ALL)
+
+
+def jocl_single_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """JOCL-single: one feature per factor (Table 5, row 1)."""
+    return replace(base or JOCLConfig(), variant=FeatureVariant.SINGLE)
+
+
+def jocl_double_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """JOCL-double: two features per factor (Table 5, row 2)."""
+    return replace(base or JOCLConfig(), variant=FeatureVariant.DOUBLE)
+
+
+def jocl_cano_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """JOCL_cano: the canonicalization task alone (Table 4, row 1)."""
+    toggles = FactorToggles(
+        canonicalization=True,
+        transitivity=True,
+        linking=False,
+        fact_inclusion=False,
+        consistency=False,
+    )
+    return replace(base or JOCLConfig(), toggles=toggles)
+
+
+def jocl_link_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """JOCL_link: the linking task alone (Table 4, row 2)."""
+    toggles = FactorToggles(
+        canonicalization=False,
+        transitivity=False,
+        linking=True,
+        fact_inclusion=True,
+        consistency=False,
+    )
+    return replace(base or JOCLConfig(), toggles=toggles)
+
+
+def jocl_no_interaction_config(base: JOCLConfig | None = None) -> JOCLConfig:
+    """Both tasks in one graph but without consistency factors."""
+    toggles = FactorToggles(
+        canonicalization=True,
+        transitivity=True,
+        linking=True,
+        fact_inclusion=True,
+        consistency=False,
+    )
+    return replace(base or JOCLConfig(), toggles=toggles)

@@ -1,0 +1,41 @@
+"""Synthetic dataset substrate shaped like the paper's benchmarks.
+
+The paper evaluates on ReVerb45K (ReVerb extractions over ClueWeb09,
+gold-annotated against Freebase) and NYTimes2018 (Stanford OIE over
+nytimes.com, unannotated; gold sampled and labeled manually).  Neither
+corpus nor Freebase is available offline, so this package generates
+statistically similar worlds from a seed:
+
+* :class:`~repro.datasets.world.World` — entities with Zipfian alias
+  usage, relations with paraphrase sets, typed facts; exports the CKB,
+  anchor statistics, paraphrase DB and a training corpus.
+* :func:`generate_reverb45k` — fully annotated OKB (every NP has a gold
+  entity), moderate noise.
+* :func:`generate_nytimes2018` — noisier OKB with out-of-KB phrases and
+  *sampled* gold (the manual-labeling protocol of Section 4).
+* :class:`~repro.datasets.base.Dataset` — the container benchmarks
+  consume: OKB, CKB, side-information resources, validation/test split
+  (by gold entity, 20% validation as in Section 4.1) and evaluation
+  gold (clusters + links).
+"""
+
+from repro.datasets.base import Dataset, EvaluationGold
+from repro.datasets.generator import TripleNoiseConfig
+from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
+from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
+from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
+from repro.datasets.world import World, WorldConfig
+
+__all__ = [
+    "Dataset",
+    "EvaluationGold",
+    "NYTimes2018Config",
+    "ReVerb45KConfig",
+    "TripleNoiseConfig",
+    "World",
+    "WorldConfig",
+    "generate_nytimes2018",
+    "generate_reverb45k",
+    "load_triples_jsonl",
+    "save_triples_jsonl",
+]

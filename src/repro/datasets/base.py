@@ -1,0 +1,233 @@
+"""The :class:`Dataset` container consumed by pipelines and benchmarks.
+
+Bundles the rendered OKB, the world's CKB and side-information
+resources, the validation/test split (by gold subject entity — the
+paper reserves the triples of 20% of ReVerb45K's Freebase entities as
+the validation set, Section 4.1) and evaluation gold:
+
+* gold NP clusters — annotated subject strings grouped by gold entity;
+* gold RP clusters — predicate strings grouped by gold relation;
+* gold links for subjects, predicates and objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.kb import CuratedKB
+from repro.clustering.clusters import Clustering
+from repro.core.side_info import SideInformation
+from repro.datasets.world import World
+from repro.embeddings.base import WordEmbedding
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+from repro.embeddings.sgns import SkipGramConfig, SkipGramModel
+from repro.okb.store import OpenKB
+from repro.okb.triples import OIETriple
+from repro.paraphrase.ppdb import ParaphraseDB
+
+
+@dataclass
+class EvaluationGold:
+    """Gold structures for one triple collection."""
+
+    np_clusters: Clustering
+    rp_clusters: Clustering
+    object_clusters: Clustering
+    entity_links: dict[str, str]
+    relation_links: dict[str, str]
+    object_links: dict[str, str]
+
+    @classmethod
+    def from_triples(cls, triples: list[OIETriple]) -> "EvaluationGold":
+        """Derive gold clusters and links from annotated triples.
+
+        A surface string annotated with different targets across
+        mentions keeps the first annotation (deterministic; the
+        generators do not emit conflicts for one string).
+        """
+        entity_links: dict[str, str] = {}
+        relation_links: dict[str, str] = {}
+        object_links: dict[str, str] = {}
+        for triple in triples:
+            if triple.gold is None:
+                continue
+            if triple.gold.subject_entity is not None:
+                entity_links.setdefault(triple.subject_norm, triple.gold.subject_entity)
+            if triple.gold.relation is not None:
+                relation_links.setdefault(triple.predicate_norm, triple.gold.relation)
+            if triple.gold.object_entity is not None:
+                object_links.setdefault(triple.object_norm, triple.gold.object_entity)
+        return cls(
+            np_clusters=Clustering.from_assignment(entity_links),
+            rp_clusters=Clustering.from_assignment(relation_links),
+            object_clusters=Clustering.from_assignment(object_links),
+            entity_links=entity_links,
+            relation_links=relation_links,
+            object_links=object_links,
+        )
+
+    def sampled(
+        self,
+        n_np_groups: int,
+        n_link_phrases: int,
+        seed: int,
+    ) -> "EvaluationGold":
+        """The paper's manual-labeling protocol for unannotated corpora.
+
+        Keeps ``n_np_groups`` randomly chosen *non-singleton* NP gold
+        groups (NP canonicalization gold) and ``n_link_phrases``
+        randomly chosen phrases for each linking gold map.
+        """
+        rng = random.Random(seed)
+
+        def sample_clusters(clusters: Clustering) -> Clustering:
+            non_singleton = clusters.non_singletons()
+            rng.shuffle(non_singleton)
+            return Clustering(non_singleton[:n_np_groups])
+
+        def sample_links(links: dict[str, str]) -> dict[str, str]:
+            keys = sorted(links)
+            rng.shuffle(keys)
+            return {key: links[key] for key in keys[:n_link_phrases]}
+
+        return EvaluationGold(
+            np_clusters=sample_clusters(self.np_clusters),
+            rp_clusters=sample_clusters(self.rp_clusters),
+            object_clusters=sample_clusters(self.object_clusters),
+            entity_links=sample_links(self.entity_links),
+            relation_links=sample_links(self.relation_links),
+            object_links=sample_links(self.object_links),
+        )
+
+
+@dataclass
+class Dataset:
+    """A fully assembled benchmark dataset."""
+
+    name: str
+    world: World
+    triples: list[OIETriple]
+    kb: CuratedKB
+    anchors: AnchorStatistics
+    ppdb: ParaphraseDB
+    validation_triples: list[OIETriple] = field(default_factory=list)
+    test_triples: list[OIETriple] = field(default_factory=list)
+    #: Evaluation gold over the *test* triples (possibly sampled).
+    gold: EvaluationGold | None = None
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @classmethod
+    def assemble(
+        cls,
+        name: str,
+        world: World,
+        triples: list[OIETriple],
+        validation_fraction: float = 0.2,
+        split_seed: int = 13,
+    ) -> "Dataset":
+        """Split by gold subject entity and derive test gold."""
+        validation, test = split_by_entity(triples, validation_fraction, split_seed)
+        dataset = cls(
+            name=name,
+            world=world,
+            triples=triples,
+            kb=world.curated_kb(),
+            anchors=world.anchor_statistics(),
+            ppdb=world.paraphrase_db(),
+            validation_triples=validation,
+            test_triples=test,
+        )
+        dataset.gold = EvaluationGold.from_triples(test)
+        return dataset
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def okb(self, which: str = "all") -> OpenKB:
+        """OKB over ``"all"``, ``"validation"`` or ``"test"`` triples."""
+        if which == "all":
+            return OpenKB(self.triples)
+        if which == "validation":
+            return OpenKB(self.validation_triples)
+        if which == "test":
+            return OpenKB(self.test_triples)
+        raise ValueError(f"unknown split {which!r}")
+
+    def side_information(
+        self,
+        which: str = "test",
+        embedding: WordEmbedding | str | None = None,
+        max_candidates: int = 8,
+    ) -> SideInformation:
+        """Side-information bundle for one split.
+
+        ``embedding`` may be a :class:`WordEmbedding`, ``"hashed"``
+        (default) or ``"sgns"`` (trains skip-gram on the world corpus).
+        """
+        okb = self.okb(which)
+        if embedding is None or embedding == "hashed":
+            resolved: WordEmbedding = HashedCharNgramEmbedding(dimension=64)
+        elif embedding == "sgns":
+            model = SkipGramModel(SkipGramConfig(dimension=48, epochs=2))
+            model.train(self.world.corpus())
+            resolved = model
+        elif isinstance(embedding, WordEmbedding):
+            resolved = embedding
+        else:
+            raise ValueError(f"unknown embedding spec {embedding!r}")
+        return SideInformation.build(
+            okb=okb,
+            kb=self.kb,
+            anchors=self.anchors,
+            ppdb=self.ppdb,
+            embedding=resolved,
+            max_candidates=max_candidates,
+        )
+
+    def validation_gold(self) -> EvaluationGold:
+        """Gold over the validation triples (used for learning)."""
+        return EvaluationGold.from_triples(self.validation_triples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.name!r}, triples={len(self.triples)}, "
+            f"validation={len(self.validation_triples)}, test={len(self.test_triples)})"
+        )
+
+
+def split_by_entity(
+    triples: list[OIETriple],
+    validation_fraction: float,
+    seed: int,
+) -> tuple[list[OIETriple], list[OIETriple]]:
+    """Reserve the triples of a fraction of gold subject entities.
+
+    Mirrors Section 4.1: "the triples associated with 20% selected
+    Freebase entities of ReVerb45K as the validation set".  Triples with
+    no gold subject go to the test side.
+    """
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError(f"validation_fraction must be in [0,1), got {validation_fraction}")
+    entities = sorted(
+        {
+            triple.gold.subject_entity
+            for triple in triples
+            if triple.gold is not None and triple.gold.subject_entity is not None
+        }
+    )
+    rng = random.Random(seed)
+    n_validation = int(len(entities) * validation_fraction)
+    validation_entities = set(rng.sample(entities, n_validation)) if n_validation else set()
+    validation: list[OIETriple] = []
+    test: list[OIETriple] = []
+    for triple in triples:
+        subject_entity = triple.gold.subject_entity if triple.gold else None
+        if subject_entity is not None and subject_entity in validation_entities:
+            validation.append(triple)
+        else:
+            test.append(triple)
+    return validation, test

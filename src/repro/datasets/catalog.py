@@ -1,0 +1,284 @@
+"""Static catalogs for the world generator: name parts and relations.
+
+The relation catalog mirrors the flavor of Freebase relations the paper
+links against ("location.contained_by", "organizations_founded", ...).
+Each seed carries natural-language paraphrases (the generator renders
+OIE relation phrases from these), a category (consumed by the KBP
+signal: relations in one category are near-equivalent) and type
+constraints for fact generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Entity types used by the world model.
+PERSON = "person"
+ORGANIZATION = "organization"
+PLACE = "place"
+WORK = "work"
+
+ENTITY_TYPES = (PERSON, ORGANIZATION, PLACE, WORK)
+
+#: Syllables for generated proper names (places, surnames, works).
+NAME_SYLLABLES = (
+    "al", "an", "ar", "bel", "ber", "bor", "bran", "cal", "car", "dan",
+    "del", "dor", "el", "fal", "fen", "gar", "gil", "hal", "har", "kel",
+    "kin", "lan", "lor", "mar", "mel", "mor", "nor", "or", "pel", "per",
+    "ran", "rin", "ros", "sal", "sel", "tan", "tor", "val", "ver", "vin",
+    "wes", "win", "yor", "zan",
+)
+
+#: First names for person entities.
+FIRST_NAMES = (
+    "alice", "brian", "carol", "david", "elena", "frank", "grace", "henry",
+    "irene", "james", "karen", "louis", "maria", "nolan", "olivia", "peter",
+    "quinn", "rachel", "samuel", "teresa", "victor", "wendy", "xavier",
+    "yvonne", "zachary", "amara", "boris", "celine", "dmitri", "esther",
+)
+
+#: Organization name patterns; ``{name}`` is a generated base name.
+ORGANIZATION_PATTERNS = (
+    "university of {name}",
+    "{name} university",
+    "{name} institute",
+    "{name} corporation",
+    "{name} industries",
+    "{name} laboratories",
+    "bank of {name}",
+    "{name} press",
+    "{name} society",
+    "{name} foundation",
+)
+
+#: Place name suffix patterns.
+PLACE_PATTERNS = (
+    "{name}",
+    "{name}ton",
+    "{name}ville",
+    "{name} city",
+    "{name}land",
+    "port {name}",
+    "{name} valley",
+)
+
+#: Work (book/film) title patterns.
+WORK_PATTERNS = (
+    "the {name} chronicle",
+    "a history of {name}",
+    "the {name} affair",
+    "{name} nights",
+    "return to {name}",
+    "the last {name}",
+)
+
+
+@dataclass(frozen=True)
+class RelationSeed:
+    """One catalog relation.
+
+    Attributes
+    ----------
+    name:
+        Freebase-flavored canonical name.
+    category:
+        KBP category; relations sharing a category are near-synonyms.
+    paraphrases:
+        Base (uninflected) relation phrases expressing the relation.
+    subject_type / object_type:
+        Type constraints for generated facts.
+    """
+
+    name: str
+    category: str
+    paraphrases: tuple[str, ...]
+    subject_type: str
+    object_type: str
+
+
+RELATION_SEEDS: tuple[RelationSeed, ...] = (
+    RelationSeed(
+        name="location.contained_by",
+        category="location",
+        paraphrases=("be located in", "be situated in", "lie in", "be in"),
+        subject_type=ORGANIZATION,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="location.capital_of",
+        category="capital",
+        paraphrases=("be the capital of", "be the capital city of"),
+        subject_type=PLACE,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="location.neighbors",
+        category="location",
+        paraphrases=("border", "be adjacent to", "lie next to"),
+        subject_type=PLACE,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="people.person.place_of_birth",
+        category="birth",
+        paraphrases=("be born in", "hail from", "come from"),
+        subject_type=PERSON,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="people.person.nationality",
+        category="birth",
+        paraphrases=("be a citizen of", "be a national of"),
+        subject_type=PERSON,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="people.person.employer",
+        category="employment",
+        paraphrases=("work for", "work at", "be employed by", "be employed at"),
+        subject_type=PERSON,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="organization.leadership.ceo",
+        category="leadership",
+        paraphrases=("be the ceo of", "lead", "run", "be the head of"),
+        subject_type=PERSON,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="organizations_founded",
+        category="founding",
+        paraphrases=(
+            "found",
+            "establish",
+            "be a founder of",
+            "be a member of",
+            "be an early member of",
+        ),
+        subject_type=PERSON,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="education.alumni.institution",
+        category="education",
+        paraphrases=(
+            "graduate from",
+            "study at",
+            "attend",
+            "be educated at",
+            "be an alumnus of",
+        ),
+        subject_type=PERSON,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="education.teacher.institution",
+        category="education_staff",
+        paraphrases=("teach at", "be a professor at", "lecture at"),
+        subject_type=PERSON,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="book.author.works_written",
+        category="authorship",
+        paraphrases=("write", "be the author of", "pen"),
+        subject_type=PERSON,
+        object_type=WORK,
+    ),
+    RelationSeed(
+        name="film.director.film",
+        category="authorship",
+        paraphrases=("direct", "be the director of"),
+        subject_type=PERSON,
+        object_type=WORK,
+    ),
+    RelationSeed(
+        name="organization.headquarters",
+        category="location",
+        paraphrases=(
+            "be headquartered in",
+            "be based in",
+            "have headquarters in",
+        ),
+        subject_type=ORGANIZATION,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="organization.subsidiary_of",
+        category="ownership",
+        paraphrases=("be a subsidiary of", "be owned by", "belong to"),
+        subject_type=ORGANIZATION,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="organization.acquired",
+        category="ownership",
+        paraphrases=("acquire", "buy", "purchase", "take over"),
+        subject_type=ORGANIZATION,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="people.person.spouse",
+        category="family",
+        paraphrases=("marry", "be married to", "be the spouse of"),
+        subject_type=PERSON,
+        object_type=PERSON,
+    ),
+    RelationSeed(
+        name="people.person.parent",
+        category="family",
+        paraphrases=("be the parent of", "be the father of", "be the mother of"),
+        subject_type=PERSON,
+        object_type=PERSON,
+    ),
+    RelationSeed(
+        name="sports.team.location",
+        category="location",
+        paraphrases=("play in", "be a team from"),
+        subject_type=ORGANIZATION,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="music.artist.origin",
+        category="birth",
+        paraphrases=("form in", "originate from", "start out in"),
+        subject_type=ORGANIZATION,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="organization.partnership",
+        category="partnership",
+        paraphrases=("partner with", "collaborate with", "team up with"),
+        subject_type=ORGANIZATION,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="people.person.residence",
+        category="residence",
+        paraphrases=("live in", "reside in", "settle in"),
+        subject_type=PERSON,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="work.subject_of",
+        category="aboutness",
+        paraphrases=("be about", "describe", "tell the story of"),
+        subject_type=WORK,
+        object_type=PLACE,
+    ),
+    RelationSeed(
+        name="organization.investor_in",
+        category="investment",
+        paraphrases=("invest in", "fund", "back"),
+        subject_type=ORGANIZATION,
+        object_type=ORGANIZATION,
+    ),
+    RelationSeed(
+        name="people.person.award",
+        category="award",
+        paraphrases=("win", "receive", "be awarded"),
+        subject_type=PERSON,
+        object_type=WORK,
+    ),
+)

@@ -1,0 +1,242 @@
+"""OIE triple rendering: from world facts to noisy surface triples.
+
+Given a :class:`~repro.datasets.world.World`, the generator renders OIE
+triples the way an extractor sees text:
+
+* subject/object surface forms sampled from the entity's alias-usage
+  distribution (Zipf-like, matching the anchor statistics);
+* relation phrases sampled from the relation's paraphrase set, then
+  *inflected* (tense / third-person / auxiliary variants) so RP
+  canonicalization is non-trivial;
+* a configurable fraction of triples express facts **not** in the CKB
+  (OIE's whole point is novel knowledge; these triples exercise the
+  model when the fact-inclusion factor stays silent);
+* optional out-of-KB subjects (NIL entities) and typo noise.
+
+Every triple carries gold annotations unless annotation is disabled
+(the NYTimes2018 profile labels only a sample).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.world import World, WorldFact
+from repro.okb.triples import OIETriple, TripleGold
+
+
+@dataclass(frozen=True)
+class TripleNoiseConfig:
+    """Noise knobs for triple rendering.
+
+    Attributes
+    ----------
+    n_triples:
+        Number of OIE triples to render.
+    novel_fact_fraction:
+        Fraction of triples rendering a type-consistent fact absent
+        from the CKB.
+    out_of_kb_fraction:
+        Fraction of triples whose *subject* is an invented entity
+        unknown to the CKB (gold subject is then unannotated).
+    typo_probability:
+        Probability of one character-level typo in an NP surface form.
+    determiner_probability:
+        Probability of prefixing an NP with "the".
+    inflection_probability:
+        Probability of inflecting the relation phrase (vs. keeping the
+        base form).
+    seed:
+        Rendering seed (independent of the world seed).
+    """
+
+    n_triples: int = 400
+    novel_fact_fraction: float = 0.25
+    out_of_kb_fraction: float = 0.0
+    typo_probability: float = 0.03
+    determiner_probability: float = 0.05
+    inflection_probability: float = 0.6
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        for name in (
+            "novel_fact_fraction",
+            "out_of_kb_fraction",
+            "typo_probability",
+            "determiner_probability",
+            "inflection_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+        if self.n_triples < 1:
+            raise ValueError(f"n_triples must be >= 1, got {self.n_triples}")
+
+
+def generate_triples(
+    world: World, noise: TripleNoiseConfig, annotate: bool = True
+) -> list[OIETriple]:
+    """Render OIE triples from the world under a noise profile."""
+    rng = random.Random(noise.seed)
+    kb_facts = list(world.facts)
+    if not kb_facts:
+        raise ValueError("world has no facts to render triples from")
+    triples: list[OIETriple] = []
+    for index in range(noise.n_triples):
+        if rng.random() < noise.novel_fact_fraction:
+            fact = _novel_fact(world, rng)
+        else:
+            fact = rng.choice(kb_facts)
+        triple = _render_triple(world, fact, rng, noise, index, annotate)
+        triples.append(triple)
+    return triples
+
+
+def _novel_fact(world: World, rng: random.Random) -> WorldFact:
+    """A type-consistent fact not asserted in the CKB."""
+    existing = {
+        (fact.subject_id, fact.relation_name, fact.object_id)
+        for fact in world.facts
+    }
+    for _attempt in range(200):
+        seed = rng.choice(world.relations)
+        subjects = world.entities_of_type(seed.subject_type)
+        objects = world.entities_of_type(seed.object_type)
+        if not subjects or not objects:
+            continue
+        subject = rng.choice(subjects)
+        obj = rng.choice(objects)
+        if subject.entity_id == obj.entity_id:
+            continue
+        key = (subject.entity_id, seed.name, obj.entity_id)
+        if key not in existing:
+            return WorldFact(
+                subject_id=subject.entity_id,
+                relation_name=seed.name,
+                object_id=obj.entity_id,
+            )
+    # Dense worlds may have no free pair left; fall back to an existing fact.
+    fact = rng.choice(world.facts)
+    return fact
+
+
+#: Inflection renderers for base relation phrases like "be located in".
+def _inflect(phrase: str, rng: random.Random) -> str:
+    words = phrase.split()
+    head, rest = words[0], words[1:]
+    choice = rng.random()
+    if head == "be":
+        if choice < 0.4:
+            head = "is"
+        elif choice < 0.7:
+            head = "was"
+        else:
+            head = "are"
+    else:
+        if choice < 0.35:
+            head = _third_person(head)
+        elif choice < 0.6:
+            head = _past_tense(head)
+        elif choice < 0.75:
+            return " ".join(["has", _past_tense(head)] + rest)
+    return " ".join([head] + rest)
+
+
+def _third_person(verb: str) -> str:
+    if verb.endswith(("s", "x", "z", "ch", "sh")):
+        return verb + "es"
+    if verb.endswith("y") and len(verb) > 2 and verb[-2] not in "aeiou":
+        return verb[:-1] + "ies"
+    return verb + "s"
+
+
+def _past_tense(verb: str) -> str:
+    irregular = {
+        "win": "won",
+        "buy": "bought",
+        "teach": "taught",
+        "write": "wrote",
+        "run": "ran",
+        "lead": "led",
+        "found": "founded",
+    }
+    if verb in irregular:
+        return irregular[verb]
+    if verb.endswith("e"):
+        return verb + "d"
+    if verb.endswith("y") and len(verb) > 2 and verb[-2] not in "aeiou":
+        return verb[:-1] + "ied"
+    return verb + "ed"
+
+
+def _typo(text: str, rng: random.Random) -> str:
+    if len(text) < 4:
+        return text
+    position = rng.randrange(1, len(text) - 2)
+    if text[position] == " " or text[position + 1] == " ":
+        return text
+    # Swap two adjacent characters.
+    chars = list(text)
+    chars[position], chars[position + 1] = chars[position + 1], chars[position]
+    return "".join(chars)
+
+
+def _render_np(world: World, entity_id: str, rng: random.Random,
+               noise: TripleNoiseConfig) -> str:
+    surface = world.sample_form(entity_id, rng)
+    if rng.random() < noise.typo_probability:
+        surface = _typo(surface, rng)
+    if rng.random() < noise.determiner_probability:
+        surface = f"the {surface}"
+    return surface
+
+
+def _render_triple(
+    world: World,
+    fact: WorldFact,
+    rng: random.Random,
+    noise: TripleNoiseConfig,
+    index: int,
+    annotate: bool,
+) -> OIETriple:
+    seed = world.relation_seed(fact.relation_name)
+    base_phrase = rng.choice(seed.paraphrases)
+    if rng.random() < noise.inflection_probability:
+        predicate = _inflect(base_phrase, rng)
+    else:
+        predicate = base_phrase
+
+    out_of_kb = rng.random() < noise.out_of_kb_fraction
+    if out_of_kb:
+        subject_surface = f"{_invented_name(rng)}"
+        subject_gold = None
+    else:
+        subject_surface = _render_np(world, fact.subject_id, rng, noise)
+        subject_gold = fact.subject_id
+    object_surface = _render_np(world, fact.object_id, rng, noise)
+
+    sentence = f"{subject_surface} {predicate} {object_surface} ."
+    gold = None
+    if annotate:
+        gold = TripleGold(
+            subject_entity=subject_gold,
+            relation=f"r:{fact.relation_name}",
+            object_entity=fact.object_id,
+        )
+    return OIETriple(
+        triple_id=f"t{index:05d}",
+        subject=subject_surface,
+        predicate=predicate,
+        object=object_surface,
+        source_sentence=sentence,
+        gold=gold,
+    )
+
+
+def _invented_name(rng: random.Random) -> str:
+    """A subject NP naming an entity the CKB does not know."""
+    from repro.datasets.catalog import NAME_SYLLABLES
+
+    base = "".join(rng.choice(NAME_SYLLABLES) for _ in range(3))
+    return rng.choice([f"{base} group", f"{base} collective", base])

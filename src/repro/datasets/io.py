@@ -1,0 +1,77 @@
+"""JSONL persistence for OIE triples.
+
+Real ReVerb45K ships as flat files; this module provides the same
+affordance: one JSON object per line with the triple's surface strings,
+source sentence and gold annotations.  Round-tripping is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.okb.triples import OIETriple, TripleGold
+
+
+def triple_to_record(triple: OIETriple) -> dict:
+    """JSON-serializable record of one triple."""
+    record = {
+        "triple_id": triple.triple_id,
+        "subject": triple.subject,
+        "predicate": triple.predicate,
+        "object": triple.object,
+    }
+    if triple.source_sentence is not None:
+        record["source_sentence"] = triple.source_sentence
+    if triple.gold is not None:
+        record["gold"] = {
+            "subject_entity": triple.gold.subject_entity,
+            "relation": triple.gold.relation,
+            "object_entity": triple.gold.object_entity,
+        }
+    return record
+
+
+def triple_from_record(record: dict) -> OIETriple:
+    """Inverse of :func:`triple_to_record`."""
+    gold = None
+    if "gold" in record:
+        gold_record = record["gold"]
+        gold = TripleGold(
+            subject_entity=gold_record.get("subject_entity"),
+            relation=gold_record.get("relation"),
+            object_entity=gold_record.get("object_entity"),
+        )
+    return OIETriple(
+        triple_id=record["triple_id"],
+        subject=record["subject"],
+        predicate=record["predicate"],
+        object=record["object"],
+        source_sentence=record.get("source_sentence"),
+        gold=gold,
+    )
+
+
+def save_triples_jsonl(triples: Iterable[OIETriple], path: str | Path) -> int:
+    """Write triples as JSONL; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(json.dumps(triple_to_record(triple), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_triples_jsonl(path: str | Path) -> list[OIETriple]:
+    """Read triples written by :func:`save_triples_jsonl`."""
+    triples: list[OIETriple] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            triples.append(triple_from_record(json.loads(line)))
+    return triples

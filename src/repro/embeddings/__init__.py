@@ -1,0 +1,31 @@
+"""Word/phrase embedding substrate (the paper's fastText role).
+
+The ``f_emb`` signal (Section 3.1.3) averages word vectors over a phrase
+and compares phrases by cosine similarity.  The paper uses fastText
+vectors trained on Common Crawl; offline we provide two interchangeable
+implementations of the :class:`WordEmbedding` protocol:
+
+* :class:`HashedCharNgramEmbedding` — deterministic fastText-style
+  subword hashing: a word's vector is the normalized sum of
+  pseudo-random (hash-seeded) vectors of its character n-grams.  This
+  reproduces fastText's key property for canonicalization: morphologic
+  variants and shared-substring words land close in cosine space.
+* :class:`SkipGramModel` — a small numpy skip-gram-with-negative-
+  sampling trainer; the dataset generator can emit a corpus to train it
+  on, adding distributional (co-occurrence) structure on top.
+
+Both expose ``vector(word)``, ``phrase_vector(phrase)`` and
+``similarity(a, b)``.
+"""
+
+from repro.embeddings.base import WordEmbedding, cosine_similarity
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+from repro.embeddings.sgns import SkipGramConfig, SkipGramModel
+
+__all__ = [
+    "HashedCharNgramEmbedding",
+    "SkipGramConfig",
+    "SkipGramModel",
+    "WordEmbedding",
+    "cosine_similarity",
+]

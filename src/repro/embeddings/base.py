@@ -1,0 +1,54 @@
+"""The :class:`WordEmbedding` protocol and shared phrase/cosine helpers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.strings.tokenize import tokenize
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine similarity clipped to ``[0, 1]``.
+
+    The paper's feature functions require ``Sim_emb`` in ``[0, 1]``
+    (``f_emb`` uses ``1 - Sim_emb`` for the negative state), so negative
+    cosines are clipped to 0.
+    """
+    norm_a = float(np.linalg.norm(first))
+    norm_b = float(np.linalg.norm(second))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    cosine = float(np.dot(first, second) / (norm_a * norm_b))
+    return min(1.0, max(0.0, cosine))
+
+
+class WordEmbedding(abc.ABC):
+    """Common interface of all embedding backends."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Vector dimensionality."""
+
+    @abc.abstractmethod
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding of a single word (never raises; OOV handling is
+        backend-specific)."""
+
+    def phrase_vector(self, phrase: str) -> np.ndarray:
+        """Average of the word vectors of ``phrase`` (Section 3.1.3:
+        "we average the vectors of all the single words in the phrase").
+
+        An empty / untokenizable phrase yields the zero vector.
+        """
+        tokens = tokenize(phrase)
+        if not tokens:
+            return np.zeros(self.dimension)
+        vectors = [self.vector(token) for token in tokens]
+        return np.mean(vectors, axis=0)
+
+    def similarity(self, first: str, second: str) -> float:
+        """``Sim_emb``: cosine similarity of two phrase embeddings."""
+        return cosine_similarity(self.phrase_vector(first), self.phrase_vector(second))

@@ -1,0 +1,99 @@
+"""Deterministic fastText-style character-n-gram hash embeddings.
+
+fastText represents a word as the sum of vectors of its character
+n-grams (Bojanowski et al. 2017).  Offline we keep the architecture but
+replace *learned* n-gram vectors with *hash-seeded pseudo-random* ones:
+each n-gram deterministically maps to a unit Gaussian vector via a
+seeded RNG keyed by a stable hash of the n-gram.
+
+The resulting space preserves the property the ``f_emb`` signal needs —
+strings sharing many character n-grams (morphological variants,
+abbreviation expansions, shared headwords) have high cosine similarity —
+while being fully reproducible with no model file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.embeddings.base import WordEmbedding
+
+
+def _stable_hash(text: str) -> int:
+    """64-bit stable hash (Python's builtin ``hash`` is salted per run)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashedCharNgramEmbedding(WordEmbedding):
+    """Character-n-gram hash embedding.
+
+    Parameters
+    ----------
+    dimension:
+        Vector dimensionality.
+    min_n / max_n:
+        Range of character n-gram lengths, applied to the word padded
+        with boundary markers ``<`` and ``>`` (as fastText does).
+    seed:
+        Global seed mixed into every n-gram hash, so two embeddings with
+        different seeds define different spaces.
+    use_word_gram:
+        Also include the full padded word as one gram (fastText's word
+        vector component).
+    """
+
+    def __init__(
+        self,
+        dimension: int = 64,
+        min_n: int = 3,
+        max_n: int = 5,
+        seed: int = 0,
+        use_word_gram: bool = True,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if not 1 <= min_n <= max_n:
+            raise ValueError(f"need 1 <= min_n <= max_n, got {min_n}..{max_n}")
+        self._dimension = dimension
+        self._min_n = min_n
+        self._max_n = max_n
+        self._seed = seed
+        self._use_word_gram = use_word_gram
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def _ngrams(self, word: str) -> list[str]:
+        padded = f"<{word}>"
+        grams: list[str] = []
+        for n in range(self._min_n, self._max_n + 1):
+            if n > len(padded):
+                break
+            grams.extend(padded[i : i + n] for i in range(len(padded) - n + 1))
+        if self._use_word_gram or not grams:
+            grams.append(padded)
+        return grams
+
+    def _gram_vector(self, gram: str) -> np.ndarray:
+        rng = np.random.default_rng(_stable_hash(gram) ^ self._seed)
+        return rng.standard_normal(self._dimension)
+
+    def vector(self, word: str) -> np.ndarray:
+        """Normalized sum of the word's n-gram vectors (cached)."""
+        key = word.lower()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        total = np.zeros(self._dimension)
+        for gram in self._ngrams(key):
+            total += self._gram_vector(gram)
+        norm = float(np.linalg.norm(total))
+        if norm > 0.0:
+            total /= norm
+        self._cache[key] = total
+        return total

@@ -1,0 +1,201 @@
+"""Skip-gram with negative sampling (SGNS), in numpy.
+
+A compact reimplementation of word2vec's SGNS objective (Mikolov et al.
+2013) sufficient to train distributional vectors on the synthetic corpus
+the dataset generator emits.  It exists so the ``f_emb`` signal can also
+be driven by *co-occurrence* semantics (the "distributional semantics"
+rationale in Section 3.1.3), not only by subword shape.
+
+Out-of-vocabulary words fall back to a hashed char-n-gram vector so the
+model still covers phrases containing unseen tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.base import WordEmbedding
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyper-parameters for :class:`SkipGramModel`.
+
+    Attributes
+    ----------
+    dimension:
+        Embedding dimensionality.
+    window:
+        Max distance between center and context word.
+    negatives:
+        Negative samples per positive pair.
+    epochs:
+        Passes over the corpus.
+    learning_rate:
+        Initial SGD step size (linearly decayed to 10%).
+    min_count:
+        Words rarer than this are dropped from the vocabulary.
+    subsample:
+        Frequent-word subsampling threshold (0 disables).
+    seed:
+        RNG seed for init, sampling, and OOV fallback.
+    """
+
+    dimension: int = 32
+    window: int = 3
+    negatives: int = 4
+    epochs: int = 3
+    learning_rate: float = 0.05
+    min_count: int = 1
+    subsample: float = 0.0
+    seed: int = 0
+
+
+def _sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramModel(WordEmbedding):
+    """Trainable SGNS word embeddings.
+
+    Usage::
+
+        model = SkipGramModel(SkipGramConfig(dimension=32, epochs=2))
+        model.train(sentences)           # sentences: list[list[str]]
+        model.similarity("umd", "university")
+    """
+
+    def __init__(self, config: SkipGramConfig | None = None) -> None:
+        self._config = config or SkipGramConfig()
+        self._vocab: dict[str, int] = {}
+        self._counts: Counter[str] = Counter()
+        self._in_vectors: np.ndarray | None = None
+        self._out_vectors: np.ndarray | None = None
+        self._fallback = HashedCharNgramEmbedding(
+            dimension=self._config.dimension, seed=self._config.seed
+        )
+        self._rng = np.random.default_rng(self._config.seed)
+        self._negative_table: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
+    def _build_vocab(self, sentences: Sequence[Sequence[str]]) -> None:
+        self._counts = Counter(
+            word.lower() for sentence in sentences for word in sentence
+        )
+        kept = sorted(
+            word
+            for word, count in self._counts.items()
+            if count >= self._config.min_count
+        )
+        self._vocab = {word: index for index, word in enumerate(kept)}
+        size = len(self._vocab)
+        dim = self._config.dimension
+        self._in_vectors = (self._rng.random((size, dim)) - 0.5) / dim
+        self._out_vectors = np.zeros((size, dim))
+        # Unigram^0.75 negative-sampling table, as in word2vec.
+        if size:
+            frequencies = np.array(
+                [self._counts[word] for word in kept], dtype=float
+            ) ** 0.75
+            probabilities = frequencies / frequencies.sum()
+            table_size = max(1000, 20 * size)
+            self._negative_table = self._rng.choice(
+                size, size=table_size, p=probabilities
+            )
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        """Words with trained vectors."""
+        return frozenset(self._vocab)
+
+    @property
+    def dimension(self) -> int:
+        return self._config.dimension
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, sentences: Iterable[Sequence[str]]) -> "SkipGramModel":
+        """Train on tokenized sentences; returns ``self`` for chaining."""
+        corpus = [
+            [word.lower() for word in sentence] for sentence in sentences if sentence
+        ]
+        self._build_vocab(corpus)
+        if not self._vocab:
+            return self
+        assert self._in_vectors is not None and self._out_vectors is not None
+        assert self._negative_table is not None
+
+        encoded = [
+            [self._vocab[word] for word in sentence if word in self._vocab]
+            for sentence in corpus
+        ]
+        encoded = [sentence for sentence in encoded if len(sentence) > 1]
+        total_steps = max(1, self._config.epochs * sum(len(s) for s in encoded))
+        step = 0
+        for _epoch in range(self._config.epochs):
+            for sentence in encoded:
+                sentence = self._subsample(sentence)
+                for position, center in enumerate(sentence):
+                    lr = self._config.learning_rate * max(
+                        0.1, 1.0 - step / total_steps
+                    )
+                    step += 1
+                    window = int(self._rng.integers(1, self._config.window + 1))
+                    start = max(0, position - window)
+                    stop = min(len(sentence), position + window + 1)
+                    for context_pos in range(start, stop):
+                        if context_pos == position:
+                            continue
+                        self._train_pair(center, sentence[context_pos], lr)
+        return self
+
+    def _subsample(self, sentence: list[int]) -> list[int]:
+        threshold = self._config.subsample
+        if threshold <= 0.0:
+            return sentence
+        total = sum(self._counts.values())
+        kept: list[int] = []
+        words = list(self._vocab)
+        for index in sentence:
+            frequency = self._counts[words[index]] / total
+            keep_probability = min(1.0, (threshold / frequency) ** 0.5)
+            if self._rng.random() < keep_probability:
+                kept.append(index)
+        return kept
+
+    def _train_pair(self, center: int, context: int, lr: float) -> None:
+        assert self._in_vectors is not None and self._out_vectors is not None
+        assert self._negative_table is not None
+        center_vec = self._in_vectors[center]
+        gradient_center = np.zeros_like(center_vec)
+        targets = [(context, 1.0)]
+        negatives = self._rng.choice(self._negative_table, self._config.negatives)
+        targets.extend((int(neg), 0.0) for neg in negatives if int(neg) != context)
+        for target, label in targets:
+            out_vec = self._out_vectors[target]
+            score = _sigmoid(float(np.dot(center_vec, out_vec)))
+            gradient = (label - score) * lr
+            gradient_center += gradient * out_vec
+            self._out_vectors[target] += gradient * center_vec
+        self._in_vectors[center] += gradient_center
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def vector(self, word: str) -> np.ndarray:
+        """Trained vector, or the hashed fallback when out-of-vocabulary."""
+        index = self._vocab.get(word.lower())
+        if index is None or self._in_vectors is None:
+            return self._fallback.vector(word)
+        return self._in_vectors[index]
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._vocab

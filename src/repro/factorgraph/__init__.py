@@ -1,0 +1,46 @@
+"""Generic discrete factor-graph substrate.
+
+The paper's framework (Section 3) is a *templated* factor graph: factor
+instances of the same kind (all ``F1`` factors, all ``U5`` factors, ...)
+share one weight vector, and every factor function is exponential-linear
+``H_j(C_j) ∝ exp(ω^T h_j(C_j))`` (Formula 1).  This package provides:
+
+* :class:`Variable`, :class:`FactorTemplate`, :class:`Factor`,
+  :class:`FactorGraph` — graph construction.
+* :class:`Schedule`, :class:`LoopyBP`, :class:`LBPResult` — sum-product
+  loopy belief propagation with a configurable message-passing order
+  (the paper's two-phase working procedure, Section 3.4).
+* :class:`TemplateLearner` — gradient ascent on the log-likelihood,
+  where the gradient ``E_{p(Y|Y^L)}[Q] − E_{p(Y)}[Q]`` (Formula 6) is
+  estimated from clamped and free LBP marginals.
+
+Observed variables (the paper's pair variables ``s_ij`` and surface
+variables ``s_i``) have a single state, so their messages are constant;
+we fold them into the factor feature tables, which is mathematically
+identical and halves the node count.
+"""
+
+from repro.factorgraph.graph import Factor, FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.lbp import LBPResult, LoopyBP, Schedule, ScheduleStep
+from repro.factorgraph.learner import LearningHistory, TemplateLearner
+from repro.factorgraph.partition import (
+    component_subgraph,
+    connected_components,
+    partition_graph,
+)
+
+__all__ = [
+    "Factor",
+    "FactorGraph",
+    "FactorTemplate",
+    "LBPResult",
+    "LearningHistory",
+    "LoopyBP",
+    "Schedule",
+    "ScheduleStep",
+    "TemplateLearner",
+    "Variable",
+    "component_subgraph",
+    "connected_components",
+    "partition_graph",
+]

@@ -1,0 +1,271 @@
+"""Factor-graph data structures: variables, templates, factors, graph.
+
+A :class:`Variable` has a finite labeled domain and belongs to a named
+*group* (the LBP schedule addresses variables by group).  A
+:class:`FactorTemplate` owns a shared weight vector; each
+:class:`Factor` instance carries a precomputed **feature table** with
+one feature vector per joint assignment of its scope.  The factor's
+(unnormalized) value for an assignment is ``exp(weights · features)``
+(Formula 1 of the paper — local normalizers ``Z_j`` cancel in both LBP
+messages and the likelihood gradient, so they are never materialized).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+
+class Variable:
+    """A discrete random variable.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the graph.
+    domain:
+        Ordered state labels; at least one.
+    group:
+        Schedule tag (e.g. ``"canonicalization"`` or ``"linking"``).
+    """
+
+    def __init__(
+        self, name: str, domain: Sequence[Hashable], group: str = "default"
+    ) -> None:
+        if not domain:
+            raise ValueError(f"variable {name!r} needs a non-empty domain")
+        labels = tuple(domain)
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"variable {name!r} has duplicate states")
+        self.name = name
+        self.domain = labels
+        self.group = group
+        self._state_index = {label: i for i, label in enumerate(labels)}
+
+    @property
+    def cardinality(self) -> int:
+        """Number of states."""
+        return len(self.domain)
+
+    def index_of(self, label: Hashable) -> int:
+        """Position of a state label in the domain."""
+        return self._state_index[label]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r}, |dom|={self.cardinality}, group={self.group})"
+
+
+class FactorTemplate:
+    """A factor *kind* with weights shared across all its instances.
+
+    Parameters
+    ----------
+    name:
+        Template name (``"F1"``, ``"U5"``, ...).
+    feature_names:
+        Names of the feature functions; fixes dimensionality.
+    initial_weights:
+        Starting weights (defaults to all ones, which makes an untrained
+        factor simply multiply its feature scores into the potential).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        feature_names: Sequence[str],
+        initial_weights: Sequence[float] | None = None,
+    ) -> None:
+        if not feature_names:
+            raise ValueError(f"template {name!r} needs at least one feature")
+        self.name = name
+        self.feature_names = tuple(feature_names)
+        if initial_weights is None:
+            weights = np.ones(len(self.feature_names))
+        else:
+            weights = np.asarray(initial_weights, dtype=float)
+            if weights.shape != (len(self.feature_names),):
+                raise ValueError(
+                    f"template {name!r}: {len(self.feature_names)} features "
+                    f"but weights of shape {weights.shape}"
+                )
+        self.weights = weights
+        self.version = 0  # bumped on weight updates to invalidate caches
+
+    @property
+    def n_features(self) -> int:
+        """Feature-vector dimensionality."""
+        return len(self.feature_names)
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Replace the weight vector (invalidates factor value caches)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self.weights.shape:
+            raise ValueError(
+                f"template {self.name!r}: expected shape {self.weights.shape}, "
+                f"got {weights.shape}"
+            )
+        self.weights = weights
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FactorTemplate({self.name!r}, features={self.feature_names})"
+
+
+class Factor:
+    """One factor instance: a template applied to a variable scope.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the graph.
+    template:
+        The shared-weight template.
+    variables:
+        Scope, as :class:`Variable` objects (order fixes the assignment
+        enumeration).
+    feature_table:
+        Array of shape ``(prod(cardinalities), n_features)``; row ``k``
+        is the feature vector of the ``k``-th assignment in C-order
+        (:func:`numpy.ndindex` over the scope cardinalities).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        template: FactorTemplate,
+        variables: Sequence[Variable],
+        feature_table: np.ndarray,
+    ) -> None:
+        if not variables:
+            raise ValueError(f"factor {name!r} needs a non-empty scope")
+        self.name = name
+        self.template = template
+        self.variables = tuple(variables)
+        self.shape = tuple(variable.cardinality for variable in self.variables)
+        expected_rows = int(np.prod(self.shape))
+        table = np.asarray(feature_table, dtype=float)
+        if table.shape != (expected_rows, template.n_features):
+            raise ValueError(
+                f"factor {name!r}: expected feature table "
+                f"{(expected_rows, template.n_features)}, got {table.shape}"
+            )
+        self.feature_table = table
+        self._values: np.ndarray | None = None
+        self._values_version = -1
+
+    def values(self) -> np.ndarray:
+        """Unnormalized potentials ``exp(w·f)``, shaped like the scope.
+
+        Cached; recomputed when the template weights change.
+        """
+        if self._values is None or self._values_version != self.template.version:
+            scores = self.feature_table @ self.template.weights
+            # Subtract the max for numerical stability; a constant factor
+            # scale cancels everywhere potentials are used.
+            potentials = np.exp(scores - scores.max())
+            self._values = potentials.reshape(self.shape)
+            self._values_version = self.template.version
+        return self._values
+
+    def assignments(self) -> list[tuple[int, ...]]:
+        """All joint state-index assignments, in feature-table row order."""
+        return list(itertools.product(*(range(card) for card in self.shape)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = ", ".join(variable.name for variable in self.variables)
+        return f"Factor({self.name!r}, template={self.template.name}, scope=[{scope}])"
+
+
+class FactorGraph:
+    """A bipartite graph of variables and factors."""
+
+    def __init__(self) -> None:
+        self._variables: dict[str, Variable] = {}
+        self._factors: dict[str, Factor] = {}
+        self._templates: dict[str, FactorTemplate] = {}
+        self._factors_of_variable: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_template(self, template: FactorTemplate) -> FactorTemplate:
+        """Register a template; re-registering the same object is a no-op."""
+        existing = self._templates.get(template.name)
+        if existing is template:
+            return template
+        if existing is not None:
+            raise ValueError(f"duplicate template name {template.name!r}")
+        self._templates[template.name] = template
+        return template
+
+    def add_variable(self, variable: Variable) -> Variable:
+        """Register a variable; names must be unique."""
+        if variable.name in self._variables:
+            raise ValueError(f"duplicate variable name {variable.name!r}")
+        self._variables[variable.name] = variable
+        self._factors_of_variable[variable.name] = []
+        return variable
+
+    def add_factor(
+        self,
+        name: str,
+        template: FactorTemplate,
+        variable_names: Sequence[str],
+        feature_table: np.ndarray,
+    ) -> Factor:
+        """Create and register a factor over existing variables."""
+        if name in self._factors:
+            raise ValueError(f"duplicate factor name {name!r}")
+        if template.name not in self._templates:
+            self.add_template(template)
+        if self._templates[template.name] is not template:
+            raise ValueError(
+                f"factor {name!r} uses a template named {template.name!r} that "
+                "differs from the registered one"
+            )
+        scope = [self._variables[var_name] for var_name in variable_names]
+        factor = Factor(name, template, scope, feature_table)
+        self._factors[name] = factor
+        for variable in scope:
+            self._factors_of_variable[variable.name].append(name)
+        return factor
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> dict[str, Variable]:
+        """All variables by name."""
+        return self._variables
+
+    @property
+    def factors(self) -> dict[str, Factor]:
+        """All factors by name."""
+        return self._factors
+
+    @property
+    def templates(self) -> dict[str, FactorTemplate]:
+        """All templates by name."""
+        return self._templates
+
+    def factors_of(self, variable_name: str) -> list[Factor]:
+        """Factors whose scope contains the variable."""
+        return [
+            self._factors[factor_name]
+            for factor_name in self._factors_of_variable[variable_name]
+        ]
+
+    def variable_groups(self) -> dict[str, list[Variable]]:
+        """Variables bucketed by their schedule group."""
+        groups: dict[str, list[Variable]] = {}
+        for variable in self._variables.values():
+            groups.setdefault(variable.group, []).append(variable)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FactorGraph(variables={len(self._variables)}, "
+            f"factors={len(self._factors)}, templates={len(self._templates)})"
+        )

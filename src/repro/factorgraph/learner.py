@@ -1,0 +1,141 @@
+"""Template-weight learning by gradient ascent on LBP marginals.
+
+Formula 6 of the paper: the log-likelihood gradient w.r.t. the shared
+weights is ``E_{p_ω(Y|Y^L)}[Q] − E_{p_ω(Y)}[Q]``, i.e. the difference
+between expected feature counts with the labeled variables *clamped*
+(``Y^L``) and *free*.  Both expectations are approximated with the same
+two-step LBP algorithm the model uses at inference time, so one learning
+iteration is exactly two LBP runs.
+
+The paper uses learning rate 0.05 and observes convergence within
+twenty iterations; those are the defaults.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.lbp import LoopyBP, Schedule
+
+
+@dataclass
+class LearningHistory:
+    """Per-iteration diagnostics of a learning run."""
+
+    gradient_norms: list[float] = field(default_factory=list)
+    weight_snapshots: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of gradient steps taken."""
+        return len(self.gradient_norms)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the final gradient norm fell below the learner's tol."""
+        return bool(self.gradient_norms) and self.gradient_norms[-1] < 1e-3
+
+
+class TemplateLearner:
+    """Gradient-ascent learner for shared template weights.
+
+    Parameters
+    ----------
+    graph:
+        The (training) factor graph; its templates are updated in place.
+    schedule:
+        LBP schedule used for both the clamped and free passes.
+    learning_rate:
+        Step size (paper: 0.05).
+    max_iterations:
+        Gradient steps (paper: convergence within 20).
+    tolerance:
+        Early stop when the global gradient norm drops below this.
+    lbp_iterations / lbp_damping:
+        Inner-loop LBP controls.
+    l2:
+        Optional L2 regularization strength on the weights.
+    """
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        schedule: Schedule | None = None,
+        learning_rate: float = 0.05,
+        max_iterations: int = 20,
+        tolerance: float = 1e-3,
+        lbp_iterations: int = 30,
+        lbp_damping: float = 0.0,
+        l2: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if l2 < 0.0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self._graph = graph
+        self._schedule = schedule
+        self._learning_rate = learning_rate
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._lbp_iterations = lbp_iterations
+        self._lbp_damping = lbp_damping
+        self._l2 = l2
+
+    def fit(self, evidence: Mapping[str, Hashable]) -> LearningHistory:
+        """Maximize ``log P(Y^L)``; returns the learning history.
+
+        Parameters
+        ----------
+        evidence:
+            The labeled configuration ``Y^L``: variable name -> gold
+            state label.  Unlabeled variables stay free in both passes.
+        """
+        if not evidence:
+            raise ValueError("evidence must label at least one variable")
+        unknown = [name for name in evidence if name not in self._graph.variables]
+        if unknown:
+            raise KeyError(f"evidence references unknown variables: {unknown[:5]}")
+        history = LearningHistory()
+        for _iteration in range(self._max_iterations):
+            engine = LoopyBP(
+                self._graph,
+                schedule=self._schedule,
+                max_iterations=self._lbp_iterations,
+                damping=self._lbp_damping,
+            )
+            clamped = engine.run(evidence=evidence).expected_features()
+            free = engine.run().expected_features()
+            gradient_norm = 0.0
+            for name, template in self._graph.templates.items():
+                gradient = clamped[name] - free[name]
+                if self._l2 > 0.0:
+                    gradient = gradient - self._l2 * template.weights
+                gradient_norm += float(np.dot(gradient, gradient))
+                template.set_weights(
+                    template.weights + self._learning_rate * gradient
+                )
+            gradient_norm = float(np.sqrt(gradient_norm))
+            history.gradient_norms.append(gradient_norm)
+            history.weight_snapshots.append(
+                {
+                    name: template.weights.copy()
+                    for name, template in self._graph.templates.items()
+                }
+            )
+            if gradient_norm < self._tolerance:
+                break
+        return history
+
+    def transfer_weights_to(self, target: FactorGraph) -> None:
+        """Copy learned weights to same-named templates of another graph.
+
+        The paper trains on the ReVerb45K validation split and evaluates
+        on held-out graphs; this moves ``ω*`` across.
+        """
+        for name, template in self._graph.templates.items():
+            if name in target.templates:
+                target.templates[name].set_weights(template.weights.copy())

@@ -1,0 +1,75 @@
+"""Graph segmentation for distributed LBP (Section 3.4, last sentence).
+
+The paper notes "the learning algorithm also can be extended to a
+distributed learning version with a graph segmentation algorithm such
+as [Jo et al., WSDM'18]".  This module provides the segmentation
+primitive: factor graphs decompose into connected components, each of
+which is an independent inference problem — LBP marginals computed per
+component equal the marginals of the whole graph, so components can be
+processed on separate workers.
+
+:func:`connected_components` finds the components;
+:func:`component_subgraph` materializes one as a stand-alone
+:class:`~repro.factorgraph.graph.FactorGraph` (templates are *shared*,
+not copied, so learned weights stay tied across workers).
+"""
+
+from __future__ import annotations
+
+from repro.clustering.unionfind import UnionFind
+from repro.factorgraph.graph import FactorGraph, Variable
+
+
+def connected_components(graph: FactorGraph) -> list[frozenset[str]]:
+    """Variable-name sets of the graph's connected components.
+
+    Two variables are connected when some factor's scope contains both.
+    Isolated variables (no factors) form singleton components.
+    """
+    finder: UnionFind = UnionFind(graph.variables.keys())
+    for factor in graph.factors.values():
+        first = factor.variables[0].name
+        for other in factor.variables[1:]:
+            finder.union(first, other.name)
+    components = [frozenset(group) for group in finder.groups()]
+    components.sort(key=lambda group: (-len(group), min(group)))
+    return components
+
+
+def component_subgraph(graph: FactorGraph, component: frozenset[str]) -> FactorGraph:
+    """Stand-alone factor graph over one component's variables.
+
+    Factors are re-registered against the *same* template objects, so a
+    weight update on any subgraph is visible to all (the tied-weights
+    requirement of distributed template learning).
+
+    Raises ``ValueError`` if ``component`` cuts through a factor scope
+    (i.e. it is not a union of true components).
+    """
+    subgraph = FactorGraph()
+    for name in sorted(component):
+        variable = graph.variables[name]
+        subgraph.add_variable(Variable(variable.name, variable.domain, variable.group))
+    for factor in graph.factors.values():
+        scope_names = [variable.name for variable in factor.variables]
+        inside = [name in component for name in scope_names]
+        if not any(inside):
+            continue
+        if not all(inside):
+            raise ValueError(
+                f"factor {factor.name!r} straddles the component boundary"
+            )
+        if factor.template.name not in subgraph.templates:
+            subgraph.add_template(factor.template)
+        subgraph.add_factor(
+            factor.name, factor.template, scope_names, factor.feature_table
+        )
+    return subgraph
+
+
+def partition_graph(graph: FactorGraph) -> list[FactorGraph]:
+    """Split a factor graph into independent per-component subgraphs."""
+    return [
+        component_subgraph(graph, component)
+        for component in connected_components(graph)
+    ]

@@ -1,0 +1,11 @@
+"""Relation categorizer substrate (the paper's Stanford KBP role).
+
+Section 3.1.4: "Stanford KBP can link a RP to a relation in a CKB.  If
+the relations of two RPs fall in the same category, these two RPs are
+considered as equivalent."  :class:`RelationCategorizer` reproduces that
+consumable with distant supervision against the CKB.
+"""
+
+from repro.kbp.categorizer import RelationCategorizer
+
+__all__ = ["RelationCategorizer"]

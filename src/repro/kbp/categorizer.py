@@ -1,0 +1,114 @@
+"""Distant-supervision relation categorizer (Stanford-KBP stand-in).
+
+Stanford KBP's slot-filling model is trained by distant supervision:
+sentence-level relation mentions are labeled by the KB facts their
+entity pair participates in (Surdeanu et al. 2012, MIML-RE).  We
+reproduce the same mechanism at the RP level:
+
+1. For each relation phrase, collect the (subject NP, object NP) pairs
+   it connects in the OKB.
+2. Resolve those NPs to CKB entities by exact alias match (high
+   precision, as distant supervision requires).
+3. Vote: the RP maps to the CKB relation that explains the largest
+   number of its resolved pairs (subject to a minimum evidence count).
+4. Two RPs are equivalent — ``Sim_KBP = 1`` — when their mapped
+   relations share a category.
+
+Lexicalization matches are folded into the vote so RPs that literally
+spell a relation's surface form ("worked for") map correctly even with
+a single mention.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.ckb.kb import CuratedKB
+from repro.okb.normalize import morph_normalize
+from repro.okb.triples import OIETriple
+
+
+class RelationCategorizer:
+    """Maps relation phrases to CKB relations / categories.
+
+    Parameters
+    ----------
+    kb:
+        The curated KB providing facts and relation categories.
+    triples:
+        The OKB triples used as distant-supervision evidence.
+    min_votes:
+        Minimum supporting facts for a distant-supervision mapping.
+    """
+
+    def __init__(
+        self,
+        kb: CuratedKB,
+        triples: Iterable[OIETriple],
+        min_votes: int = 1,
+    ) -> None:
+        self._kb = kb
+        self._min_votes = min_votes
+        self._mapping: dict[str, str] = {}
+        self._build(list(triples))
+
+    def _build(self, triples: list[OIETriple]) -> None:
+        votes: dict[str, Counter[str]] = {}
+        for triple in triples:
+            predicate = triple.predicate_norm
+            counter = votes.setdefault(predicate, Counter())
+            # Lexicalization evidence: RP literally matches the relation.
+            for relation_id in self._kb.relations_with_lexicalization(predicate):
+                counter[relation_id] += 1
+            normalized = morph_normalize(predicate)
+            for relation_id in self._kb.relations_with_lexicalization(normalized):
+                counter[relation_id] += 1
+            # Distant supervision: subject/object resolve to entities that
+            # participate in a fact with some relation.
+            subject_ids = self._kb.entities_with_alias(triple.subject_norm)
+            object_ids = self._kb.entities_with_alias(triple.object_norm)
+            for subject_id in subject_ids:
+                for object_id in object_ids:
+                    for relation_id in self._kb.relations_between(
+                        subject_id, object_id
+                    ):
+                        counter[relation_id] += 1
+        for predicate, counter in votes.items():
+            if not counter:
+                continue
+            relation_id, count = max(
+                counter.items(), key=lambda item: (item[1], item[0])
+            )
+            if count >= self._min_votes:
+                self._mapping[predicate] = relation_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def relation_of(self, relation_phrase: str) -> str | None:
+        """CKB relation id the RP maps to, or ``None`` when unmapped."""
+        return self._mapping.get(relation_phrase.strip().lower())
+
+    def category_of(self, relation_phrase: str) -> str | None:
+        """Category of the mapped relation (falls back to relation id)."""
+        relation_id = self.relation_of(relation_phrase)
+        if relation_id is None:
+            return None
+        relation = self._kb.relation(relation_id)
+        return relation.category or relation.relation_id
+
+    def same_category(self, first: str, second: str) -> bool:
+        """``Sim_KBP``: both RPs map and their categories coincide."""
+        category_a = self.category_of(first)
+        category_b = self.category_of(second)
+        return category_a is not None and category_a == category_b
+
+    def similarity(self, first: str, second: str) -> float:
+        """``Sim_KBP`` as the paper's 0/1 score."""
+        return 1.0 if self.same_category(first, second) else 0.0
+
+    @property
+    def mapped_phrases(self) -> frozenset[str]:
+        """RPs with a distant-supervision mapping."""
+        return frozenset(self._mapping)

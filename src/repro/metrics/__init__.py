@@ -1,0 +1,31 @@
+"""Evaluation metrics used in the paper's experimental study (Section 4.1).
+
+* :func:`macro_scores`, :func:`micro_scores`, :func:`pairwise_scores` —
+  the three canonicalization metrics of Galárraga et al. (2014), each a
+  (precision, recall, F1) triple.
+* :func:`evaluate_clustering` / :class:`CanonicalizationReport` — all
+  three at once plus the paper's *average F1* (mean of macro, micro and
+  pairwise F1).
+* :func:`linking_accuracy` — correctly linked phrases / total phrases,
+  the OKB-linking measure.
+"""
+
+from repro.metrics.canonicalization import (
+    CanonicalizationReport,
+    PRF,
+    evaluate_clustering,
+    macro_scores,
+    micro_scores,
+    pairwise_scores,
+)
+from repro.metrics.linking import linking_accuracy
+
+__all__ = [
+    "CanonicalizationReport",
+    "PRF",
+    "evaluate_clustering",
+    "linking_accuracy",
+    "macro_scores",
+    "micro_scores",
+    "pairwise_scores",
+]

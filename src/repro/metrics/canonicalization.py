@@ -1,0 +1,160 @@
+"""Macro, micro and pairwise clustering metrics (Galárraga et al. 2014).
+
+Given a predicted clustering C and a gold clustering G over the same
+items:
+
+* **macro precision** — fraction of predicted clusters that are *pure*
+  (all members share one gold cluster); macro recall swaps C and G.
+* **micro precision** — ``(1/N) * Σ_c max_g |c ∩ g|``: each predicted
+  cluster is credited with its best-matching gold cluster; micro recall
+  swaps C and G.
+* **pairwise precision** — fraction of predicted within-cluster pairs
+  that are also gold within-cluster pairs; pairwise recall swaps C / G.
+
+F1 is the harmonic mean; the paper's headline *average F1* is the mean
+of the three F1 values.
+
+When the predicted clustering covers items absent from the gold (the
+sampled-gold protocol of NYTimes2018), the prediction is first projected
+onto the gold item set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.clusters import Clustering
+
+
+@dataclass(frozen=True)
+class PRF:
+    """A (precision, recall, F1) triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass(frozen=True)
+class CanonicalizationReport:
+    """All canonicalization metrics for one system on one dataset."""
+
+    macro: PRF
+    micro: PRF
+    pairwise: PRF
+
+    @property
+    def average_f1(self) -> float:
+        """The paper's summary metric: mean of the three F1 scores."""
+        return (self.macro.f1 + self.micro.f1 + self.pairwise.f1) / 3.0
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table printing (matches the paper's columns)."""
+        return {
+            "macro_f1": self.macro.f1,
+            "micro_f1": self.micro.f1,
+            "pairwise_f1": self.pairwise.f1,
+            "average_f1": self.average_f1,
+        }
+
+
+def _align(predicted: Clustering, gold: Clustering) -> Clustering:
+    """Project ``predicted`` onto the gold item universe.
+
+    Items the gold does not cover are dropped (sampled-gold protocol);
+    gold items the prediction misses are added back as singletons so
+    recall is still penalized.
+    """
+    projected = predicted.restricted_to(gold.items)
+    missing = gold.items - projected.items
+    if missing:
+        groups = projected.groups + [frozenset((item,)) for item in missing]
+        projected = Clustering(groups)
+    return projected
+
+
+def macro_scores(predicted: Clustering, gold: Clustering) -> PRF:
+    """Macro precision/recall/F1 (cluster purity both ways)."""
+    if not gold.items:
+        return PRF(0.0, 0.0)
+    predicted = _align(predicted, gold)
+    return PRF(
+        precision=_macro_one_way(predicted, gold),
+        recall=_macro_one_way(gold, predicted),
+    )
+
+
+def _macro_one_way(from_clusters: Clustering, to_clusters: Clustering) -> float:
+    groups = from_clusters.groups
+    if not groups:
+        return 0.0
+    pure = 0
+    for group in groups:
+        members = iter(group)
+        first = next(members)
+        if first not in to_clusters:
+            continue
+        target = to_clusters.cluster_of(first)
+        if all(member in target for member in members):
+            pure += 1
+    return pure / len(groups)
+
+
+def micro_scores(predicted: Clustering, gold: Clustering) -> PRF:
+    """Micro precision/recall/F1 (best-match overlap both ways)."""
+    if not gold.items:
+        return PRF(0.0, 0.0)
+    predicted = _align(predicted, gold)
+    return PRF(
+        precision=_micro_one_way(predicted, gold),
+        recall=_micro_one_way(gold, predicted),
+    )
+
+
+def _micro_one_way(from_clusters: Clustering, to_clusters: Clustering) -> float:
+    total = sum(len(group) for group in from_clusters.groups)
+    if total == 0:
+        return 0.0
+    credit = 0
+    for group in from_clusters.groups:
+        overlap: dict[int, int] = {}
+        for item in group:
+            if item not in to_clusters:
+                continue
+            key = id(to_clusters.cluster_of(item))
+            overlap[key] = overlap.get(key, 0) + 1
+        credit += max(overlap.values(), default=0)
+    return credit / total
+
+
+def pairwise_scores(predicted: Clustering, gold: Clustering) -> PRF:
+    """Pairwise precision/recall/F1 over within-cluster pairs."""
+    if not gold.items:
+        return PRF(0.0, 0.0)
+    predicted = _align(predicted, gold)
+    predicted_pairs = predicted.merged_pairs()
+    gold_pairs = gold.merged_pairs()
+    hits = len(predicted_pairs & gold_pairs)
+    # Vacuous-truth convention: a side with no within-cluster pairs is
+    # perfectly precise (resp. has perfect recall); this keeps the
+    # precision/recall swap symmetry and makes self-evaluation exact.
+    precision = hits / len(predicted_pairs) if predicted_pairs else 1.0
+    recall = hits / len(gold_pairs) if gold_pairs else 1.0
+    return PRF(precision=precision, recall=recall)
+
+
+def evaluate_clustering(
+    predicted: Clustering, gold: Clustering
+) -> CanonicalizationReport:
+    """All three metric families plus average F1 in one report."""
+    return CanonicalizationReport(
+        macro=macro_scores(predicted, gold),
+        micro=micro_scores(predicted, gold),
+        pairwise=pairwise_scores(predicted, gold),
+    )

@@ -1,0 +1,33 @@
+"""OKB linking accuracy (Section 4.1).
+
+"Accuracy ... is calculated as the number of correctly linked NPs (RPs)
+divided by the total number of all NPs (RPs)."  Gold may cover only a
+sample of phrases (the NYTimes2018 protocol); unlabeled phrases are
+excluded from the denominator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def linking_accuracy(
+    predicted: Mapping[str, str | None],
+    gold: Mapping[str, str],
+) -> float:
+    """Fraction of gold-labeled phrases linked to their gold target.
+
+    Parameters
+    ----------
+    predicted:
+        Phrase -> predicted CKB identifier (``None`` = abstained; counts
+        as wrong, the phrase still has a gold target).
+    gold:
+        Phrase -> gold CKB identifier; defines the denominator.
+    """
+    if not gold:
+        return 0.0
+    correct = sum(
+        1 for phrase, target in gold.items() if predicted.get(phrase) == target
+    )
+    return correct / len(gold)

@@ -1,0 +1,26 @@
+"""Open Knowledge Base substrate: OIE triples, store, and normalization.
+
+An OKB is a collection of OIE triples ``<noun phrase, relation phrase,
+noun phrase>`` (Section 2 of the paper).  This package provides:
+
+* :class:`OIETriple` — one extraction, optionally with its source
+  sentence (used by the SIST baseline) and gold annotations.
+* :class:`OpenKB` — the triple store: distinct NP/RP vocabularies,
+  per-phrase mention lists, IDF statistics, and attribute sets (used by
+  the Attribute Overlap baseline and PATTY).
+* :func:`morph_normalize` — the morphological normalization of Fader et
+  al. (2011): tense, pluralization, auxiliary verbs, determiners.
+"""
+
+from repro.okb.normalize import morph_normalize, morph_normalize_tokens
+from repro.okb.store import OpenKB, PhraseRole
+from repro.okb.triples import OIETriple, TripleGold
+
+__all__ = [
+    "OIETriple",
+    "OpenKB",
+    "PhraseRole",
+    "TripleGold",
+    "morph_normalize",
+    "morph_normalize_tokens",
+]

@@ -1,0 +1,160 @@
+"""Morphological normalization (the Morph Norm baseline, Fader et al. 2011).
+
+The paper uses morphological normalization twice:
+
+* as the weakest canonicalization baseline (Table 1, "Morph Norm"), and
+* to normalize OIE triples before feeding them to AMIE (§3.1.4).
+
+The rules below are the classic ReVerb ones: lowercase, drop determiners
+and auxiliary verbs, strip plural/tense suffixes, collapse inflected verb
+forms.  They are deliberately rule-based (no lexicon) so they behave the
+same on synthetic and real phrases.
+"""
+
+from __future__ import annotations
+
+from repro.strings.tokenize import tokenize
+
+#: Determiners and articles dropped from phrases.
+_DETERMINERS = frozenset({"a", "an", "the", "this", "that", "these", "those"})
+
+#: Auxiliary / copular verbs dropped from relation phrases.
+_AUXILIARIES = frozenset(
+    {
+        "be",
+        "am",
+        "is",
+        "are",
+        "was",
+        "were",
+        "been",
+        "being",
+        "do",
+        "does",
+        "did",
+        "have",
+        "has",
+        "had",
+        "will",
+        "would",
+        "can",
+        "could",
+        "shall",
+        "should",
+        "may",
+        "might",
+        "must",
+    }
+)
+
+#: Irregular verb forms mapped to their lemma (small closed set; enough
+#: for the relation-phrase vocabulary the generators emit).
+_IRREGULAR = {
+    "went": "go",
+    "gone": "go",
+    "goes": "go",
+    "made": "make",
+    "makes": "make",
+    "took": "take",
+    "taken": "take",
+    "takes": "take",
+    "got": "get",
+    "gotten": "get",
+    "gets": "get",
+    "held": "hold",
+    "holds": "hold",
+    "led": "lead",
+    "leads": "lead",
+    "ran": "run",
+    "runs": "run",
+    "won": "win",
+    "wins": "win",
+    # NOTE: "found" is deliberately NOT mapped to "find": conflating
+    # found-(establish) with the past tense of find merges unrelated
+    # relation phrases ("found the company" vs "find the treasure").
+    "finds": "find",
+    "founded": "found",
+    "founds": "found",
+    "left": "leave",
+    "leaves": "leave",
+    "grew": "grow",
+    "grown": "grow",
+    "grows": "grow",
+    "knew": "know",
+    "known": "know",
+    "knows": "know",
+    "wrote": "write",
+    "written": "write",
+    "writes": "write",
+    "sold": "sell",
+    "sells": "sell",
+    "bought": "buy",
+    "buys": "buy",
+    "built": "build",
+    "builds": "build",
+    "brought": "bring",
+    "brings": "bring",
+    "taught": "teach",
+    "teaches": "teach",
+}
+
+
+def _strip_suffix(token: str) -> str:
+    """Heuristic suffix stripping for regular inflections."""
+    if token in _IRREGULAR:
+        return _IRREGULAR[token]
+    if len(token) > 4 and token.endswith("ies"):
+        return token[:-3] + "y"
+    if len(token) > 4 and token.endswith("ing"):
+        stem = token[:-3]
+        # "running" -> "run": undo consonant doubling.
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in "aeioulsz":
+            stem = stem[:-1]
+        return stem + "e" if _needs_final_e(stem) else stem
+    if len(token) > 3 and token.endswith("ed"):
+        stem = token[:-2]
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in "aeioulsz":
+            stem = stem[:-1]
+        elif stem.endswith("i"):
+            stem = stem[:-1] + "y"
+        return stem + "e" if _needs_final_e(stem) else stem
+    if len(token) > 3 and token.endswith("es") and token[-3] in "sxzh":
+        return token[:-2]
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def _needs_final_e(stem: str) -> bool:
+    """Whether a stripped stem likely lost a trailing 'e' ("locat" -> "locate")."""
+    if len(stem) < 3:
+        return False
+    # Consonant + single vowel + consonant typically doubles instead of
+    # using 'e'; 'e' restoration targets stems ending consonant+consonant
+    # like "locat", "creat", "pric".
+    return stem.endswith(("at", "iv", "uc", "ic", "as", "os", "us", "ag", "iz"))
+
+
+def morph_normalize_tokens(text: str, drop_auxiliaries: bool = True) -> list[str]:
+    """Normalize ``text`` to a list of lemma-ish tokens.
+
+    Determiners are always dropped; auxiliaries only when
+    ``drop_auxiliaries`` (relation phrases keep a bare copula meaningful:
+    "be a member of" -> ["member", "of"]).  If dropping removes every
+    token, the original token list is kept so phrases never normalize to
+    nothing.
+    """
+    tokens = tokenize(text)
+    kept = [token for token in tokens if token not in _DETERMINERS]
+    if drop_auxiliaries:
+        without_aux = [token for token in kept if token not in _AUXILIARIES]
+        if without_aux:
+            kept = without_aux
+    if not kept:
+        kept = tokens
+    return [_strip_suffix(token) for token in kept]
+
+
+def morph_normalize(text: str, drop_auxiliaries: bool = True) -> str:
+    """Morphologically normalized surface form (tokens joined by spaces)."""
+    return " ".join(morph_normalize_tokens(text, drop_auxiliaries=drop_auxiliaries))

@@ -1,0 +1,148 @@
+"""The OKB triple store.
+
+:class:`OpenKB` indexes a set of :class:`~repro.okb.triples.OIETriple`:
+
+* the distinct NP and RP vocabularies (mention strings are deduplicated,
+  see the mention-level note in DESIGN.md §3),
+* per-phrase mention lists (which triples, which slot),
+* IDF statistics over NPs and RPs (used by the ``f_idf`` signal and the
+  candidate-pair pruning threshold of §4.1),
+* attribute sets per NP — the (relation phrase, other NP) pairs it
+  occurs with — used by the Attribute Overlap baseline and PATTY.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+from repro.okb.triples import OIETriple
+from repro.strings.idf import IdfStatistics
+
+
+class PhraseRole(enum.Enum):
+    """Which slot of a triple a phrase occupies."""
+
+    SUBJECT = "subject"
+    PREDICATE = "predicate"
+    OBJECT = "object"
+
+
+class OpenKB:
+    """An indexed collection of OIE triples.
+
+    Parameters
+    ----------
+    triples:
+        The OIE triples.  Triple ids must be unique.
+    """
+
+    def __init__(self, triples: Iterable[OIETriple]) -> None:
+        self._triples: list[OIETriple] = []
+        self._by_id: dict[str, OIETriple] = {}
+        self._np_mentions: dict[str, list[tuple[str, PhraseRole]]] = {}
+        self._rp_mentions: dict[str, list[str]] = {}
+        self._attributes: dict[str, set[tuple[str, str]]] = {}
+        for triple in triples:
+            if triple.triple_id in self._by_id:
+                raise ValueError(f"duplicate triple id {triple.triple_id!r}")
+            self._by_id[triple.triple_id] = triple
+            self._triples.append(triple)
+            subject, predicate, obj = triple.as_tuple()
+            self._np_mentions.setdefault(subject, []).append(
+                (triple.triple_id, PhraseRole.SUBJECT)
+            )
+            self._np_mentions.setdefault(obj, []).append(
+                (triple.triple_id, PhraseRole.OBJECT)
+            )
+            self._rp_mentions.setdefault(predicate, []).append(triple.triple_id)
+            self._attributes.setdefault(subject, set()).add((predicate, obj))
+            self._attributes.setdefault(obj, set()).add((predicate, subject))
+        self._np_idf = IdfStatistics(self._np_mentions.keys())
+        self._rp_idf = IdfStatistics(self._rp_mentions.keys())
+
+    # ------------------------------------------------------------------
+    # Triples
+    # ------------------------------------------------------------------
+    @property
+    def triples(self) -> Sequence[OIETriple]:
+        """All triples, in insertion order."""
+        return tuple(self._triples)
+
+    def triple(self, triple_id: str) -> OIETriple:
+        """Look up one triple by id."""
+        return self._by_id[triple_id]
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    # ------------------------------------------------------------------
+    # Vocabularies
+    # ------------------------------------------------------------------
+    @property
+    def noun_phrases(self) -> list[str]:
+        """Distinct normalized NP surface forms (subjects and objects)."""
+        return list(self._np_mentions)
+
+    @property
+    def relation_phrases(self) -> list[str]:
+        """Distinct normalized RP surface forms."""
+        return list(self._rp_mentions)
+
+    def np_mentions(self, noun_phrase: str) -> list[tuple[str, PhraseRole]]:
+        """Triple ids (and slots) where ``noun_phrase`` occurs."""
+        return list(self._np_mentions.get(noun_phrase, ()))
+
+    def rp_mentions(self, relation_phrase: str) -> list[str]:
+        """Triple ids where ``relation_phrase`` is the predicate."""
+        return list(self._rp_mentions.get(relation_phrase, ()))
+
+    def np_frequency(self, noun_phrase: str) -> int:
+        """Number of mentions of an NP across the OKB."""
+        return len(self._np_mentions.get(noun_phrase, ()))
+
+    def rp_frequency(self, relation_phrase: str) -> int:
+        """Number of mentions of an RP across the OKB."""
+        return len(self._rp_mentions.get(relation_phrase, ()))
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def np_idf(self) -> IdfStatistics:
+        """IDF statistics over the distinct NP vocabulary."""
+        return self._np_idf
+
+    @property
+    def rp_idf(self) -> IdfStatistics:
+        """IDF statistics over the distinct RP vocabulary."""
+        return self._rp_idf
+
+    def attributes(self, noun_phrase: str) -> frozenset[tuple[str, str]]:
+        """Attribute set of an NP: the (RP, other-NP) pairs it occurs with.
+
+        This is the notion of "attribute" in the Attribute Overlap
+        baseline of Galárraga et al. (2014).
+        """
+        return frozenset(self._attributes.get(noun_phrase, frozenset()))
+
+    def np_pairs_of_rp(self, relation_phrase: str) -> set[tuple[str, str]]:
+        """The (subject, object) NP pairs a relation phrase connects.
+
+        This is the "support set" used by PATTY and the distant
+        supervision in :mod:`repro.kbp`.
+        """
+        pairs: set[tuple[str, str]] = set()
+        for triple_id in self._rp_mentions.get(relation_phrase, ()):
+            triple = self._by_id[triple_id]
+            pairs.add((triple.subject_norm, triple.object_norm))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpenKB(triples={len(self._triples)}, "
+            f"nps={len(self._np_mentions)}, rps={len(self._rp_mentions)})"
+        )

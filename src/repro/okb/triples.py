@@ -1,0 +1,76 @@
+"""OIE triple data model.
+
+A triple ``t_i = <s_i, p_i, o_i>`` is the unit of an OKB (Section 2).
+Gold annotations (which entity each NP refers to, which relation the RP
+expresses) are carried alongside but are *never* consumed by models —
+only by dataset splits and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.strings.tokenize import normalize_text
+
+
+@dataclass(frozen=True)
+class TripleGold:
+    """Gold annotations of one OIE triple against a curated KB.
+
+    Attributes
+    ----------
+    subject_entity / object_entity:
+        CKB entity identifiers the subject/object NP refers to, or
+        ``None`` when unannotated (the NYTimes2018 case).
+    relation:
+        CKB relation identifier expressed by the RP, or ``None``.
+    """
+
+    subject_entity: str | None = None
+    relation: str | None = None
+    object_entity: str | None = None
+
+
+@dataclass(frozen=True)
+class OIETriple:
+    """One Open IE extraction ``<subject, predicate, object>``.
+
+    Attributes
+    ----------
+    triple_id:
+        Unique identifier within a dataset.
+    subject / predicate / object:
+        Raw surface strings as extracted.
+    source_sentence:
+        The sentence the triple was extracted from, when available
+        (consumed by the SIST-like baseline, which uses source-text side
+        information).
+    gold:
+        Gold annotations, or ``None`` when the triple is unannotated.
+    """
+
+    triple_id: str
+    subject: str
+    predicate: str
+    object: str
+    source_sentence: str | None = None
+    gold: TripleGold | None = field(default=None, compare=False)
+
+    @property
+    def subject_norm(self) -> str:
+        """Whitespace/case-normalized subject surface form."""
+        return normalize_text(self.subject)
+
+    @property
+    def predicate_norm(self) -> str:
+        """Whitespace/case-normalized predicate surface form."""
+        return normalize_text(self.predicate)
+
+    @property
+    def object_norm(self) -> str:
+        """Whitespace/case-normalized object surface form."""
+        return normalize_text(self.object)
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        """The normalized ``(subject, predicate, object)`` tuple."""
+        return (self.subject_norm, self.predicate_norm, self.object_norm)

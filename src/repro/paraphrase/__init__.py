@@ -1,0 +1,12 @@
+"""Paraphrase database substrate (the paper's PPDB 2.0 role).
+
+Section 3.1.3: "All the equivalent phrases are clustered into a group
+and each group is randomly assigned a representative.  If two NPs have
+the same cluster representative according to the index, they are
+considered to be equivalent."  :class:`ParaphraseDB` implements exactly
+that consumable.
+"""
+
+from repro.paraphrase.ppdb import ParaphraseDB
+
+__all__ = ["ParaphraseDB"]

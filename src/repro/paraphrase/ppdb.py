@@ -1,0 +1,116 @@
+"""PPDB-style paraphrase database.
+
+Built from pairwise paraphrase assertions, clustered with union-find,
+with one deterministic representative per cluster (the paper says
+"randomly assigned"; we pick the lexicographically smallest member under
+a seeded shuffle so the choice is random-but-reproducible).
+
+The only query JOCL needs is :meth:`equivalent` — "do these two phrases
+share a cluster representative?" — which yields the binary
+``Sim_PPDB`` signal.  A TSV round-trip is provided because real PPDB
+ships as flat files.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.clustering.unionfind import UnionFind
+from repro.strings.tokenize import normalize_text
+
+
+class ParaphraseDB:
+    """Phrase-equivalence index with cluster representatives.
+
+    Parameters
+    ----------
+    pairs:
+        Paraphrase assertions; transitively closed via union-find.
+    seed:
+        Seed for the representative assignment.
+    """
+
+    def __init__(self, pairs: Iterable[tuple[str, str]] = (), seed: int = 0) -> None:
+        self._finder: UnionFind = UnionFind()
+        self._seed = seed
+        self._representatives: dict[str, str] | None = None
+        for first, second in pairs:
+            self.add_pair(first, second)
+
+    def add_pair(self, first: str, second: str) -> None:
+        """Assert that two phrases are paraphrases."""
+        self._finder.union(normalize_text(first), normalize_text(second))
+        self._representatives = None  # invalidate cache
+
+    def _ensure_representatives(self) -> dict[str, str]:
+        if self._representatives is None:
+            rng = random.Random(self._seed)
+            representatives: dict[str, str] = {}
+            for group in self._finder.groups():
+                members = sorted(group)
+                representative = rng.choice(members)
+                for member in members:
+                    representatives[member] = representative
+            self._representatives = representatives
+        return self._representatives
+
+    def representative(self, phrase: str) -> str:
+        """Cluster representative of ``phrase`` (itself when unknown)."""
+        normalized = normalize_text(phrase)
+        return self._ensure_representatives().get(normalized, normalized)
+
+    def equivalent(self, first: str, second: str) -> bool:
+        """``Sim_PPDB`` as a boolean: same cluster representative?
+
+        Identical normalized strings are trivially equivalent even when
+        absent from the DB.
+        """
+        norm_a = normalize_text(first)
+        norm_b = normalize_text(second)
+        if norm_a == norm_b:
+            return True
+        representatives = self._ensure_representatives()
+        rep_a = representatives.get(norm_a)
+        rep_b = representatives.get(norm_b)
+        return rep_a is not None and rep_a == rep_b
+
+    def similarity(self, first: str, second: str) -> float:
+        """``Sim_PPDB`` as the paper's 0/1 score."""
+        return 1.0 if self.equivalent(first, second) else 0.0
+
+    def clusters(self) -> list[frozenset[str]]:
+        """All paraphrase clusters currently known."""
+        return [frozenset(group) for group in self._finder.groups()]
+
+    def __contains__(self, phrase: str) -> bool:
+        return normalize_text(phrase) in self._finder
+
+    def __len__(self) -> int:
+        return len(self._finder)
+
+    # ------------------------------------------------------------------
+    # Persistence (PPDB ships as flat files)
+    # ------------------------------------------------------------------
+    def save_tsv(self, path: str | Path) -> None:
+        """Write one ``phrase<TAB>representative`` row per phrase."""
+        representatives = self._ensure_representatives()
+        lines = [
+            f"{phrase}\t{representative}"
+            for phrase, representative in sorted(representatives.items())
+        ]
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load_tsv(cls, path: str | Path, seed: int = 0) -> "ParaphraseDB":
+        """Rebuild from :meth:`save_tsv` output."""
+        db = cls(seed=seed)
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            phrase, _tab, representative = line.partition("\t")
+            if not representative:
+                raise ValueError(f"malformed paraphrase row: {line!r}")
+            db.add_pair(phrase, representative)
+        return db

@@ -1,0 +1,26 @@
+"""End-to-end experiment pipeline.
+
+* :class:`JOCLPipeline` — dataset in, trained-and-decoded
+  :class:`~repro.core.inference.JOCLOutput` plus metrics out.
+* :mod:`~repro.pipeline.experiment` — helpers that run whole
+  baseline+JOCL comparisons and format them as the paper's tables.
+"""
+
+from repro.pipeline.experiment import (
+    CanonicalizationRow,
+    LinkingRow,
+    format_table,
+    run_canonicalization_systems,
+    run_linking_systems,
+)
+from repro.pipeline.jocl_pipeline import JOCLPipeline, PipelineResult
+
+__all__ = [
+    "CanonicalizationRow",
+    "JOCLPipeline",
+    "LinkingRow",
+    "PipelineResult",
+    "format_table",
+    "run_canonicalization_systems",
+    "run_linking_systems",
+]

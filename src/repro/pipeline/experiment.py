@@ -1,0 +1,138 @@
+"""Experiment harness: run system line-ups and print paper-style tables.
+
+The benchmark files call :func:`run_canonicalization_systems` /
+:func:`run_linking_systems` with the same side information for every
+system and collect one row per system, then :func:`format_table`
+renders the rows the way the paper's tables read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import CanonicalizationBaseline, LinkingBaseline
+from repro.clustering.clusters import Clustering
+from repro.core.side_info import SideInformation
+from repro.metrics.canonicalization import evaluate_clustering
+from repro.metrics.linking import linking_accuracy
+
+
+@dataclass(frozen=True)
+class CanonicalizationRow:
+    """One table row for a canonicalization system."""
+
+    system: str
+    macro_f1: float
+    micro_f1: float
+    pairwise_f1: float
+    average_f1: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "system": self.system,
+            "macro_f1": self.macro_f1,
+            "micro_f1": self.micro_f1,
+            "pairwise_f1": self.pairwise_f1,
+            "average_f1": self.average_f1,
+        }
+
+
+@dataclass(frozen=True)
+class LinkingRow:
+    """One table row for a linking system."""
+
+    system: str
+    accuracy: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {"system": self.system, "accuracy": self.accuracy}
+
+
+def score_clustering(
+    system: str, predicted: Clustering, gold: Clustering
+) -> CanonicalizationRow:
+    """Evaluate one predicted clustering into a table row."""
+    report = evaluate_clustering(predicted, gold)
+    return CanonicalizationRow(
+        system=system,
+        macro_f1=report.macro.f1,
+        micro_f1=report.micro.f1,
+        pairwise_f1=report.pairwise.f1,
+        average_f1=report.average_f1,
+    )
+
+
+def run_canonicalization_systems(
+    systems: Sequence[CanonicalizationBaseline],
+    side: SideInformation,
+    gold: Clustering,
+    kind: str,
+) -> list[CanonicalizationRow]:
+    """Run each baseline on one slot kind and score it."""
+    rows = []
+    for system in systems:
+        predicted = system.cluster(side, kind)
+        rows.append(score_clustering(system.name, predicted, gold))
+    return rows
+
+
+def run_linking_systems(
+    systems: Sequence[LinkingBaseline],
+    side: SideInformation,
+    gold_links: Mapping[str, str],
+    task: str = "entity",
+) -> list[LinkingRow]:
+    """Run each linking baseline and score accuracy on one task.
+
+    ``task``: ``"entity"`` scores subject links, ``"relation"`` scores
+    relation links (systems that do not produce relation links are
+    skipped).
+    """
+    rows = []
+    for system in systems:
+        if task == "relation" and not system.links_relations:
+            continue
+        result = system.link(side)
+        predicted = (
+            result.relation_links if task == "relation" else result.entity_links
+        )
+        rows.append(
+            LinkingRow(system=system.name, accuracy=linking_accuracy(predicted, gold_links))
+        )
+    return rows
+
+
+def format_table(
+    title: str,
+    rows: Iterable[CanonicalizationRow | LinkingRow],
+    highlight: str | None = "JOCL",
+) -> str:
+    """Render rows as a fixed-width text table (paper layout)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].as_dict().keys())
+    widths = {column: max(len(column), 12) for column in columns}
+    for row in rows:
+        for column, value in row.as_dict().items():
+            text = _cell(value)
+            widths[column] = max(widths[column], len(text))
+    lines = [title]
+    lines.append("  ".join(column.ljust(widths[column]) for column in columns))
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        cells = []
+        for column in columns:
+            text = _cell(row.as_dict()[column])
+            if highlight and column == "system" and text == highlight:
+                text = f"*{text}*"
+            cells.append(text.ljust(widths[column]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value: float | str) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

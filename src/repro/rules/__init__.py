@@ -1,0 +1,10 @@
+"""Rule-mining substrate (the paper's AMIE role).
+
+Section 3.1.4: AMIE mines Horn rules ``p_i(x, y) => p_j(x, y)`` over
+morphologically normalized OIE triples; two RPs are equivalent when both
+directions satisfy support and confidence thresholds.
+"""
+
+from repro.rules.amie import AmieConfig, AmieMiner, ImplicationRule
+
+__all__ = ["AmieConfig", "AmieMiner", "ImplicationRule"]

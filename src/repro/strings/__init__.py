@@ -1,0 +1,43 @@
+"""String utilities: tokenization, IDF statistics, and similarity measures.
+
+These are the primitives behind the paper's canonicalization and linking
+signals (Sections 3.1.3, 3.1.4, 3.2.3 and 3.2.4):
+
+* :func:`tokenize` / :func:`word_set` — whitespace+punctuation tokenizer.
+* :class:`IdfStatistics` — corpus word-frequency table used by the IDF
+  token-overlap similarity.
+* :func:`idf_token_overlap` — ``Sim_idf`` from Section 3.1.3.
+* :func:`levenshtein_distance` / :func:`normalized_levenshtein_similarity`
+  — ``f_LD`` from Section 3.2.4.
+* :func:`ngram_set` / :func:`ngram_jaccard` — ``f_ngram`` from Section
+  3.2.4 (character n-gram Jaccard).
+* :func:`jaro_winkler` — the Text Similarity baseline measure [Winkler99].
+* :func:`jaccard` — generic set Jaccard (Attribute Overlap baseline).
+"""
+
+from repro.strings.idf import IdfStatistics, idf_token_overlap
+from repro.strings.similarity import (
+    jaccard,
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    ngram_jaccard,
+    ngram_set,
+    normalized_levenshtein_similarity,
+)
+from repro.strings.tokenize import normalize_text, tokenize, word_set
+
+__all__ = [
+    "IdfStatistics",
+    "idf_token_overlap",
+    "jaccard",
+    "jaro_similarity",
+    "jaro_winkler",
+    "levenshtein_distance",
+    "ngram_jaccard",
+    "ngram_set",
+    "normalize_text",
+    "normalized_levenshtein_similarity",
+    "tokenize",
+    "word_set",
+]

@@ -1,0 +1,92 @@
+"""IDF token-overlap similarity (Section 3.1.3 of the paper).
+
+The similarity between two phrases is a weighted Jaccard where each shared
+word ``x`` contributes ``1 / log(1 + f(x))``: rare words dominate, frequent
+words ("of", "the") contribute almost nothing.  The word frequency ``f(x)``
+is computed over *all words appearing in the NPs (or RPs) of the OIE
+triples* — :class:`IdfStatistics` holds that corpus-level table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.strings.tokenize import tokenize, word_set
+
+
+class IdfStatistics:
+    """Word-frequency table over a phrase corpus.
+
+    Parameters
+    ----------
+    phrases:
+        The phrase collection (e.g. all NPs of an OKB).  Each phrase is
+        tokenized and every token occurrence counts once.
+    """
+
+    def __init__(self, phrases: Iterable[str] = ()) -> None:
+        self._counts: Counter[str] = Counter()
+        self._total = 0
+        self.update(phrases)
+
+    def update(self, phrases: Iterable[str]) -> None:
+        """Add more phrases to the frequency table."""
+        for phrase in phrases:
+            tokens = tokenize(phrase)
+            self._counts.update(tokens)
+            self._total += len(tokens)
+
+    def frequency(self, word: str) -> int:
+        """Number of occurrences of ``word`` in the corpus (``f(x)``)."""
+        return self._counts[word.lower()]
+
+    def weight(self, word: str) -> float:
+        """IDF-style weight ``1 / log(1 + f(x))`` of ``word``.
+
+        Unseen words get frequency 1 (so weight ``1/log 2``) rather than a
+        division by ``log 1 = 0``; an unseen shared word is maximally
+        informative.
+        """
+        frequency = max(1, self.frequency(word))
+        return 1.0 / math.log(1.0 + frequency)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct words observed."""
+        return len(self._counts)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total token occurrences observed."""
+        return self._total
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IdfStatistics(vocabulary={self.vocabulary_size}, "
+            f"tokens={self.total_tokens})"
+        )
+
+
+def idf_token_overlap(first: str, second: str, stats: IdfStatistics) -> float:
+    """``Sim_idf`` from Section 3.1.3: IDF-weighted token Jaccard.
+
+    Returns a value in ``[0, 1]``; 1.0 when the token sets are identical
+    and non-empty, 0.0 when they are disjoint or either phrase has no
+    tokens.
+    """
+    words_a = word_set(first)
+    words_b = word_set(second)
+    union = words_a | words_b
+    if not union:
+        return 0.0
+    intersection = words_a & words_b
+    numerator = sum(stats.weight(word) for word in intersection)
+    denominator = sum(stats.weight(word) for word in union)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator

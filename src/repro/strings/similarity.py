@@ -1,0 +1,141 @@
+"""String similarity measures used by linking signals and baselines.
+
+Implements, from scratch:
+
+* Levenshtein distance (dynamic programming, two-row) and its normalized
+  similarity — the ``f_LD`` relation-linking signal (§3.2.4).
+* Character n-gram sets and their Jaccard similarity — the ``f_ngram``
+  relation-linking signal (§3.2.4), following [Nakashole13].
+* Jaro and Jaro-Winkler similarity [Winkler99] — the Text Similarity
+  canonicalization baseline of Galárraga et al. (2014).
+* Generic set Jaccard — the Attribute Overlap baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Hashable
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """Edit distance between two strings (insert / delete / substitute).
+
+    Uses the classic two-row dynamic program: ``O(len(first) *
+    len(second))`` time, ``O(min(len))`` memory.
+    """
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    # Keep the shorter string in the inner loop for memory.
+    if len(second) < len(first):
+        first, second = second, first
+    previous = list(range(len(first) + 1))
+    for row, char_b in enumerate(second, start=1):
+        current = [row]
+        for col, char_a in enumerate(first, start=1):
+            substitution = previous[col - 1] + (char_a != char_b)
+            current.append(min(previous[col] + 1, current[col - 1] + 1, substitution))
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein_similarity(first: str, second: str) -> float:
+    """Levenshtein distance normalized to a ``[0, 1]`` similarity.
+
+    ``1 - distance / max(len)``; two empty strings are identical (1.0).
+    """
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(first, second) / longest
+
+
+def ngram_set(text: str, n: int = 3) -> frozenset[str]:
+    """Set of character n-grams of ``text``.
+
+    Strings shorter than ``n`` yield the single gram ``text`` itself (if
+    non-empty), so short relation phrases still compare non-trivially.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not text:
+        return frozenset()
+    if len(text) < n:
+        return frozenset((text,))
+    return frozenset(text[i : i + n] for i in range(len(text) - n + 1))
+
+
+def ngram_jaccard(first: str, second: str, n: int = 3) -> float:
+    """Jaccard similarity between the n-gram sets of two strings."""
+    grams_a = ngram_set(first, n)
+    grams_b = ngram_set(second, n)
+    return jaccard(grams_a, grams_b)
+
+
+def jaccard(first: Collection[Hashable], second: Collection[Hashable]) -> float:
+    """Set Jaccard ``|A ∩ B| / |A ∪ B|``; empty-vs-empty is 0.0."""
+    set_a = set(first)
+    set_b = set(second)
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """Jaro similarity between two strings, in ``[0, 1]``."""
+    if first == second:
+        return 1.0
+    len_a, len_b = len(first), len(second)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    match_window = max(len_a, len_b) // 2 - 1
+    match_window = max(match_window, 0)
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, char_a in enumerate(first):
+        start = max(0, i - match_window)
+        stop = min(len_b, i + match_window + 1)
+        for j in range(start, stop):
+            if matched_b[j] or second[j] != char_a:
+                continue
+            matched_a[i] = True
+            matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if not matched_a[i]:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if first[i] != second[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(first: str, second: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by shared prefix length.
+
+    ``prefix_scale`` is the standard 0.1 and is clamped to 0.25 to keep
+    the result within ``[0, 1]``.
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    jaro = jaro_similarity(first, second)
+    prefix = 0
+    for char_a, char_b in zip(first, second):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

@@ -1,0 +1,42 @@
+"""Tokenization helpers shared by all string-based signals.
+
+The paper operates on short noun phrases and relation phrases ("University
+of Maryland", "be an early member of"), so the tokenizer is deliberately
+simple: lowercase, strip punctuation, split on whitespace.  Keeping it in
+one module means every signal (IDF overlap, embeddings, candidate
+generation) sees exactly the same token stream.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase ``text`` and collapse internal whitespace.
+
+    This is the canonical surface form used as dictionary keys throughout
+    the package (alias tables, anchor statistics, paraphrase DB).
+    """
+    return _WHITESPACE_RE.sub(" ", text.strip().lower())
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    Apostrophes inside words are preserved ("o'brien" stays one token);
+    all other punctuation separates tokens.
+
+    >>> tokenize("University of Maryland!")
+    ['university', 'of', 'maryland']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def word_set(text: str) -> frozenset[str]:
+    """Return the set of distinct tokens of ``text`` (``w(.)`` in §3.1.3)."""
+    return frozenset(tokenize(text))

@@ -1,0 +1,153 @@
+"""Shared fixtures: a hand-built micro world and a small generated dataset.
+
+The micro world is deliberately tiny and fully understood — every test
+that asserts exact behaviour uses it.  The generated dataset exercises
+the full pipeline at a scale where tests stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.kb import CuratedKB, Entity, Fact, Relation
+from repro.core.side_info import SideInformation
+from repro.datasets import ReVerb45KConfig, generate_reverb45k
+from repro.okb.store import OpenKB
+from repro.okb.triples import OIETriple, TripleGold
+from repro.paraphrase.ppdb import ParaphraseDB
+
+
+@pytest.fixture(scope="session")
+def tiny_kb() -> CuratedKB:
+    """The paper's running example, as a curated KB."""
+    kb = CuratedKB()
+    kb.add_entity(
+        Entity(
+            entity_id="e:umd",
+            name="university of maryland",
+            aliases=frozenset({"umd", "maryland university"}),
+            types=frozenset({"organization"}),
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="e:maryland",
+            name="maryland",
+            aliases=frozenset({"md"}),
+            types=frozenset({"place"}),
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="e:u21",
+            name="universitas 21",
+            aliases=frozenset({"u21"}),
+            types=frozenset({"organization"}),
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="e:uva",
+            name="university of virginia",
+            aliases=frozenset({"uva"}),
+            types=frozenset({"organization"}),
+        )
+    )
+    kb.add_relation(
+        Relation(
+            relation_id="r:contained_by",
+            name="location.contained_by",
+            lexicalizations=frozenset({"locate in", "be located in"}),
+            category="location",
+        )
+    )
+    kb.add_relation(
+        Relation(
+            relation_id="r:founded",
+            name="organizations_founded",
+            lexicalizations=frozenset({"be a member of"}),
+            category="founding",
+        )
+    )
+    kb.add_fact(Fact("e:umd", "r:contained_by", "e:maryland"))
+    kb.add_fact(Fact("e:umd", "r:founded", "e:u21"))
+    kb.add_fact(Fact("e:uva", "r:founded", "e:u21"))
+    return kb
+
+
+@pytest.fixture(scope="session")
+def tiny_triples() -> list[OIETriple]:
+    """The three OIE triples of Figure 1(a), with gold annotations."""
+    return [
+        OIETriple(
+            triple_id="t1",
+            subject="University of Maryland",
+            predicate="locate in",
+            object="Maryland",
+            gold=TripleGold("e:umd", "r:contained_by", "e:maryland"),
+        ),
+        OIETriple(
+            triple_id="t2",
+            subject="UMD",
+            predicate="be a member of",
+            object="Universitas 21",
+            gold=TripleGold("e:umd", "r:founded", "e:u21"),
+        ),
+        OIETriple(
+            triple_id="t3",
+            subject="University of Virginia",
+            predicate="be an early member of",
+            object="U21",
+            gold=TripleGold("e:uva", "r:founded", "e:u21"),
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_okb(tiny_triples) -> OpenKB:
+    return OpenKB(tiny_triples)
+
+
+@pytest.fixture(scope="session")
+def tiny_anchors() -> AnchorStatistics:
+    anchors = AnchorStatistics()
+    anchors.record("university of maryland", "e:umd", 50)
+    anchors.record("umd", "e:umd", 20)
+    anchors.record("maryland", "e:maryland", 60)
+    anchors.record("maryland", "e:umd", 6)
+    anchors.record("universitas 21", "e:u21", 10)
+    anchors.record("u21", "e:u21", 8)
+    anchors.record("university of virginia", "e:uva", 40)
+    return anchors
+
+
+@pytest.fixture(scope="session")
+def tiny_ppdb() -> ParaphraseDB:
+    db = ParaphraseDB(seed=0)
+    db.add_pair("be a member of", "be an early member of")
+    db.add_pair("umd", "university of maryland")
+    return db
+
+
+@pytest.fixture(scope="session")
+def tiny_side(tiny_okb, tiny_kb, tiny_anchors, tiny_ppdb) -> SideInformation:
+    return SideInformation.build(
+        okb=tiny_okb,
+        kb=tiny_kb,
+        anchors=tiny_anchors,
+        ppdb=tiny_ppdb,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small generated ReVerb45K-shaped dataset (fast, deterministic)."""
+    return generate_reverb45k(
+        ReVerb45KConfig(n_entities=32, n_facts=70, n_triples=90, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_side(small_dataset) -> SideInformation:
+    return small_dataset.side_information("test")

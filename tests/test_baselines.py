@@ -1,0 +1,154 @@
+"""Tests for all baseline systems (Tables 1-3, Figure 3)."""
+
+import pytest
+
+from repro.baselines import (
+    AmieClusteringBaseline,
+    AttributeOverlapBaseline,
+    CesiBaseline,
+    EarlBaseline,
+    FalconBaseline,
+    IdfTokenOverlapBaseline,
+    KBPearlBaseline,
+    MorphNormBaseline,
+    PattyBaseline,
+    RematchBaseline,
+    SistBaseline,
+    SpotlightBaseline,
+    TagmeBaseline,
+    TextSimilarityBaseline,
+    WikidataIntegratorBaseline,
+)
+from repro.baselines.base import phrases_of_kind
+
+CANON_BASELINES = [
+    MorphNormBaseline(),
+    WikidataIntegratorBaseline(),
+    TextSimilarityBaseline(),
+    IdfTokenOverlapBaseline(),
+    AttributeOverlapBaseline(),
+    CesiBaseline(),
+    SistBaseline(),
+]
+
+RP_BASELINES = [AmieClusteringBaseline(), PattyBaseline(), SistBaseline()]
+
+LINKERS = [
+    SpotlightBaseline(),
+    TagmeBaseline(),
+    FalconBaseline(),
+    EarlBaseline(),
+    KBPearlBaseline(),
+    KBPearlBaseline(iterations=1),
+    RematchBaseline(),
+]
+
+
+class TestCanonicalizationBaselines:
+    @pytest.mark.parametrize("system", CANON_BASELINES, ids=lambda s: s.name)
+    def test_partitions_all_subject_nps(self, system, tiny_side):
+        clustering = system.cluster(tiny_side, "S")
+        assert clustering.items == frozenset(phrases_of_kind(tiny_side, "S"))
+
+    @pytest.mark.parametrize("system", RP_BASELINES, ids=lambda s: s.name)
+    def test_partitions_all_rps(self, system, tiny_side):
+        clustering = system.cluster(tiny_side, "P")
+        assert clustering.items == frozenset(phrases_of_kind(tiny_side, "P"))
+
+    def test_unsupported_kind_rejected(self, tiny_side):
+        with pytest.raises(ValueError):
+            AmieClusteringBaseline().cluster(tiny_side, "S")
+        with pytest.raises(ValueError):
+            WikidataIntegratorBaseline().cluster(tiny_side, "P")
+
+    def test_morph_norm_merges_inflections(self, small_side):
+        clustering = MorphNormBaseline().cluster(small_side, "P")
+        phrases = phrases_of_kind(small_side, "P")
+        from repro.okb.normalize import morph_normalize
+
+        for first in phrases:
+            for second in phrases:
+                if morph_normalize(first) == morph_normalize(second):
+                    assert clustering.same_cluster(first, second)
+
+    def test_wikidata_integrator_groups_aliases(self, tiny_side):
+        clustering = WikidataIntegratorBaseline().cluster(tiny_side, "S")
+        assert clustering.same_cluster("umd", "university of maryland")
+
+    def test_cesi_uses_ppdb_hard_merge(self, tiny_side):
+        clustering = CesiBaseline().cluster(tiny_side, "P")
+        assert clustering.same_cluster("be a member of", "be an early member of")
+
+    def test_sist_merges_shared_candidate_nps(self, tiny_side):
+        clustering = SistBaseline().cluster(tiny_side, "S")
+        assert clustering.same_cluster("umd", "university of maryland")
+
+
+class TestLinkingBaselines:
+    @pytest.mark.parametrize("system", LINKERS, ids=lambda s: str(id(s)))
+    def test_linking_result_shape(self, system, tiny_side):
+        result = system.link(tiny_side)
+        if system.name != "ReMatch":
+            assert set(result.entity_links) == set(phrases_of_kind(tiny_side, "S"))
+        if system.links_relations:
+            assert set(result.relation_links) == set(
+                phrases_of_kind(tiny_side, "P")
+            )
+
+    def test_spotlight_prefers_popularity(self, tiny_side):
+        result = SpotlightBaseline().link(tiny_side)
+        # "maryland" is dominated by e:maryland in the anchors.
+        assert result.object_links["maryland"] == "e:maryland"
+
+    def test_falcon_links_exact_alias(self, tiny_side):
+        result = FalconBaseline().link(tiny_side)
+        assert result.entity_links["umd"] == "e:umd"
+        assert result.relation_links["locate in"] == "r:contained_by"
+
+    def test_earl_uses_fact_coherence(self, tiny_side):
+        result = EarlBaseline().link(tiny_side)
+        assert result.entity_links["university of maryland"] == "e:umd"
+
+    def test_kbpearl_iterations(self, tiny_side):
+        one = KBPearlBaseline(iterations=1).link(tiny_side)
+        three = KBPearlBaseline(iterations=3).link(tiny_side)
+        assert set(one.entity_links) == set(three.entity_links)
+
+    def test_rematch_links_relations_only(self, tiny_side):
+        result = RematchBaseline().link(tiny_side)
+        assert result.relation_links
+        assert not result.entity_links
+        assert result.relation_links["locate in"] == "r:contained_by"
+
+    def test_rematch_min_score_abstains(self, tiny_side):
+        strict = RematchBaseline(min_score=0.99)
+        result = strict.link(tiny_side)
+        # Only exact/ppdb-equivalent phrases survive a 0.99 floor.
+        linked = [r for r in result.relation_links.values() if r is not None]
+        loose = RematchBaseline(min_score=0.0).link(tiny_side)
+        loose_linked = [r for r in loose.relation_links.values() if r is not None]
+        assert len(linked) <= len(loose_linked)
+
+
+class TestBaselineQualityOnGeneratedData:
+    """Coarse sanity: every system clears a floor on the small dataset."""
+
+    def test_canon_baselines_nontrivial(self, small_dataset, small_side):
+        from repro.metrics import evaluate_clustering
+
+        gold = small_dataset.gold
+        for system in CANON_BASELINES:
+            report = evaluate_clustering(
+                system.cluster(small_side, "S"), gold.np_clusters
+            )
+            assert report.average_f1 > 0.2, system.name
+
+    def test_linkers_nontrivial(self, small_dataset, small_side):
+        from repro.metrics import linking_accuracy
+
+        gold = small_dataset.gold
+        for system in (SpotlightBaseline(), FalconBaseline(), KBPearlBaseline()):
+            result = system.link(small_side)
+            assert linking_accuracy(result.entity_links, gold.entity_links) > 0.3, (
+                system.name
+            )

@@ -1,0 +1,132 @@
+"""Tests for the curated KB, anchors, and candidate generation."""
+
+import pytest
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.candidates import CandidateGenerator
+from repro.ckb.kb import CuratedKB, Entity, Fact, Relation
+
+
+class TestCuratedKB:
+    def test_alias_lookup(self, tiny_kb):
+        assert tiny_kb.entities_with_alias("UMD") == frozenset({"e:umd"})
+        assert tiny_kb.entities_with_alias("university of maryland") == frozenset(
+            {"e:umd"}
+        )
+        assert tiny_kb.entities_with_alias("unknown thing") == frozenset()
+
+    def test_relation_lexicalization_lookup(self, tiny_kb):
+        assert tiny_kb.relations_with_lexicalization("locate in") == frozenset(
+            {"r:contained_by"}
+        )
+
+    def test_fact_membership(self, tiny_kb):
+        assert tiny_kb.has_fact("e:umd", "r:contained_by", "e:maryland")
+        assert not tiny_kb.has_fact("e:maryland", "r:contained_by", "e:umd")
+
+    def test_relations_between(self, tiny_kb):
+        assert tiny_kb.relations_between("e:umd", "e:u21") == frozenset({"r:founded"})
+        assert tiny_kb.relations_between("e:umd", "e:uva") == frozenset()
+
+    def test_duplicate_entity_rejected(self):
+        kb = CuratedKB()
+        kb.add_entity(Entity("e:x", "x"))
+        with pytest.raises(ValueError):
+            kb.add_entity(Entity("e:x", "other"))
+
+    def test_fact_requires_known_endpoints(self):
+        kb = CuratedKB()
+        kb.add_entity(Entity("e:x", "x"))
+        kb.add_relation(Relation("r:r", "r"))
+        with pytest.raises(KeyError):
+            kb.add_fact(Fact("e:x", "r:r", "e:missing"))
+
+    def test_entity_surface_forms_include_name(self):
+        entity = Entity("e:x", "Big Name", aliases=frozenset({"BN"}))
+        assert "big name" in entity.all_surface_forms()
+        assert "bn" in entity.all_surface_forms()
+
+    def test_relation_surface_forms_space_separators(self):
+        relation = Relation("r:x", "location.contained_by")
+        assert "location contained by" in relation.all_surface_forms()
+
+
+class TestAnchorStatistics:
+    def test_popularity(self, tiny_anchors):
+        # "maryland" points at e:maryland 60 times and e:umd 6 times.
+        assert tiny_anchors.popularity("maryland", "e:maryland") == pytest.approx(
+            60 / 66
+        )
+        assert tiny_anchors.popularity("maryland", "e:umd") == pytest.approx(6 / 66)
+
+    def test_unseen_surface_form(self, tiny_anchors):
+        assert tiny_anchors.popularity("nonexistent", "e:umd") == 0.0
+
+    def test_entities_for_sorted_by_count(self, tiny_anchors):
+        ranked = tiny_anchors.entities_for("maryland")
+        assert ranked[0][0] == "e:maryland"
+
+    def test_record_validation(self):
+        stats = AnchorStatistics()
+        with pytest.raises(ValueError):
+            stats.record("x", "e:x", 0)
+
+    def test_merge(self):
+        a = AnchorStatistics()
+        a.record("x", "e:1", 5)
+        b = AnchorStatistics()
+        b.record("x", "e:1", 5)
+        b.record("x", "e:2", 10)
+        a.merge(b)
+        assert a.count_pair("x", "e:1") == 10
+        assert a.popularity("x", "e:2") == pytest.approx(0.5)
+
+    def test_from_records(self):
+        stats = AnchorStatistics.from_records([("x", "e:1", 3)])
+        assert stats.count("x") == 3
+
+    def test_normalization_on_read_and_write(self):
+        stats = AnchorStatistics()
+        stats.record("  Mixed Case  ", "e:1", 2)
+        assert stats.count("mixed case") == 2
+
+
+class TestCandidateGenerator:
+    def test_exact_alias_is_top(self, tiny_kb, tiny_anchors):
+        generator = CandidateGenerator(tiny_kb, tiny_anchors)
+        candidates = generator.entity_candidates("umd")
+        assert candidates[0].entity_id == "e:umd"
+        assert candidates[0].score == 1.0
+
+    def test_fuzzy_match_included(self, tiny_kb, tiny_anchors):
+        generator = CandidateGenerator(tiny_kb, tiny_anchors)
+        ids = [c.entity_id for c in generator.entity_candidates("maryland university")]
+        assert "e:umd" in ids
+
+    def test_typo_tolerant_fallback(self, tiny_kb, tiny_anchors):
+        generator = CandidateGenerator(tiny_kb, tiny_anchors)
+        ids = [c.entity_id for c in generator.entity_candidates("marylnad")]
+        assert "e:maryland" in ids
+
+    def test_max_candidates_respected(self, tiny_kb, tiny_anchors):
+        generator = CandidateGenerator(tiny_kb, tiny_anchors, max_candidates=1)
+        assert len(generator.entity_candidates("maryland")) == 1
+
+    def test_relation_exact_lexicalization(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        candidates = generator.relation_candidates("locate in")
+        assert candidates[0].relation_id == "r:contained_by"
+        assert candidates[0].score == 1.0
+
+    def test_relation_inflected_form_matches(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        candidates = generator.relation_candidates("is located in")
+        assert candidates[0].relation_id == "r:contained_by"
+
+    def test_unknown_phrase_returns_list(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        assert isinstance(generator.entity_candidates("zzzz qqqq"), list)
+
+    def test_invalid_max_candidates(self, tiny_kb):
+        with pytest.raises(ValueError):
+            CandidateGenerator(tiny_kb, max_candidates=0)

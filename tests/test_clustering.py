@@ -1,0 +1,198 @@
+"""Tests for union-find, the Clustering container, and HAC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clustering.clusters import Clustering
+from repro.clustering.hac import Linkage, hac_cluster
+from repro.clustering.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons_initially(self):
+        finder = UnionFind(["a", "b"])
+        assert not finder.connected("a", "b")
+
+    def test_union_connects(self):
+        finder = UnionFind()
+        finder.union("a", "b")
+        assert finder.connected("a", "b")
+
+    def test_transitive(self):
+        finder = UnionFind()
+        finder.union("a", "b")
+        finder.union("b", "c")
+        assert finder.connected("a", "c")
+
+    def test_groups(self):
+        finder = UnionFind(["a", "b", "c", "d"])
+        finder.union("a", "b")
+        groups = {frozenset(g) for g in finder.groups()}
+        assert frozenset({"a", "b"}) in groups
+        assert frozenset({"c"}) in groups
+        assert len(groups) == 3
+
+    def test_find_adds_lazily(self):
+        finder = UnionFind()
+        assert finder.find("new") == "new"
+        assert "new" in finder
+
+    def test_len(self):
+        finder = UnionFind(["a", "b"])
+        assert len(finder) == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40
+        )
+    )
+    def test_groups_partition_items(self, pairs):
+        finder = UnionFind()
+        for a, b in pairs:
+            finder.union(a, b)
+        groups = finder.groups()
+        seen = [item for group in groups for item in group]
+        assert len(seen) == len(set(seen))  # disjoint
+        assert set(seen) == {x for pair in pairs for x in pair}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30
+        )
+    )
+    def test_connectivity_matches_naive_closure(self, pairs):
+        finder = UnionFind()
+        adjacency: dict[int, set[int]] = {}
+        for a, b in pairs:
+            finder.union(a, b)
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        # naive BFS closure
+        for start in adjacency:
+            reachable = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in adjacency.get(node, ()):
+                    if neighbor not in reachable:
+                        reachable.add(neighbor)
+                        frontier.append(neighbor)
+            for other in adjacency:
+                assert finder.connected(start, other) == (other in reachable)
+
+
+class TestClustering:
+    def test_basic_groups(self):
+        clustering = Clustering([["a", "b"], ["c"]])
+        assert len(clustering) == 2
+        assert clustering.same_cluster("a", "b")
+        assert not clustering.same_cluster("a", "c")
+
+    def test_duplicate_item_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering([["a"], ["a", "b"]])
+
+    def test_empty_groups_skipped(self):
+        clustering = Clustering([[], ["a"]])
+        assert len(clustering) == 1
+
+    def test_from_pairs(self):
+        clustering = Clustering.from_pairs(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c")]
+        )
+        assert clustering.same_cluster("a", "c")
+        assert clustering.cluster_of("d") == frozenset({"d"})
+
+    def test_from_assignment(self):
+        clustering = Clustering.from_assignment({"a": 1, "b": 1, "c": 2})
+        assert clustering.same_cluster("a", "b")
+        assert not clustering.same_cluster("a", "c")
+
+    def test_restricted_to(self):
+        clustering = Clustering([["a", "b", "c"], ["d"]])
+        projected = clustering.restricted_to(["a", "b", "d"])
+        assert projected.items == frozenset({"a", "b", "d"})
+        assert projected.same_cluster("a", "b")
+
+    def test_non_singletons(self):
+        clustering = Clustering([["a", "b"], ["c"]])
+        assert clustering.non_singletons() == [frozenset({"a", "b"})]
+
+    def test_merged_pairs(self):
+        clustering = Clustering([["a", "b", "c"]])
+        assert clustering.merged_pairs() == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_same_cluster_missing_item(self):
+        clustering = Clustering([["a"]])
+        assert not clustering.same_cluster("a", "zzz")
+
+    def test_equality(self):
+        assert Clustering([["a", "b"]]) == Clustering([["b", "a"]])
+        assert Clustering([["a"], ["b"]]) != Clustering([["a", "b"]])
+
+
+class TestHAC:
+    @staticmethod
+    def _char_overlap(first: str, second: str) -> float:
+        union = set(first) | set(second)
+        if not union:
+            return 0.0
+        return len(set(first) & set(second)) / len(union)
+
+    def test_merges_above_threshold(self):
+        clustering = hac_cluster(
+            ["ab", "abc", "xyz"], self._char_overlap, threshold=0.5
+        )
+        assert clustering.same_cluster("ab", "abc")
+        assert not clustering.same_cluster("ab", "xyz")
+
+    def test_threshold_one_requires_identity(self):
+        clustering = hac_cluster(["ab", "ba", "cd"], self._char_overlap, 1.0)
+        assert clustering.same_cluster("ab", "ba")  # same char set
+        assert not clustering.same_cluster("ab", "cd")
+
+    def test_empty_and_singleton(self):
+        assert len(hac_cluster([], self._char_overlap, 0.5)) == 0
+        assert len(hac_cluster(["a"], self._char_overlap, 0.5)) == 1
+
+    def test_duplicates_collapsed(self):
+        clustering = hac_cluster(["a", "a", "b"], self._char_overlap, 0.9)
+        assert clustering.items == frozenset({"a", "b"})
+
+    def test_single_linkage_chains_more_than_complete(self):
+        # a-b similar, b-c similar, a-c dissimilar: single linkage chains.
+        sims = {("a", "b"): 0.9, ("b", "c"): 0.9, ("a", "c"): 0.0}
+
+        def sim(x, y):
+            return sims.get((x, y), sims.get((y, x), 0.0))
+
+        single = hac_cluster(["a", "b", "c"], sim, 0.5, Linkage.SINGLE)
+        complete = hac_cluster(["a", "b", "c"], sim, 0.5, Linkage.COMPLETE)
+        assert single.same_cluster("a", "c")
+        assert not complete.same_cluster("a", "c")
+
+    def test_all_clusters_meet_threshold_under_complete_linkage(self):
+        import random
+
+        rng = random.Random(5)
+        items = [f"item{i}" for i in range(12)]
+        sims = {
+            frozenset((a, b)): rng.random()
+            for i, a in enumerate(items)
+            for b in items[i + 1 :]
+        }
+
+        def sim(x, y):
+            return sims[frozenset((x, y))]
+
+        clustering = hac_cluster(items, sim, 0.6, Linkage.COMPLETE)
+        for group in clustering.groups:
+            members = sorted(group)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    assert sim(a, b) >= 0.6 or len(members) > 2

@@ -1,0 +1,147 @@
+"""Tests for factor-graph construction (Section 3 wiring)."""
+
+import pytest
+
+from repro.core.builder import (
+    GraphBuilder,
+    NIL,
+    _admissible_pairs,
+    _triangles,
+    canon_var,
+    link_var,
+)
+from repro.core.config import JOCLConfig
+from repro.core.variants import jocl_cano_config, jocl_link_config
+from repro.strings.idf import IdfStatistics
+
+
+@pytest.fixture(scope="module")
+def built(tiny_side):
+    builder = GraphBuilder(tiny_side, JOCLConfig())
+    graph, index = builder.build()
+    return builder, graph, index
+
+
+class TestVariableCreation:
+    def test_linking_variable_per_node(self, built):
+        _builder, graph, index = built
+        for kind in ("S", "P", "O"):
+            for phrase in index.kind_nodes(kind):
+                assert link_var(kind, phrase) in graph.variables
+
+    def test_linking_domains_are_candidates(self, built):
+        _builder, graph, index = built
+        variable = graph.variables[link_var("S", "umd")]
+        assert "e:umd" in variable.domain
+
+    def test_pair_pruning_threshold(self, built):
+        _builder, _graph, index = built
+        # "university of maryland" / "university of virginia" share
+        # frequent tokens only -> below 0.5 -> no canonicalization var.
+        pairs = index.pairs["S"]
+        assert ("university of maryland", "university of virginia") not in pairs
+
+    def test_canon_variable_binary(self, built):
+        _builder, graph, index = built
+        for kind in ("S", "P", "O"):
+            for first, second in index.pairs[kind]:
+                variable = graph.variables[canon_var(kind, first, second)]
+                assert variable.domain == (0, 1)
+
+    def test_groups_assigned(self, built):
+        _builder, graph, _index = built
+        groups = {v.group for v in graph.variables.values()}
+        assert groups <= {"canonicalization", "linking"}
+
+
+class TestFactorCreation:
+    def test_one_linking_factor_per_node(self, built):
+        _builder, graph, index = built
+        f4 = [f for f in graph.factors.values() if f.template.name == "F4"]
+        assert len(f4) == len(index.kind_nodes("S"))
+        f5 = [f for f in graph.factors.values() if f.template.name == "F5"]
+        assert len(f5) == len(index.kind_nodes("P"))
+
+    def test_fact_inclusion_per_triple(self, built, tiny_okb):
+        _builder, graph, index = built
+        u4 = [f for f in graph.factors.values() if f.template.name == "U4"]
+        assert len(u4) == len(tiny_okb)
+        assert len(index.fact_factors) == len(tiny_okb)
+
+    def test_consistency_per_pair(self, built):
+        _builder, graph, index = built
+        u5 = [f for f in graph.factors.values() if f.template.name == "U5"]
+        assert len(u5) == len(index.pairs["S"])
+        u6 = [f for f in graph.factors.values() if f.template.name == "U6"]
+        assert len(u6) == len(index.pairs["P"])
+
+    def test_templates_shared(self, built):
+        _builder, graph, _index = built
+        f4_factors = [f for f in graph.factors.values() if f.template.name == "F4"]
+        assert len({id(f.template) for f in f4_factors}) == 1
+
+
+class TestToggles:
+    def test_cano_only_graph(self, tiny_side):
+        builder = GraphBuilder(tiny_side, jocl_cano_config())
+        graph, index = builder.build()
+        assert not index.has_linking
+        assert all(v.group == "canonicalization" for v in graph.variables.values())
+        assert not any(f.template.name == "U5" for f in graph.factors.values())
+
+    def test_link_only_graph(self, tiny_side):
+        builder = GraphBuilder(tiny_side, jocl_link_config())
+        graph, index = builder.build()
+        assert not index.has_canonicalization
+        assert all(v.group == "linking" for v in graph.variables.values())
+
+    def test_schedule_respects_toggles(self, tiny_side):
+        full = GraphBuilder(tiny_side, JOCLConfig()).schedule()
+        kinds = [step.names for step in full.steps]
+        assert ("F1", "F2", "F3") in kinds
+        assert ("U5", "U6", "U7") in kinds
+        cano = GraphBuilder(tiny_side, jocl_cano_config()).schedule()
+        cano_kinds = [step.names for step in cano.steps]
+        assert ("U5", "U6", "U7") not in cano_kinds
+        assert ("F4", "F5", "F6") not in cano_kinds
+
+
+class TestPairEnumeration:
+    def test_admissible_pairs_threshold(self):
+        stats = IdfStatistics(["alpha beta", "alpha gamma", "delta"])
+        pairs = _admissible_pairs(["alpha beta", "alpha gamma", "delta"], stats, 0.2)
+        assert ("alpha beta", "alpha gamma") in pairs
+        assert all("delta" not in pair for pair in pairs)
+
+    def test_admissible_pairs_sorted_unique(self):
+        stats = IdfStatistics(["a b", "a c", "a d"])
+        pairs = _admissible_pairs(["a b", "a c", "a d"], stats, 0.0)
+        assert pairs == sorted(set(pairs))
+        assert all(a < b for a, b in pairs)
+
+    def test_triangles_require_all_edges(self):
+        pairs = [("a", "b"), ("b", "c")]
+        assert _triangles(pairs, 100) == []
+        pairs.append(("a", "c"))
+        assert _triangles(pairs, 100) == [("a", "b", "c")]
+
+    def test_triangles_cap(self):
+        # K5 has 10 triangles; cap at 4.
+        nodes = ["a", "b", "c", "d", "e"]
+        pairs = [(x, y) for i, x in enumerate(nodes) for y in nodes[i + 1 :]]
+        assert len(_triangles(pairs, 4)) == 4
+
+
+class TestNilHandling:
+    def test_unknown_phrase_gets_nil_domain(self, tiny_kb, tiny_anchors, tiny_ppdb):
+        from repro.core.side_info import SideInformation
+        from repro.okb.store import OpenKB
+        from repro.okb.triples import OIETriple
+
+        okb = OpenKB([OIETriple("t1", "zzzz", "qqqq rrrr", "wwww")])
+        side = SideInformation.build(
+            okb=okb, kb=tiny_kb, anchors=tiny_anchors, ppdb=tiny_ppdb
+        )
+        graph, index = GraphBuilder(side, JOCLConfig()).build()
+        assert index.candidates[("S", "zzzz")] == (NIL,)
+        assert graph.variables[link_var("S", "zzzz")].cardinality == 1

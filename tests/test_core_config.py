@@ -1,0 +1,83 @@
+"""Tests for JOCLConfig, FactorToggles, and the named variants."""
+
+import pytest
+
+from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
+from repro.core.variants import (
+    jocl_all_config,
+    jocl_cano_config,
+    jocl_double_config,
+    jocl_link_config,
+    jocl_no_interaction_config,
+    jocl_single_config,
+)
+
+
+class TestJOCLConfig:
+    def test_paper_defaults(self):
+        config = JOCLConfig()
+        assert config.pair_threshold == 0.5
+        assert config.learning_rate == 0.05
+        assert config.learn_iterations == 20
+        assert (config.transitive_high, config.transitive_middle, config.transitive_low) == (0.9, 0.5, 0.1)
+        assert (config.fact_high, config.fact_low) == (0.9, 0.1)
+        assert (config.consistency_high, config.consistency_low) == (0.7, 0.3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            JOCLConfig(pair_threshold=1.5)
+
+    def test_invalid_score(self):
+        with pytest.raises(ValueError):
+            JOCLConfig(fact_high=2.0)
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            JOCLConfig(max_candidates=0)
+
+
+class TestFactorToggles:
+    def test_consistency_requires_both_sides(self):
+        with pytest.raises(ValueError):
+            FactorToggles(canonicalization=False, transitivity=False, consistency=True)
+
+    def test_transitivity_requires_canonicalization(self):
+        with pytest.raises(ValueError):
+            FactorToggles(
+                canonicalization=False,
+                transitivity=True,
+                consistency=False,
+            )
+
+    def test_fact_inclusion_requires_linking(self):
+        with pytest.raises(ValueError):
+            FactorToggles(
+                linking=False, fact_inclusion=True, consistency=False
+            )
+
+
+class TestVariants:
+    def test_feature_variants(self):
+        assert jocl_single_config().variant is FeatureVariant.SINGLE
+        assert jocl_double_config().variant is FeatureVariant.DOUBLE
+        assert jocl_all_config().variant is FeatureVariant.ALL
+
+    def test_cano_has_no_linking(self):
+        toggles = jocl_cano_config().toggles
+        assert toggles.canonicalization and toggles.transitivity
+        assert not (toggles.linking or toggles.fact_inclusion or toggles.consistency)
+
+    def test_link_has_no_canonicalization(self):
+        toggles = jocl_link_config().toggles
+        assert toggles.linking and toggles.fact_inclusion
+        assert not (toggles.canonicalization or toggles.transitivity or toggles.consistency)
+
+    def test_no_interaction_keeps_both_sides(self):
+        toggles = jocl_no_interaction_config().toggles
+        assert toggles.canonicalization and toggles.linking
+        assert not toggles.consistency
+
+    def test_variants_preserve_base_settings(self):
+        base = JOCLConfig(lbp_iterations=7)
+        assert jocl_cano_config(base).lbp_iterations == 7
+        assert jocl_single_config(base).lbp_iterations == 7

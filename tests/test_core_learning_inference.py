@@ -1,0 +1,175 @@
+"""Tests for evidence construction, decoding and conflict resolution."""
+
+import pytest
+
+from repro.core.builder import GraphBuilder, canon_var, link_var
+from repro.core.config import JOCLConfig
+from repro.core.inference import decode
+from repro.core.learning import GoldAnnotations, build_evidence
+from repro.core.model import JOCL
+from repro.factorgraph.lbp import LoopyBP
+
+
+@pytest.fixture(scope="module")
+def built(tiny_side):
+    builder = GraphBuilder(tiny_side, JOCLConfig())
+    graph, index = builder.build()
+    return builder, graph, index
+
+
+class TestGoldAnnotations:
+    def test_from_triples(self, tiny_triples):
+        gold = GoldAnnotations.from_triples(tiny_triples)
+        assert gold.subject_entity["umd"] == "e:umd"
+        assert gold.subject_entity["university of maryland"] == "e:umd"
+        assert gold.relation["locate in"] == "r:contained_by"
+        assert gold.object_entity["u21"] == "e:u21"
+
+    def test_unannotated_skipped(self):
+        from repro.okb.triples import OIETriple
+
+        gold = GoldAnnotations.from_triples([OIETriple("t1", "a", "b", "c")])
+        assert not gold.subject_entity
+
+    def test_of_kind(self, tiny_triples):
+        gold = GoldAnnotations.from_triples(tiny_triples)
+        assert gold.of_kind("S") is gold.subject_entity
+        assert gold.of_kind("P") is gold.relation
+        assert gold.of_kind("O") is gold.object_entity
+        with pytest.raises(ValueError):
+            gold.of_kind("X")
+
+
+class TestBuildEvidence:
+    def test_linking_evidence(self, built, tiny_triples):
+        _builder, _graph, index = built
+        gold = GoldAnnotations.from_triples(tiny_triples)
+        evidence = build_evidence(index, gold)
+        assert evidence[link_var("S", "umd")] == "e:umd"
+        assert evidence[link_var("P", "locate in")] == "r:contained_by"
+
+    def test_canonicalization_evidence(self, built, tiny_triples):
+        _builder, _graph, index = built
+        gold = GoldAnnotations.from_triples(tiny_triples)
+        evidence = build_evidence(index, gold)
+        for kind in ("S", "P", "O"):
+            for first, second in index.pairs.get(kind, []):
+                name = canon_var(kind, first, second)
+                if name in evidence:
+                    kind_gold = gold.of_kind(kind)
+                    expected = int(kind_gold[first] == kind_gold[second])
+                    assert evidence[name] == expected
+
+    def test_out_of_domain_gold_skipped(self, built):
+        _builder, _graph, index = built
+        gold = GoldAnnotations(subject_entity={"umd": "e:not_a_candidate"})
+        evidence = build_evidence(index, gold)
+        assert link_var("S", "umd") not in evidence
+
+
+class TestDecode:
+    @pytest.fixture(scope="class")
+    def output(self, built):
+        builder, graph, index = built
+        result = LoopyBP(graph, schedule=builder.schedule(), max_iterations=25).run()
+        return decode(result, index, JOCLConfig())
+
+    def test_running_example_links(self, output):
+        # The paper's Figure 1(a) expectations.
+        assert output.entity_links["university of maryland"] == "e:umd"
+        assert output.entity_links["umd"] == "e:umd"
+        assert output.entity_links["university of virginia"] == "e:uva"
+        assert output.object_links["maryland"] == "e:maryland"
+
+    def test_running_example_clusters(self, output):
+        # UMD and University of Maryland end up in one group.
+        assert output.np_clusters.same_cluster("umd", "university of maryland")
+        assert not output.np_clusters.same_cluster(
+            "umd", "university of virginia"
+        )
+
+    def test_relation_links(self, output):
+        assert output.relation_links["locate in"] == "r:contained_by"
+        assert output.relation_links["be a member of"] == "r:founded"
+
+    def test_rp_clusters(self, output):
+        assert output.rp_clusters.same_cluster(
+            "be a member of", "be an early member of"
+        )
+
+    def test_all_kinds_covered(self, output, tiny_okb):
+        assert set(output.entity_links) == set(
+            t.subject_norm for t in tiny_okb.triples
+        )
+        assert set(output.relation_links) == set(
+            t.predicate_norm for t in tiny_okb.triples
+        )
+
+
+class TestConflictResolution:
+    def test_conflicting_pair_adopts_larger_group_label(self):
+        """Hand-built scenario: canonicalization says merge, linking
+        disagrees; the larger linked group must win (Section 3.5)."""
+        from repro.clustering.clusters import Clustering
+        from repro.core.builder import GraphIndex
+        from repro.core.inference import _decode_kind
+
+        class FakeResult:
+            def __init__(self):
+                self.iterations = 1
+                self.converged = True
+
+            def map_state(self, name):
+                states = {
+                    link_var("S", "a1"): "e:big",
+                    link_var("S", "a2"): "e:big",
+                    link_var("S", "b"): "e:small",
+                    canon_var("S", "a2", "b"): 1,
+                }
+                return states[name]
+
+            def map_probability(self, name):
+                return 0.95
+
+        index = GraphIndex(
+            nodes={"S": ["a1", "a2", "b"]},
+            candidates={
+                ("S", "a1"): ("e:big",),
+                ("S", "a2"): ("e:big",),
+                ("S", "b"): ("e:small",),
+            },
+            pairs={"S": [("a2", "b")]},
+        )
+        clusters, links = _decode_kind(FakeResult(), index, JOCLConfig(), "S")
+        # b joins the larger e:big group and its link is reassigned.
+        assert clusters.same_cluster("a2", "b")
+        assert links["b"] == "e:big"
+
+    def test_confidence_gate_blocks_weak_pairs(self):
+        from repro.core.builder import GraphIndex
+        from repro.core.inference import _decode_kind
+
+        class WeakResult:
+            iterations = 1
+            converged = True
+
+            def map_state(self, name):
+                states = {
+                    link_var("S", "a"): "e:one",
+                    link_var("S", "b"): "e:two",
+                    canon_var("S", "a", "b"): 1,
+                }
+                return states[name]
+
+            def map_probability(self, name):
+                return 0.55  # below the 0.7 gate
+
+        index = GraphIndex(
+            nodes={"S": ["a", "b"]},
+            candidates={("S", "a"): ("e:one",), ("S", "b"): ("e:two",)},
+            pairs={"S": [("a", "b")]},
+        )
+        clusters, links = _decode_kind(WeakResult(), index, JOCLConfig(), "S")
+        assert not clusters.same_cluster("a", "b")
+        assert links["a"] == "e:one"
+        assert links["b"] == "e:two"

@@ -1,0 +1,95 @@
+"""Integration tests for the JOCL facade (fit + infer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JOCLConfig
+from repro.core.learning import GoldAnnotations
+from repro.core.model import JOCL
+from repro.core.signals.base import PairSignal
+from repro.core.signals.registry import default_registry
+from repro.core.variants import jocl_cano_config, jocl_link_config
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return JOCLConfig(lbp_iterations=12, learn_iterations=3)
+
+
+class TestInfer:
+    def test_untrained_inference_runs(self, tiny_side, fast_config):
+        output = JOCL(fast_config).infer(tiny_side)
+        assert output.converged
+        assert output.entity_links["umd"] == "e:umd"
+
+    def test_cano_variant_produces_no_links(self, tiny_side, fast_config):
+        output = JOCL(jocl_cano_config(fast_config)).infer(tiny_side)
+        assert all(link is None for link in output.entity_links.values())
+        assert len(output.np_clusters) > 0
+
+    def test_link_variant_clusters_by_entity(self, tiny_side, fast_config):
+        output = JOCL(jocl_link_config(fast_config)).infer(tiny_side)
+        assert output.entity_links["umd"] == "e:umd"
+        # Grouping induced purely by linking.
+        assert output.np_clusters.same_cluster("umd", "university of maryland")
+
+
+class TestFit:
+    def test_fit_updates_weights(self, tiny_side, tiny_triples, fast_config):
+        model = JOCL(fast_config)
+        gold = GoldAnnotations.from_triples(tiny_triples)
+        history = model.fit(tiny_side, gold)
+        assert model.weights is not None
+        assert history.iterations >= 1
+        # Weights moved away from the all-ones init for at least one template.
+        moved = any(
+            not np.allclose(weights, np.ones_like(weights))
+            for weights in model.weights.values()
+        )
+        assert moved
+
+    def test_fit_then_infer_uses_weights(self, tiny_side, tiny_triples, fast_config):
+        model = JOCL(fast_config)
+        model.fit(tiny_side, GoldAnnotations.from_triples(tiny_triples))
+        output = model.infer(tiny_side)
+        assert output.entity_links["umd"] == "e:umd"
+
+    def test_fit_requires_usable_gold(self, tiny_side, fast_config):
+        model = JOCL(fast_config)
+        with pytest.raises(ValueError):
+            model.fit(tiny_side, GoldAnnotations())
+
+    def test_weights_transfer_across_okbs(self, tiny_side, tiny_triples, small_dataset, fast_config):
+        model = JOCL(fast_config)
+        model.fit(tiny_side, GoldAnnotations.from_triples(tiny_triples))
+        other_side = small_dataset.side_information("test")
+        output = model.infer(other_side)
+        assert output.iterations >= 1
+
+
+class TestExtensibility:
+    def test_custom_signal_registry(self, tiny_side, fast_config):
+        """The 'fit any new signals' claim: adding a custom NP signal."""
+
+        def factory(side, variant):
+            registry = default_registry(side, variant)
+            registry.np_pair.append(
+                PairSignal("f_same_len", lambda a, b: float(len(a) == len(b)))
+            )
+            return registry
+
+        model = JOCL(fast_config, registry_factory=factory)
+        graph, _index, _builder = model.build_graph(tiny_side)
+        assert "f_same_len" in graph.templates["F1"].feature_names
+        output = model.infer(tiny_side)
+        assert output.converged
+
+
+class TestDiagnostics:
+    def test_infer_raw_returns_marginals(self, tiny_side, fast_config):
+        result, index = JOCL(fast_config).infer_raw(tiny_side)
+        from repro.core.builder import link_var
+
+        marginal = result.marginal(link_var("S", "umd"))
+        assert marginal.sum() == pytest.approx(1.0)
+        assert index.kind_nodes("S")

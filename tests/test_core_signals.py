@@ -1,0 +1,133 @@
+"""Tests for the JOCL feature functions (Sections 3.1-3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeatureVariant, JOCLConfig
+from repro.core.signals.base import PairSignal, SignalRegistry
+from repro.core.signals.entity_linking import entity_link_signals
+from repro.core.signals.interaction import (
+    consistency_table,
+    fact_inclusion_table,
+    transitivity_table,
+)
+from repro.core.signals.np_signals import np_pair_signals
+from repro.core.signals.registry import default_registry
+from repro.core.signals.relation_linking import relation_link_signals
+from repro.core.signals.rp_signals import rp_pair_signals
+
+
+class TestSignalVectors:
+    def test_np_signal_names(self, tiny_side):
+        names = [s.name for s in np_pair_signals(tiny_side)]
+        assert names == ["f_idf", "f_emb", "f_ppdb"]
+
+    def test_rp_signal_names(self, tiny_side):
+        names = [s.name for s in rp_pair_signals(tiny_side)]
+        assert names == ["f_idf", "f_emb", "f_ppdb", "f_amie", "f_kbp"]
+
+    def test_entity_link_signal_names(self, tiny_side):
+        names = [s.name for s in entity_link_signals(tiny_side)]
+        assert names == ["f_pop", "f_emb'", "f_ppdb'"]
+
+    def test_relation_link_signal_names(self, tiny_side):
+        names = [s.name for s in relation_link_signals(tiny_side)]
+        assert names == ["f_ngram", "f_ld", "f_emb'", "f_ppdb'"]
+
+    def test_all_signals_bounded(self, tiny_side):
+        phrases = ["university of maryland", "umd", "locate in"]
+        for signal in np_pair_signals(tiny_side) + rp_pair_signals(tiny_side):
+            for a in phrases:
+                for b in phrases:
+                    assert 0.0 <= signal(a, b) <= 1.0
+
+    def test_ppdb_signal_fires(self, tiny_side):
+        ppdb_signal = [s for s in np_pair_signals(tiny_side) if s.name == "f_ppdb"][0]
+        assert ppdb_signal("umd", "university of maryland") == 1.0
+        assert ppdb_signal("umd", "maryland") == 0.0
+
+    def test_popularity_signal(self, tiny_side):
+        pop = [s for s in entity_link_signals(tiny_side) if s.name == "f_pop"][0]
+        assert pop("maryland", "e:maryland") == pytest.approx(60 / 66)
+        assert pop("maryland", "e:u21") == 0.0
+
+    def test_pair_signal_clipping(self):
+        signal = PairSignal("wild", score=lambda a, b: 2.5)
+        assert signal("x", "y") == 1.0
+
+
+class TestFeatureTables:
+    def test_pair_table_two_states(self, tiny_side):
+        registry = default_registry(tiny_side)
+        table = registry.pair_feature_table(
+            registry.np_pair, "university of maryland", "umd"
+        )
+        assert table.shape == (2, 3)
+        # Row 1 holds Sim; row 0 holds 1 - Sim.
+        assert np.allclose(table[0] + table[1], 1.0)
+
+    def test_link_table_row_per_candidate(self, tiny_side):
+        registry = default_registry(tiny_side)
+        table = registry.link_feature_table(
+            registry.entity_link, "maryland", ["e:maryland", "e:umd", "~NIL"]
+        )
+        assert table.shape == (3, 3)
+        # NIL row carries no signal.
+        assert np.allclose(table[2], 0.0)
+
+    def test_variant_single(self, tiny_side):
+        registry = default_registry(tiny_side, FeatureVariant.SINGLE)
+        assert [s.name for s in registry.np_pair] == ["f_idf"]
+        assert [s.name for s in registry.entity_link] == ["f_pop"]
+        assert [s.name for s in registry.relation_link] == ["f_ngram"]
+
+    def test_variant_double(self, tiny_side):
+        registry = default_registry(tiny_side, FeatureVariant.DOUBLE)
+        assert [s.name for s in registry.np_pair] == ["f_idf", "f_emb"]
+        assert [s.name for s in registry.rp_pair] == ["f_idf", "f_emb"]
+
+
+class TestInteractionTables:
+    def test_transitivity_scores(self):
+        table = transitivity_table(JOCLConfig())
+        assert table.shape == (8, 1)
+        # Assignments in C-order over (x_ij, x_jk, x_ik).
+        scores = {tuple(map(int, f"{i:03b}")): table[i, 0] for i in range(8)}
+        assert scores[(1, 1, 1)] == 0.9  # satisfied
+        assert scores[(1, 1, 0)] == 0.1  # violated
+        assert scores[(1, 0, 1)] == 0.1
+        assert scores[(0, 1, 1)] == 0.1
+        assert scores[(0, 0, 0)] == 0.5  # inactive
+        assert scores[(1, 0, 0)] == 0.5
+
+    def test_fact_inclusion_scores(self):
+        def has_fact(s, r, o):
+            return (s, r, o) == ("e1", "r1", "e2")
+
+        def relations_between(s, o):
+            return {"r9"} if (s, o) == ("e1", "e3") else set()
+
+        table = fact_inclusion_table(
+            JOCLConfig(), ["e1"], ["r1", "r2"], ["e2", "e3"], has_fact, relations_between
+        )
+        assert table.shape == (4, 2)
+        # (e1, r1, e2): known fact, pair not "otherwise" connected.
+        assert table[0, 0] == 0.9
+        # (e1, r1, e3): not a fact, but pair connected by some relation.
+        assert table[1, 0] == 0.1 and table[1, 1] == 0.9
+        # (e1, r2, e2): neither.
+        assert table[2, 0] == 0.1 and table[2, 1] == 0.1
+
+    def test_consistency_scores(self):
+        table = consistency_table(JOCLConfig(), ["e1", "e2"], ["e1"], frozenset())
+        # Assignments: (e1,e1,0),(e1,e1,1),(e2,e1,0),(e2,e1,1)
+        assert table[0, 0] == 0.3  # same entity but x=0: inconsistent
+        assert table[1, 0] == 0.7  # same entity and x=1: consistent
+        assert table[2, 0] == 0.7  # different and x=0: consistent
+        assert table[3, 0] == 0.3
+
+    def test_consistency_nil_never_matches(self):
+        table = consistency_table(JOCLConfig(), ["~NIL"], ["~NIL"], frozenset({"~NIL"}))
+        # NIL==NIL must not count as "same entity".
+        assert table[0, 0] == 0.7  # x=0 consistent
+        assert table[1, 0] == 0.3  # x=1 inconsistent

@@ -1,0 +1,187 @@
+"""Tests for the world model, triple generator, and dataset assembly."""
+
+import random
+
+import pytest
+
+from repro.datasets.base import Dataset, EvaluationGold, split_by_entity
+from repro.datasets.generator import TripleNoiseConfig, generate_triples
+from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
+from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
+from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
+from repro.datasets.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(n_entities=24, n_facts=50, seed=3))
+
+
+class TestWorld:
+    def test_deterministic(self):
+        config = WorldConfig(n_entities=16, n_facts=30, seed=9)
+        a = World.generate(config)
+        b = World.generate(config)
+        assert [e.entity_id for e in a.entities] == [e.entity_id for e in b.entities]
+        assert [
+            (f.subject_id, f.relation_name, f.object_id) for f in a.facts
+        ] == [(f.subject_id, f.relation_name, f.object_id) for f in b.facts]
+
+    def test_entity_count(self, world):
+        assert len(world.entities) == 24
+
+    def test_facts_type_consistent(self, world):
+        for fact in world.facts:
+            seed = world.relation_seed(fact.relation_name)
+            assert world.entity(fact.subject_id).entity_type == seed.subject_type
+            assert world.entity(fact.object_id).entity_type == seed.object_type
+
+    def test_curated_kb_export(self, world):
+        kb = world.curated_kb()
+        assert len(kb.entities) == len(world.entities)
+        assert len(kb.facts) == len(world.facts)
+        # Limited lexicalization knowledge (kb_lexicalizations_per_relation).
+        for relation in kb.relations.values():
+            seed = world.relation_seed(relation.name)
+            assert len(relation.lexicalizations) <= min(
+                len(seed.paraphrases), world.config.kb_lexicalizations_per_relation
+            )
+
+    def test_anchor_statistics_cover_all_forms(self, world):
+        anchors = world.anchor_statistics()
+        for entity in world.entities:
+            for form in entity.all_forms():
+                assert anchors.count_pair(form, entity.entity_id) > 0
+
+    def test_paraphrase_db_partial_coverage(self, world):
+        db = world.paraphrase_db()
+        assert len(db) > 0
+
+    def test_corpus_tokenized(self, world):
+        corpus = world.corpus(sentences_per_fact=1)
+        assert len(corpus) == len(world.facts)
+        assert all(isinstance(w, str) for sentence in corpus for w in sentence)
+
+    def test_sample_form_weighted(self, world):
+        rng = random.Random(0)
+        entity = world.entities[0]
+        samples = {world.sample_form(entity.entity_id, rng) for _ in range(200)}
+        assert entity.name in samples
+
+
+class TestTripleGenerator:
+    def test_deterministic(self, world):
+        noise = TripleNoiseConfig(n_triples=40, seed=5)
+        a = generate_triples(world, noise)
+        b = generate_triples(world, noise)
+        assert [t.as_tuple() for t in a] == [t.as_tuple() for t in b]
+
+    def test_count_and_annotation(self, world):
+        triples = generate_triples(world, TripleNoiseConfig(n_triples=40, seed=5))
+        assert len(triples) == 40
+        assert all(t.gold is not None for t in triples)
+        assert all(t.source_sentence for t in triples)
+
+    def test_annotate_false(self, world):
+        triples = generate_triples(
+            world, TripleNoiseConfig(n_triples=10, seed=5), annotate=False
+        )
+        assert all(t.gold is None for t in triples)
+
+    def test_out_of_kb_subjects_unannotated(self, world):
+        noise = TripleNoiseConfig(n_triples=80, out_of_kb_fraction=0.5, seed=5)
+        triples = generate_triples(world, noise)
+        missing = [t for t in triples if t.gold.subject_entity is None]
+        assert missing  # some subjects are out-of-KB
+
+    def test_invalid_noise_config(self):
+        with pytest.raises(ValueError):
+            TripleNoiseConfig(typo_probability=2.0)
+        with pytest.raises(ValueError):
+            TripleNoiseConfig(n_triples=0)
+
+    def test_gold_targets_exist_in_kb(self, world):
+        kb = world.curated_kb()
+        triples = generate_triples(world, TripleNoiseConfig(n_triples=40, seed=5))
+        for triple in triples:
+            if triple.gold.subject_entity is not None:
+                assert triple.gold.subject_entity in kb.entities
+            assert triple.gold.relation in kb.relations
+            assert triple.gold.object_entity in kb.entities
+
+
+class TestSplit:
+    def test_split_by_entity_disjoint(self, world):
+        triples = generate_triples(world, TripleNoiseConfig(n_triples=60, seed=5))
+        validation, test = split_by_entity(triples, 0.3, seed=1)
+        assert len(validation) + len(test) == len(triples)
+        validation_entities = {t.gold.subject_entity for t in validation}
+        test_entities = {t.gold.subject_entity for t in test if t.gold.subject_entity}
+        assert not (validation_entities & test_entities)
+
+    def test_zero_fraction(self, world):
+        triples = generate_triples(world, TripleNoiseConfig(n_triples=20, seed=5))
+        validation, test = split_by_entity(triples, 0.0, seed=1)
+        assert validation == []
+        assert len(test) == 20
+
+
+class TestEvaluationGold:
+    def test_clusters_group_by_entity(self, small_dataset):
+        gold = small_dataset.gold
+        for group in gold.np_clusters.groups:
+            entities = {gold.entity_links[np] for np in group}
+            assert len(entities) == 1
+
+    def test_sampled_protocol(self, small_dataset):
+        full = EvaluationGold.from_triples(small_dataset.test_triples)
+        sampled = full.sampled(n_np_groups=3, n_link_phrases=5, seed=1)
+        assert len(sampled.np_clusters) <= 3
+        assert len(sampled.entity_links) <= 5
+        assert all(len(g) > 1 for g in sampled.np_clusters.groups)
+
+
+class TestDatasetProfiles:
+    def test_reverb_profile(self, small_dataset):
+        assert small_dataset.validation_triples
+        assert small_dataset.test_triples
+        # All subjects annotated (ReVerb45K property).
+        assert all(
+            t.gold is not None and t.gold.subject_entity is not None
+            for t in small_dataset.triples
+        )
+
+    def test_nytimes_profile(self):
+        dataset = generate_nytimes2018(
+            NYTimes2018Config(n_entities=24, n_facts=50, n_triples=60, seed=5)
+        )
+        assert not dataset.validation_triples  # test-only corpus
+        assert dataset.gold is not None
+
+    def test_okb_views(self, small_dataset):
+        assert len(small_dataset.okb("all")) == len(small_dataset.triples)
+        with pytest.raises(ValueError):
+            small_dataset.okb("bogus")
+
+    def test_side_information_embeddings(self, small_dataset):
+        hashed = small_dataset.side_information("test", embedding="hashed")
+        assert hashed.embedding.dimension == 64
+        with pytest.raises(ValueError):
+            small_dataset.side_information("test", embedding="bogus")
+
+
+class TestIO:
+    def test_jsonl_round_trip(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        written = save_triples_jsonl(small_dataset.triples, path)
+        assert written == len(small_dataset.triples)
+        loaded = load_triples_jsonl(path)
+        assert loaded == small_dataset.triples
+
+    def test_round_trip_preserves_gold(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        save_triples_jsonl(small_dataset.triples, path)
+        loaded = load_triples_jsonl(path)
+        for original, reloaded in zip(small_dataset.triples, loaded):
+            assert original.gold == reloaded.gold
+            assert original.source_sentence == reloaded.source_sentence

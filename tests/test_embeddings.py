@@ -1,0 +1,125 @@
+"""Tests for the embedding substrate (hashed n-gram + SGNS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.base import cosine_similarity
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+from repro.embeddings.sgns import SkipGramConfig, SkipGramModel
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=10)
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([2.0, 0.0])) == 1.0
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_negative_clipped(self):
+        assert cosine_similarity(np.array([1.0]), np.array([-1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestHashedEmbedding:
+    def test_deterministic(self):
+        a = HashedCharNgramEmbedding(dimension=32, seed=1)
+        b = HashedCharNgramEmbedding(dimension=32, seed=1)
+        assert np.allclose(a.vector("maryland"), b.vector("maryland"))
+
+    def test_seed_changes_space(self):
+        a = HashedCharNgramEmbedding(dimension=32, seed=1)
+        b = HashedCharNgramEmbedding(dimension=32, seed=2)
+        assert not np.allclose(a.vector("maryland"), b.vector("maryland"))
+
+    def test_case_insensitive(self):
+        emb = HashedCharNgramEmbedding(dimension=32)
+        assert np.allclose(emb.vector("Maryland"), emb.vector("maryland"))
+
+    def test_unit_norm(self):
+        emb = HashedCharNgramEmbedding(dimension=32)
+        assert np.linalg.norm(emb.vector("maryland")) == pytest.approx(1.0)
+
+    def test_morphological_variants_closer_than_random(self):
+        emb = HashedCharNgramEmbedding(dimension=64)
+        related = emb.similarity("maryland", "marylands")
+        unrelated = emb.similarity("maryland", "zyxwvu")
+        assert related > unrelated + 0.2
+
+    def test_phrase_vector_averages(self):
+        emb = HashedCharNgramEmbedding(dimension=16)
+        phrase = emb.phrase_vector("university of maryland")
+        mean = np.mean(
+            [emb.vector(w) for w in ("university", "of", "maryland")], axis=0
+        )
+        assert np.allclose(phrase, mean)
+
+    def test_empty_phrase_is_zero(self):
+        emb = HashedCharNgramEmbedding(dimension=16)
+        assert np.allclose(emb.phrase_vector("!!!"), np.zeros(16))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HashedCharNgramEmbedding(dimension=0)
+        with pytest.raises(ValueError):
+            HashedCharNgramEmbedding(min_n=4, max_n=3)
+
+    @given(words, words)
+    @settings(max_examples=25, deadline=None)
+    def test_similarity_bounds(self, first, second):
+        emb = HashedCharNgramEmbedding(dimension=16)
+        assert 0.0 <= emb.similarity(first, second) <= 1.0
+
+    @given(words)
+    @settings(max_examples=25, deadline=None)
+    def test_self_similarity(self, word):
+        emb = HashedCharNgramEmbedding(dimension=16)
+        assert emb.similarity(word, word) == pytest.approx(1.0)
+
+
+class TestSkipGram:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        # Tiny corpus with two clear co-occurrence clusters.
+        corpus = []
+        for _ in range(60):
+            corpus.append(["king", "rules", "castle"])
+            corpus.append(["queen", "rules", "castle"])
+            corpus.append(["fish", "swims", "ocean"])
+            corpus.append(["shark", "swims", "ocean"])
+        model = SkipGramModel(SkipGramConfig(dimension=16, epochs=4, seed=3))
+        return model.train(corpus)
+
+    def test_vocabulary(self, trained):
+        assert "king" in trained.vocabulary
+        assert "king" in trained
+
+    def test_cooccurring_words_closer(self, trained):
+        same_cluster = trained.similarity("king", "queen")
+        cross_cluster = trained.similarity("king", "shark")
+        assert same_cluster > cross_cluster
+
+    def test_oov_fallback(self, trained):
+        vector = trained.vector("neverseen")
+        assert vector.shape == (16,)
+        assert np.linalg.norm(vector) > 0
+
+    def test_untrained_model_uses_fallback(self):
+        model = SkipGramModel(SkipGramConfig(dimension=8))
+        assert model.vector("anything").shape == (8,)
+
+    def test_empty_corpus(self):
+        model = SkipGramModel(SkipGramConfig(dimension=8))
+        model.train([])
+        assert model.vocabulary == frozenset()
+
+    def test_min_count_prunes(self):
+        model = SkipGramModel(SkipGramConfig(dimension=8, min_count=2))
+        model.train([["rare", "common"], ["common", "word"], ["common", "word"]])
+        assert "rare" not in model.vocabulary
+        assert "common" in model.vocabulary

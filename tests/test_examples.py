@@ -1,0 +1,29 @@
+"""The example scripts must at least compile and expose a main()."""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions
+    assert ast.get_docstring(tree), "examples must be documented"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import the module (without running main) so broken imports fail."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    # Guard: examples run main() only under __main__.
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")

@@ -1,0 +1,248 @@
+"""Tests for the factor-graph engine: graph, LBP, learning.
+
+The key correctness test: on tree-shaped graphs sum-product LBP is
+exact, so marginals must match brute-force enumeration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.factorgraph.graph import Factor, FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.lbp import LoopyBP, Schedule, ScheduleStep
+from repro.factorgraph.learner import TemplateLearner
+
+
+def build_chain(weights=(1.0, 1.0)):
+    """x1 - f12 - x2 chain with unary factors; returns (graph, tables)."""
+    graph = FactorGraph()
+    graph.add_variable(Variable("x1", [0, 1], group="a"))
+    graph.add_variable(Variable("x2", [0, 1], group="b"))
+    unary = FactorTemplate("F", ["score"], initial_weights=[weights[0]])
+    pairwise = FactorTemplate("U", ["agree"], initial_weights=[weights[1]])
+    graph.add_template(unary)
+    graph.add_template(pairwise)
+    graph.add_factor("f1", unary, ["x1"], np.array([[0.2], [0.8]]))
+    graph.add_factor("f2", unary, ["x2"], np.array([[0.7], [0.3]]))
+    graph.add_factor(
+        "u12", pairwise, ["x1", "x2"], np.array([[0.9], [0.1], [0.1], [0.9]])
+    )
+    return graph
+
+
+def brute_force_marginals(graph):
+    """Exact marginals by enumerating all joint assignments."""
+    variables = list(graph.variables.values())
+    marginals = {v.name: np.zeros(v.cardinality) for v in variables}
+    total = 0.0
+    for assignment in itertools.product(*(range(v.cardinality) for v in variables)):
+        state = dict(zip((v.name for v in variables), assignment))
+        weight = 1.0
+        for factor in graph.factors.values():
+            idx = tuple(state[v.name] for v in factor.variables)
+            weight *= float(factor.values()[idx])
+        total += weight
+        for v in variables:
+            marginals[v.name][state[v.name]] += weight
+    return {name: m / total for name, m in marginals.items()}
+
+
+class TestGraphConstruction:
+    def test_variable_validation(self):
+        with pytest.raises(ValueError):
+            Variable("x", [])
+        with pytest.raises(ValueError):
+            Variable("x", [0, 0])
+
+    def test_template_weight_validation(self):
+        template = FactorTemplate("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            template.set_weights(np.array([1.0]))
+        with pytest.raises(ValueError):
+            FactorTemplate("T", [])
+
+    def test_feature_table_shape_validation(self):
+        graph = FactorGraph()
+        graph.add_variable(Variable("x", [0, 1]))
+        template = FactorTemplate("T", ["a"])
+        with pytest.raises(ValueError):
+            graph.add_factor("f", template, ["x"], np.zeros((3, 1)))
+
+    def test_duplicate_names_rejected(self):
+        graph = FactorGraph()
+        graph.add_variable(Variable("x", [0, 1]))
+        with pytest.raises(ValueError):
+            graph.add_variable(Variable("x", [0, 1]))
+        template = FactorTemplate("T", ["a"])
+        graph.add_factor("f", template, ["x"], np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            graph.add_factor("f", template, ["x"], np.zeros((2, 1)))
+
+    def test_values_cache_invalidation(self):
+        graph = build_chain()
+        factor = graph.factors["f1"]
+        before = factor.values().copy()
+        factor.template.set_weights(np.array([3.0]))
+        after = factor.values()
+        assert not np.allclose(before, after)
+
+    def test_factors_of(self):
+        graph = build_chain()
+        names = {f.name for f in graph.factors_of("x1")}
+        assert names == {"f1", "u12"}
+
+    def test_variable_groups(self):
+        graph = build_chain()
+        groups = graph.variable_groups()
+        assert {v.name for v in groups["a"]} == {"x1"}
+
+
+class TestLBPExactness:
+    def test_chain_marginals_match_enumeration(self):
+        graph = build_chain()
+        result = LoopyBP(graph, max_iterations=50).run()
+        exact = brute_force_marginals(graph)
+        for name in graph.variables:
+            assert np.allclose(result.marginal(name), exact[name], atol=1e-6)
+
+    def test_star_graph_marginals(self):
+        # Hub variable with 3 leaves; still a tree -> exact.
+        graph = FactorGraph()
+        graph.add_variable(Variable("hub", [0, 1, 2]))
+        template = FactorTemplate("U", ["match"], initial_weights=[1.5])
+        graph.add_template(template)
+        unary = FactorTemplate("F", ["bias"], initial_weights=[1.0])
+        graph.add_template(unary)
+        rng = np.random.default_rng(0)
+        for leaf in ("l1", "l2", "l3"):
+            graph.add_variable(Variable(leaf, [0, 1]))
+            graph.add_factor(
+                f"u:{leaf}", template, ["hub", leaf], rng.random((6, 1))
+            )
+            graph.add_factor(f"f:{leaf}", unary, [leaf], rng.random((2, 1)))
+        result = LoopyBP(graph, max_iterations=60).run()
+        exact = brute_force_marginals(graph)
+        for name in graph.variables:
+            assert np.allclose(result.marginal(name), exact[name], atol=1e-6)
+
+    def test_evidence_clamps_variable(self):
+        graph = build_chain()
+        result = LoopyBP(graph).run(evidence={"x1": 1})
+        assert result.marginal("x1")[1] == pytest.approx(1.0)
+
+    def test_evidence_conditions_neighbors(self):
+        graph = build_chain((1.0, 3.0))  # strong agreement factor
+        free = LoopyBP(graph).run()
+        clamped = LoopyBP(graph).run(evidence={"x1": 1})
+        assert clamped.marginal("x2")[1] > free.marginal("x2")[1]
+
+    def test_map_state(self):
+        graph = build_chain()
+        result = LoopyBP(graph).run()
+        assert result.map_state("x1") == 1
+        assert result.map_probability("x1") > 0.5
+
+    def test_convergence_reported(self):
+        graph = build_chain()
+        result = LoopyBP(graph, max_iterations=50, tolerance=1e-6).run()
+        assert result.converged
+        assert result.iterations < 50
+        assert result.residuals[-1] < 1e-6
+
+    def test_loopy_graph_still_normalizes(self):
+        # Triangle (loopy): marginals approximate but must be proper
+        # distributions.
+        graph = FactorGraph()
+        for name in ("a", "b", "c"):
+            graph.add_variable(Variable(name, [0, 1]))
+        template = FactorTemplate("U", ["agree"], initial_weights=[1.0])
+        graph.add_template(template)
+        table = np.array([[0.9], [0.2], [0.2], [0.9]])
+        graph.add_factor("ab", template, ["a", "b"], table)
+        graph.add_factor("bc", template, ["b", "c"], table)
+        graph.add_factor("ca", template, ["c", "a"], table)
+        result = LoopyBP(graph, max_iterations=100, damping=0.3).run()
+        for name in ("a", "b", "c"):
+            assert result.marginal(name).sum() == pytest.approx(1.0)
+
+    def test_damping_validation(self):
+        graph = build_chain()
+        with pytest.raises(ValueError):
+            LoopyBP(graph, damping=1.0)
+
+    def test_custom_schedule_equivalent_on_tree(self):
+        graph = build_chain()
+        schedule = Schedule.grouped([["F"], ["U"]], [["a"], ["b"]])
+        result = LoopyBP(graph, schedule=schedule, max_iterations=60).run()
+        exact = brute_force_marginals(graph)
+        for name in graph.variables:
+            assert np.allclose(result.marginal(name), exact[name], atol=1e-5)
+
+    def test_schedule_step_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleStep(kind="bogus")
+
+
+class TestExpectedFeatures:
+    def test_expected_features_match_enumeration(self):
+        graph = build_chain()
+        result = LoopyBP(graph, max_iterations=60).run()
+        expectations = result.expected_features()
+        # Brute force expected features for template F.
+        exact = brute_force_marginals(graph)
+        f1 = graph.factors["f1"].feature_table
+        f2 = graph.factors["f2"].feature_table
+        expected_F = exact["x1"] @ f1 + exact["x2"] @ f2
+        assert np.allclose(expectations["F"], expected_F, atol=1e-5)
+
+
+class TestLearner:
+    def test_gradient_moves_toward_evidence(self):
+        graph = build_chain()
+        before = LoopyBP(graph).run().marginal("x2")[1]
+        learner = TemplateLearner(graph, learning_rate=0.5, max_iterations=15)
+        history = learner.fit({"x1": 1, "x2": 1})
+        after = LoopyBP(graph).run().marginal("x2")[1]
+        assert after > before
+        assert history.iterations > 0
+
+    def test_gradient_norm_decreases(self):
+        graph = build_chain()
+        learner = TemplateLearner(graph, learning_rate=0.2, max_iterations=10)
+        history = learner.fit({"x1": 1})
+        assert history.gradient_norms[-1] <= history.gradient_norms[0] + 1e-9
+
+    def test_empty_evidence_rejected(self):
+        graph = build_chain()
+        with pytest.raises(ValueError):
+            TemplateLearner(graph).fit({})
+
+    def test_unknown_evidence_rejected(self):
+        graph = build_chain()
+        with pytest.raises(KeyError):
+            TemplateLearner(graph).fit({"zzz": 1})
+
+    def test_l2_regularization_shrinks(self):
+        plain = build_chain()
+        TemplateLearner(plain, learning_rate=0.3, max_iterations=8).fit({"x1": 1})
+        regularized = build_chain()
+        TemplateLearner(
+            regularized, learning_rate=0.3, max_iterations=8, l2=1.0
+        ).fit({"x1": 1})
+        norm_plain = np.linalg.norm(plain.templates["F"].weights)
+        norm_reg = np.linalg.norm(regularized.templates["F"].weights)
+        assert norm_reg < norm_plain
+
+    def test_transfer_weights(self):
+        source = build_chain()
+        TemplateLearner(source, learning_rate=0.3, max_iterations=5).fit({"x1": 1})
+        target = build_chain()
+        TemplateLearner(source).transfer_weights_to(target)
+        assert np.allclose(
+            source.templates["F"].weights, target.templates["F"].weights
+        )
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            TemplateLearner(build_chain(), learning_rate=0.0)

@@ -1,0 +1,78 @@
+"""Tests for graph segmentation (distributed LBP, Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph.graph import FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.lbp import LoopyBP
+from repro.factorgraph.partition import (
+    component_subgraph,
+    connected_components,
+    partition_graph,
+)
+
+
+@pytest.fixture
+def two_island_graph():
+    """Two disconnected pairs plus an isolated variable."""
+    graph = FactorGraph()
+    template = FactorTemplate("U", ["agree"], initial_weights=[1.2])
+    graph.add_template(template)
+    table = np.array([[0.8], [0.2], [0.2], [0.8]])
+    for island in ("a", "b"):
+        graph.add_variable(Variable(f"{island}1", [0, 1]))
+        graph.add_variable(Variable(f"{island}2", [0, 1]))
+        graph.add_factor(f"u:{island}", template, [f"{island}1", f"{island}2"], table)
+    graph.add_variable(Variable("lonely", [0, 1, 2]))
+    return graph
+
+
+class TestConnectedComponents:
+    def test_components_found(self, two_island_graph):
+        components = connected_components(two_island_graph)
+        assert len(components) == 3
+        assert frozenset({"a1", "a2"}) in components
+        assert frozenset({"lonely"}) in components
+
+    def test_sorted_largest_first(self, two_island_graph):
+        components = connected_components(two_island_graph)
+        sizes = [len(c) for c in components]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_jocl_graph_decomposes(self, tiny_side):
+        from repro.core import GraphBuilder, JOCLConfig
+
+        graph, _index = GraphBuilder(tiny_side, JOCLConfig()).build()
+        components = connected_components(graph)
+        assert sum(len(c) for c in components) == len(graph.variables)
+
+
+class TestSubgraphs:
+    def test_subgraph_contents(self, two_island_graph):
+        sub = component_subgraph(two_island_graph, frozenset({"a1", "a2"}))
+        assert set(sub.variables) == {"a1", "a2"}
+        assert set(sub.factors) == {"u:a"}
+
+    def test_templates_shared_not_copied(self, two_island_graph):
+        sub = component_subgraph(two_island_graph, frozenset({"a1", "a2"}))
+        assert sub.templates["U"] is two_island_graph.templates["U"]
+
+    def test_straddling_component_rejected(self, two_island_graph):
+        with pytest.raises(ValueError):
+            component_subgraph(two_island_graph, frozenset({"a1", "b1"}))
+
+    def test_partition_marginals_equal_whole_graph(self, two_island_graph):
+        whole = LoopyBP(two_island_graph, max_iterations=40).run()
+        for sub in partition_graph(two_island_graph):
+            part = LoopyBP(sub, max_iterations=40).run()
+            for name in sub.variables:
+                assert np.allclose(
+                    part.marginal(name), whole.marginal(name), atol=1e-8
+                )
+
+    def test_partition_covers_everything(self, two_island_graph):
+        subs = partition_graph(two_island_graph)
+        variables = {name for sub in subs for name in sub.variables}
+        factors = {name for sub in subs for name in sub.factors}
+        assert variables == set(two_island_graph.variables)
+        assert factors == set(two_island_graph.factors)

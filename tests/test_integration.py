@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the whole stack working together."""
+
+import pytest
+
+from repro.core import JOCL, JOCLConfig
+from repro.core.learning import GoldAnnotations
+from repro.datasets import (
+    NYTimes2018Config,
+    generate_nytimes2018,
+    load_triples_jsonl,
+    save_triples_jsonl,
+)
+from repro.datasets.base import Dataset
+from repro.metrics import evaluate_clustering, linking_accuracy
+from repro.okb.store import OpenKB
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return JOCLConfig(lbp_iterations=12, learn_iterations=2)
+
+
+class TestWeightTransferProtocol:
+    """The paper's cross-corpus protocol: train on ReVerb45K's
+    validation split, evaluate anywhere."""
+
+    def test_reverb_trained_weights_work_on_nytimes(
+        self, small_dataset, fast_config
+    ):
+        model = JOCL(fast_config)
+        model.fit(
+            small_dataset.side_information("validation"),
+            GoldAnnotations.from_triples(small_dataset.validation_triples),
+        )
+        nytimes = generate_nytimes2018(
+            NYTimes2018Config(n_entities=24, n_facts=50, n_triples=60, seed=5)
+        )
+        output = model.infer(nytimes.side_information("test"))
+        accuracy = linking_accuracy(output.entity_links, nytimes.gold.entity_links)
+        assert accuracy > 0.3
+
+    def test_weights_survive_graph_rebuild(self, small_dataset, fast_config):
+        model = JOCL(fast_config)
+        model.fit(
+            small_dataset.side_information("validation"),
+            GoldAnnotations.from_triples(small_dataset.validation_triples),
+        )
+        side = small_dataset.side_information("test")
+        graph_a, _, _ = model.build_graph(side)
+        graph_b, _, _ = model.build_graph(side)
+        for name in graph_a.templates:
+            assert (
+                graph_a.templates[name].weights == graph_b.templates[name].weights
+            ).all()
+
+
+class TestDiskRoundTripPipeline:
+    def test_dataset_through_jsonl_gives_same_results(
+        self, small_dataset, tmp_path, fast_config
+    ):
+        """Persist the test split, reload it, rebuild the OKB, re-infer:
+        results must be identical (the loaders are faithful)."""
+        path = tmp_path / "test_triples.jsonl"
+        save_triples_jsonl(small_dataset.test_triples, path)
+        reloaded = load_triples_jsonl(path)
+
+        rebuilt = Dataset(
+            name="reloaded",
+            world=small_dataset.world,
+            triples=reloaded,
+            kb=small_dataset.kb,
+            anchors=small_dataset.anchors,
+            ppdb=small_dataset.ppdb,
+            validation_triples=[],
+            test_triples=reloaded,
+        )
+        from repro.datasets.base import EvaluationGold
+
+        rebuilt.gold = EvaluationGold.from_triples(reloaded)
+
+        original = JOCL(fast_config).infer(small_dataset.side_information("test"))
+        again = JOCL(fast_config).infer(rebuilt.side_information("test"))
+        assert original.entity_links == again.entity_links
+        assert original.np_clusters == again.np_clusters
+
+
+class TestDecodeInvariants:
+    """Structural invariants of JOCL output on generated data."""
+
+    @pytest.fixture(scope="class")
+    def output_and_side(self, small_dataset):
+        side = small_dataset.side_information("test")
+        model = JOCL(JOCLConfig(lbp_iterations=12))
+        return model.infer(side), side, model
+
+    def test_clusters_partition_nodes(self, output_and_side):
+        output, side, _model = output_and_side
+        subjects = {t.subject_norm for t in side.okb.triples}
+        assert output.np_clusters.items == subjects
+        predicates = {t.predicate_norm for t in side.okb.triples}
+        assert output.rp_clusters.items == predicates
+
+    def test_links_within_candidate_domains(self, output_and_side):
+        output, side, model = output_and_side
+        _graph, index, _builder = model.build_graph(side)
+        for phrase, target in output.entity_links.items():
+            if target is None:
+                continue
+            domain = index.candidates[("S", phrase)]
+            # Conflict resolution may move a phrase to another node's
+            # entity; the target must at least be a real CKB entity.
+            assert target in side.kb.entities
+            del domain
+
+    def test_same_cluster_implies_same_link(self, output_and_side):
+        output, _side, _model = output_and_side
+        for group in output.np_clusters.groups:
+            links = {output.entity_links[phrase] for phrase in group}
+            # A cluster carries at most one non-NIL entity label.
+            non_nil = {link for link in links if link is not None}
+            assert len(non_nil) <= 1
+
+    def test_deterministic_inference(self, small_dataset):
+        side = small_dataset.side_information("test")
+        a = JOCL(JOCLConfig(lbp_iterations=12)).infer(side)
+        b = JOCL(JOCLConfig(lbp_iterations=12)).infer(side)
+        assert a.entity_links == b.entity_links
+        assert a.np_clusters == b.np_clusters
+
+
+class TestDegenerateInputs:
+    def test_single_triple_okb(self, tiny_kb, tiny_anchors, tiny_ppdb):
+        from repro.core.side_info import SideInformation
+        from repro.okb.triples import OIETriple
+
+        okb = OpenKB([OIETriple("t1", "umd", "locate in", "maryland")])
+        side = SideInformation.build(
+            okb=okb, kb=tiny_kb, anchors=tiny_anchors, ppdb=tiny_ppdb
+        )
+        output = JOCL(JOCLConfig(lbp_iterations=8)).infer(side)
+        assert output.entity_links == {"umd": "e:umd"}
+
+    def test_self_loop_triple(self, tiny_kb, tiny_anchors, tiny_ppdb):
+        """subject == object string: the degenerate U4 is skipped but the
+        graph still builds and decodes."""
+        from repro.core.side_info import SideInformation
+        from repro.okb.triples import OIETriple
+
+        okb = OpenKB([OIETriple("t1", "maryland", "border", "maryland")])
+        side = SideInformation.build(
+            okb=okb, kb=tiny_kb, anchors=tiny_anchors, ppdb=tiny_ppdb
+        )
+        output = JOCL(JOCLConfig(lbp_iterations=8)).infer(side)
+        assert "maryland" in output.entity_links
+
+    def test_empty_like_phrases(self, tiny_kb):
+        from repro.core.side_info import SideInformation
+        from repro.okb.triples import OIETriple
+
+        okb = OpenKB([OIETriple("t1", "7", "be", "x y")])
+        side = SideInformation.build(okb=okb, kb=tiny_kb)
+        output = JOCL(JOCLConfig(lbp_iterations=8)).infer(side)
+        assert output.converged

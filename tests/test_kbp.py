@@ -1,0 +1,50 @@
+"""Tests for the KBP-style relation categorizer."""
+
+from repro.kbp.categorizer import RelationCategorizer
+from repro.okb.triples import OIETriple
+
+
+class TestRelationCategorizer:
+    def test_lexicalization_mapping(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        assert categorizer.relation_of("locate in") == "r:contained_by"
+
+    def test_distant_supervision_mapping(self, tiny_kb):
+        # "be an early member of" is not a lexicalization, but the NP pair
+        # (university of virginia, u21) resolves to a founded fact.
+        triples = [
+            OIETriple("t1", "university of virginia", "be an early member of", "u21"),
+        ]
+        categorizer = RelationCategorizer(tiny_kb, triples)
+        assert categorizer.relation_of("be an early member of") == "r:founded"
+
+    def test_same_category(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        # Both map to r:founded (category "founding").
+        assert categorizer.same_category("be a member of", "be an early member of")
+        assert categorizer.similarity("be a member of", "be an early member of") == 1.0
+
+    def test_different_categories(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        assert not categorizer.same_category("locate in", "be a member of")
+
+    def test_unmapped_phrase(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        assert categorizer.relation_of("completely unknown phrase") is None
+        assert not categorizer.same_category("completely unknown phrase", "locate in")
+
+    def test_category_falls_back_to_relation_id(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        category = categorizer.category_of("locate in")
+        assert category == "location"
+
+    def test_min_votes(self, tiny_kb):
+        triples = [
+            OIETriple("t1", "university of virginia", "be an early member of", "u21"),
+        ]
+        strict = RelationCategorizer(tiny_kb, triples, min_votes=5)
+        assert strict.relation_of("be an early member of") is None
+
+    def test_mapped_phrases(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        assert "locate in" in categorizer.mapped_phrases

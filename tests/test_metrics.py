@@ -1,0 +1,156 @@
+"""Tests for macro/micro/pairwise metrics and linking accuracy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.clusters import Clustering
+from repro.metrics.canonicalization import (
+    evaluate_clustering,
+    macro_scores,
+    micro_scores,
+    pairwise_scores,
+)
+from repro.metrics.linking import linking_accuracy
+
+
+def clustering(*groups):
+    return Clustering(groups)
+
+
+class TestPerfectAndDegenerate:
+    def test_identical_clusterings_score_one(self):
+        gold = clustering(["a", "b"], ["c"])
+        report = evaluate_clustering(gold, gold)
+        assert report.macro.f1 == 1.0
+        assert report.micro.f1 == 1.0
+        assert report.pairwise.f1 == 1.0
+        assert report.average_f1 == 1.0
+
+    def test_all_singletons_vs_one_cluster(self):
+        predicted = clustering(["a"], ["b"], ["c"])
+        gold = clustering(["a", "b", "c"])
+        report = evaluate_clustering(predicted, gold)
+        # Precision perfect (every singleton pure), recall poor.
+        assert report.macro.precision == 1.0
+        assert report.macro.recall == 0.0
+        assert report.pairwise.recall == 0.0
+
+    def test_one_cluster_vs_all_singletons(self):
+        predicted = clustering(["a", "b", "c"])
+        gold = clustering(["a"], ["b"], ["c"])
+        report = evaluate_clustering(predicted, gold)
+        assert report.macro.precision == 0.0
+        assert report.macro.recall == 1.0
+        assert report.pairwise.precision == 0.0
+
+    def test_empty_gold(self):
+        report = evaluate_clustering(clustering(["a"]), Clustering([]))
+        assert report.average_f1 == 0.0
+
+
+class TestKnownValues:
+    def test_macro_partial(self):
+        predicted = clustering(["a", "b"], ["c", "d"])
+        gold = clustering(["a", "b"], ["c"], ["d"])
+        scores = macro_scores(predicted, gold)
+        # Predicted: {a,b} pure, {c,d} impure -> precision 1/2.
+        assert scores.precision == pytest.approx(0.5)
+        # Gold: all three clusters contained in a predicted cluster.
+        assert scores.recall == pytest.approx(1.0)
+
+    def test_micro_partial(self):
+        predicted = clustering(["a", "b", "c"])
+        gold = clustering(["a", "b"], ["c"])
+        scores = micro_scores(predicted, gold)
+        assert scores.precision == pytest.approx(2 / 3)
+        assert scores.recall == pytest.approx(1.0)
+
+    def test_pairwise_partial(self):
+        predicted = clustering(["a", "b", "c"])  # 3 pairs
+        gold = clustering(["a", "b"], ["c"])  # 1 pair
+        scores = pairwise_scores(predicted, gold)
+        assert scores.precision == pytest.approx(1 / 3)
+        assert scores.recall == pytest.approx(1.0)
+
+    def test_f1_harmonic_mean(self):
+        predicted = clustering(["a", "b", "c"])
+        gold = clustering(["a", "b"], ["c"])
+        scores = pairwise_scores(predicted, gold)
+        expected = 2 * (1 / 3) * 1.0 / ((1 / 3) + 1.0)
+        assert scores.f1 == pytest.approx(expected)
+
+
+class TestSampledGoldAlignment:
+    def test_extra_predicted_items_dropped(self):
+        predicted = clustering(["a", "b", "x", "y"])
+        gold = clustering(["a", "b"])
+        scores = pairwise_scores(predicted, gold)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_missing_items_become_singletons(self):
+        predicted = clustering(["a"])  # knows nothing about b
+        gold = clustering(["a", "b"])
+        scores = pairwise_scores(predicted, gold)
+        assert scores.recall == 0.0
+
+
+@st.composite
+def random_partitions(draw):
+    items = list(range(draw(st.integers(2, 10))))
+    labels_a = [draw(st.integers(0, 3)) for _ in items]
+    labels_b = [draw(st.integers(0, 3)) for _ in items]
+    pred = Clustering.from_assignment(dict(zip(items, labels_a)))
+    gold = Clustering.from_assignment(dict(zip(items, labels_b)))
+    return pred, gold
+
+
+class TestMetricProperties:
+    @given(random_partitions())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, partitions):
+        predicted, gold = partitions
+        report = evaluate_clustering(predicted, gold)
+        for prf in (report.macro, report.micro, report.pairwise):
+            assert 0.0 <= prf.precision <= 1.0
+            assert 0.0 <= prf.recall <= 1.0
+            assert 0.0 <= prf.f1 <= 1.0
+        assert 0.0 <= report.average_f1 <= 1.0
+
+    @given(random_partitions())
+    @settings(max_examples=60, deadline=None)
+    def test_self_evaluation_perfect(self, partitions):
+        predicted, _gold = partitions
+        report = evaluate_clustering(predicted, predicted)
+        assert report.average_f1 == pytest.approx(1.0)
+
+    @given(random_partitions())
+    @settings(max_examples=60, deadline=None)
+    def test_precision_recall_swap(self, partitions):
+        predicted, gold = partitions
+        forward = evaluate_clustering(predicted, gold)
+        backward = evaluate_clustering(gold, predicted)
+        assert forward.macro.precision == pytest.approx(backward.macro.recall)
+        assert forward.micro.precision == pytest.approx(backward.micro.recall)
+        assert forward.pairwise.precision == pytest.approx(backward.pairwise.recall)
+
+
+class TestLinkingAccuracy:
+    def test_all_correct(self):
+        assert linking_accuracy({"a": "e1", "b": "e2"}, {"a": "e1", "b": "e2"}) == 1.0
+
+    def test_half_correct(self):
+        assert linking_accuracy({"a": "e1", "b": "wrong"}, {"a": "e1", "b": "e2"}) == 0.5
+
+    def test_abstention_counts_as_wrong(self):
+        assert linking_accuracy({"a": None}, {"a": "e1"}) == 0.0
+
+    def test_missing_prediction_counts_as_wrong(self):
+        assert linking_accuracy({}, {"a": "e1"}) == 0.0
+
+    def test_empty_gold(self):
+        assert linking_accuracy({"a": "e1"}, {}) == 0.0
+
+    def test_extra_predictions_ignored(self):
+        assert linking_accuracy({"a": "e1", "zzz": "e9"}, {"a": "e1"}) == 1.0

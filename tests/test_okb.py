@@ -1,0 +1,109 @@
+"""Tests for the OKB substrate: triples, normalization, store."""
+
+import pytest
+
+from repro.okb.normalize import morph_normalize, morph_normalize_tokens
+from repro.okb.store import OpenKB, PhraseRole
+from repro.okb.triples import OIETriple, TripleGold
+
+
+class TestMorphNormalize:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("is located in", "locate in"),
+            ("was located in", "locate in"),
+            ("be located in", "locate in"),
+            ("universities", "university"),
+            ("the cities", "city"),
+            ("running", "run"),
+            ("has founded", "found"),
+            ("be a member of", "member of"),
+            ("be an early member of", "early member of"),
+            ("studies at", "study at"),
+            ("wrote", "write"),
+            ("taught at", "teach at"),
+        ],
+    )
+    def test_known_normalizations(self, raw, expected):
+        assert morph_normalize(raw) == expected
+
+    def test_found_is_not_find(self):
+        # found-(establish) must not merge with the past tense of find.
+        assert morph_normalize("found") == "found"
+        assert morph_normalize("founded") == "found"
+
+    def test_keep_auxiliaries_option(self):
+        assert "be" in morph_normalize_tokens("be located in", drop_auxiliaries=False)
+
+    def test_never_empty_for_nonempty_input(self):
+        assert morph_normalize("the") != ""
+        assert morph_normalize("is") != ""
+
+    def test_determiners_dropped(self):
+        assert morph_normalize("the university") == "university"
+
+    def test_idempotent_on_common_phrases(self):
+        for phrase in ("locate in", "member of", "university"):
+            assert morph_normalize(morph_normalize(phrase)) == morph_normalize(phrase)
+
+
+class TestOIETriple:
+    def test_normalized_accessors(self):
+        triple = OIETriple("t1", " University of Maryland ", "Locate In", "Maryland")
+        assert triple.subject_norm == "university of maryland"
+        assert triple.predicate_norm == "locate in"
+        assert triple.as_tuple() == ("university of maryland", "locate in", "maryland")
+
+    def test_gold_optional(self):
+        triple = OIETriple("t1", "a", "b", "c")
+        assert triple.gold is None
+        annotated = OIETriple("t2", "a", "b", "c", gold=TripleGold("e:x", None, None))
+        assert annotated.gold.subject_entity == "e:x"
+
+
+class TestOpenKB:
+    def test_vocabularies(self, tiny_okb):
+        assert "university of maryland" in tiny_okb.noun_phrases
+        assert "umd" in tiny_okb.noun_phrases
+        assert "maryland" in tiny_okb.noun_phrases  # object NP
+        assert "locate in" in tiny_okb.relation_phrases
+        assert len(tiny_okb) == 3
+
+    def test_mentions(self, tiny_okb):
+        mentions = tiny_okb.np_mentions("umd")
+        assert mentions == [("t2", PhraseRole.SUBJECT)]
+        assert tiny_okb.rp_mentions("locate in") == ["t1"]
+
+    def test_frequencies(self, tiny_okb):
+        assert tiny_okb.np_frequency("umd") == 1
+        assert tiny_okb.np_frequency("missing") == 0
+        assert tiny_okb.rp_frequency("be a member of") == 1
+
+    def test_duplicate_triple_id_rejected(self):
+        triples = [
+            OIETriple("t1", "a", "b", "c"),
+            OIETriple("t1", "d", "e", "f"),
+        ]
+        with pytest.raises(ValueError):
+            OpenKB(triples)
+
+    def test_attributes(self, tiny_okb):
+        attrs = tiny_okb.attributes("university of maryland")
+        assert ("locate in", "maryland") in attrs
+
+    def test_np_pairs_of_rp(self, tiny_okb):
+        pairs = tiny_okb.np_pairs_of_rp("be a member of")
+        assert pairs == {("umd", "universitas 21")}
+
+    def test_idf_statistics_cover_vocab(self, tiny_okb):
+        assert tiny_okb.np_idf.frequency("university") == 2
+        assert tiny_okb.rp_idf.frequency("member") == 2
+
+    def test_triple_lookup(self, tiny_okb):
+        assert tiny_okb.triple("t1").subject_norm == "university of maryland"
+        with pytest.raises(KeyError):
+            tiny_okb.triple("t999")
+
+    def test_iteration_order(self, tiny_okb):
+        assert [t.triple_id for t in tiny_okb] == ["t1", "t2", "t3"]

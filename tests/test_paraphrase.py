@@ -1,0 +1,73 @@
+"""Tests for the PPDB-style paraphrase database."""
+
+import pytest
+
+from repro.paraphrase.ppdb import ParaphraseDB
+
+
+class TestParaphraseDB:
+    def test_pair_equivalence(self):
+        db = ParaphraseDB([("be located in", "be situated in")])
+        assert db.equivalent("be located in", "be situated in")
+        assert db.similarity("be located in", "be situated in") == 1.0
+
+    def test_transitive_closure(self):
+        db = ParaphraseDB([("a b", "c d"), ("c d", "e f")])
+        assert db.equivalent("a b", "e f")
+
+    def test_identical_strings_always_equivalent(self):
+        db = ParaphraseDB()
+        assert db.equivalent("anything", "Anything")
+
+    def test_unknown_phrases_not_equivalent(self):
+        db = ParaphraseDB([("x", "y")])
+        assert not db.equivalent("p", "q")
+        assert db.similarity("p", "q") == 0.0
+
+    def test_representative_stable_within_cluster(self):
+        db = ParaphraseDB([("a", "b"), ("b", "c")], seed=5)
+        representative = db.representative("a")
+        assert db.representative("b") == representative
+        assert db.representative("c") == representative
+
+    def test_representative_of_unknown_is_itself(self):
+        db = ParaphraseDB()
+        assert db.representative("Unknown Phrase") == "unknown phrase"
+
+    def test_seed_reproducible(self):
+        pairs = [("a", "b"), ("b", "c"), ("x", "y")]
+        assert (
+            ParaphraseDB(pairs, seed=9).representative("a")
+            == ParaphraseDB(pairs, seed=9).representative("a")
+        )
+
+    def test_clusters(self):
+        db = ParaphraseDB([("a", "b"), ("x", "y")])
+        clusters = {frozenset(c) for c in db.clusters()}
+        assert frozenset({"a", "b"}) in clusters
+        assert frozenset({"x", "y"}) in clusters
+
+    def test_contains_and_len(self):
+        db = ParaphraseDB([("a", "b")])
+        assert "a" in db
+        assert "zz" not in db
+        assert len(db) == 2
+
+    def test_normalization(self):
+        db = ParaphraseDB([("Be Located In", "be  situated   in")])
+        assert db.equivalent("be located in", "be situated in")
+
+    def test_tsv_round_trip(self, tmp_path):
+        db = ParaphraseDB([("a", "b"), ("b", "c"), ("x", "y")], seed=2)
+        path = tmp_path / "ppdb.tsv"
+        db.save_tsv(path)
+        loaded = ParaphraseDB.load_tsv(path)
+        assert loaded.equivalent("a", "c")
+        assert loaded.equivalent("x", "y")
+        assert not loaded.equivalent("a", "x")
+
+    def test_load_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only-one-column\n")
+        with pytest.raises(ValueError):
+            ParaphraseDB.load_tsv(path)

@@ -1,0 +1,102 @@
+"""Tests for the end-to-end pipeline and the experiment harness."""
+
+import pytest
+
+from repro.baselines import MorphNormBaseline, SpotlightBaseline
+from repro.core.config import JOCLConfig
+from repro.core.variants import jocl_cano_config, jocl_link_config
+from repro.pipeline.experiment import (
+    CanonicalizationRow,
+    LinkingRow,
+    format_table,
+    run_canonicalization_systems,
+    run_linking_systems,
+    score_clustering,
+)
+from repro.pipeline.jocl_pipeline import JOCLPipeline
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return JOCLConfig(lbp_iterations=10, learn_iterations=2)
+
+
+class TestJOCLPipeline:
+    def test_run_trains_and_evaluates(self, small_dataset, fast_config):
+        pipeline = JOCLPipeline.from_dataset(small_dataset, fast_config)
+        result = pipeline.run()
+        assert result.trained
+        assert 0.0 <= result.np_report.average_f1 <= 1.0
+        assert 0.0 <= result.entity_accuracy <= 1.0
+        summary = result.summary()
+        assert set(summary) == {
+            "np_average_f1",
+            "rp_average_f1",
+            "entity_accuracy",
+            "relation_accuracy",
+        }
+
+    def test_run_without_training(self, small_dataset, fast_config):
+        pipeline = JOCLPipeline.from_dataset(small_dataset, fast_config, train=False)
+        result = pipeline.run()
+        assert not result.trained
+
+    def test_pipeline_beats_trivial_floor(self, small_dataset, fast_config):
+        result = JOCLPipeline.from_dataset(small_dataset, fast_config).run()
+        assert result.np_report.average_f1 > 0.5
+        assert result.entity_accuracy > 0.5
+
+    def test_ablation_order(self, small_dataset, fast_config):
+        """Table 4 shape: full JOCL >= each single-task variant."""
+        full = JOCLPipeline.from_dataset(small_dataset, fast_config).run()
+        cano = JOCLPipeline.from_dataset(
+            small_dataset, jocl_cano_config(fast_config)
+        ).run()
+        link = JOCLPipeline.from_dataset(
+            small_dataset, jocl_link_config(fast_config)
+        ).run()
+        assert full.np_report.average_f1 >= cano.np_report.average_f1 - 1e-9
+        assert full.entity_accuracy >= link.entity_accuracy - 0.02
+
+
+class TestExperimentHarness:
+    def test_run_canonicalization_systems(self, small_dataset, small_side):
+        rows = run_canonicalization_systems(
+            [MorphNormBaseline()], small_side, small_dataset.gold.np_clusters, "S"
+        )
+        assert len(rows) == 1
+        assert rows[0].system == "Morph Norm"
+        assert 0.0 <= rows[0].average_f1 <= 1.0
+
+    def test_run_linking_systems_skips_non_relation_linkers(
+        self, small_dataset, small_side
+    ):
+        rows = run_linking_systems(
+            [SpotlightBaseline()],
+            small_side,
+            small_dataset.gold.relation_links,
+            task="relation",
+        )
+        assert rows == []  # Spotlight links entities only
+
+    def test_format_table(self):
+        rows = [
+            CanonicalizationRow("Morph Norm", 0.5, 0.6, 0.7, 0.6),
+            CanonicalizationRow("JOCL", 0.9, 0.9, 0.9, 0.9),
+        ]
+        text = format_table("Table X", rows)
+        assert "Table X" in text
+        assert "*JOCL*" in text
+        assert "0.900" in text
+
+    def test_format_linking_table(self):
+        text = format_table("T", [LinkingRow("Spotlight", 0.71)], highlight=None)
+        assert "0.710" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table("T", [])
+
+    def test_score_clustering_row(self, small_dataset, small_side):
+        predicted = MorphNormBaseline().cluster(small_side, "S")
+        row = score_clustering("m", predicted, small_dataset.gold.np_clusters)
+        assert row.system == "m"

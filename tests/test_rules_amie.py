@@ -1,0 +1,94 @@
+"""Tests for AMIE-style Horn-rule mining (Section 3.1.4)."""
+
+import pytest
+
+from repro.okb.triples import OIETriple
+from repro.rules.amie import AmieConfig, AmieMiner
+
+
+def _triples(rows):
+    return [
+        OIETriple(f"t{i}", subject, predicate, obj)
+        for i, (subject, predicate, obj) in enumerate(rows)
+    ]
+
+
+@pytest.fixture
+def capital_triples():
+    """Two RPs over the same NP pairs, plus an unrelated RP."""
+    rows = []
+    for city, country in (("paris", "france"), ("rome", "italy"), ("berlin", "germany")):
+        rows.append((city, "is the capital of", country))
+        rows.append((city, "is the capital city of", country))
+    rows.append(("alice", "works for", "acme"))
+    return _triples(rows)
+
+
+class TestAmieMiner:
+    def test_bidirectional_equivalence(self, capital_triples):
+        miner = AmieMiner(capital_triples, AmieConfig(min_support=2, min_confidence=0.5))
+        assert miner.equivalent("is the capital of", "is the capital city of")
+        assert miner.similarity("is the capital of", "is the capital city of") == 1.0
+
+    def test_unrelated_not_equivalent(self, capital_triples):
+        miner = AmieMiner(capital_triples)
+        assert not miner.equivalent("is the capital of", "works for")
+
+    def test_support_threshold(self, capital_triples):
+        miner = AmieMiner(capital_triples, AmieConfig(min_support=5))
+        assert not miner.equivalent("is the capital of", "is the capital city of")
+
+    def test_morphological_normalization_applied(self):
+        # Inflected variants share evidence after normalization.
+        rows = [
+            ("paris", "is the capital of", "france"),
+            ("paris", "was the capital of", "france"),
+            ("rome", "is the capital of", "italy"),
+            ("rome", "was the capital of", "italy"),
+        ]
+        miner = AmieMiner(_triples(rows), AmieConfig(min_support=2))
+        assert miner.equivalent("is the capital of", "was the capital of")
+
+    def test_identical_phrases_trivially_equivalent(self, capital_triples):
+        miner = AmieMiner(capital_triples)
+        assert miner.equivalent("works for", "works for")
+
+    def test_asymmetric_implication(self):
+        # body ⊂ head: "capital of" implies "city in", but not conversely.
+        rows = [
+            ("paris", "is the capital of", "france"),
+            ("paris", "is a city in", "france"),
+            ("rome", "is the capital of", "italy"),
+            ("rome", "is a city in", "italy"),
+            ("lyon", "is a city in", "france"),
+            ("milan", "is a city in", "italy"),
+        ]
+        miner = AmieMiner(
+            _triples(rows), AmieConfig(min_support=2, min_confidence=0.9, use_pca=False)
+        )
+        assert miner.implies("is the capital of", "is a city in")
+        assert not miner.implies("is a city in", "is the capital of")
+        assert not miner.equivalent("is the capital of", "is a city in")
+
+    def test_rules_listing(self, capital_triples):
+        miner = AmieMiner(capital_triples, AmieConfig(min_support=2))
+        rules = miner.rules
+        assert rules
+        assert all(rule.support >= 2 for rule in rules)
+        assert all(0.0 <= rule.confidence <= 1.0 for rule in rules)
+
+    def test_pca_confidence_at_least_standard(self, capital_triples):
+        miner = AmieMiner(capital_triples, AmieConfig(min_support=1))
+        for rule in miner.rules:
+            assert rule.pca_confidence >= rule.confidence - 1e-12
+
+    def test_covered_phrases(self, capital_triples):
+        miner = AmieMiner(capital_triples, AmieConfig(min_support=2))
+        covered = miner.covered_phrases()
+        assert any("capital" in phrase for phrase in covered)
+        assert not any("works" in phrase for phrase in covered)
+
+    def test_empty_input(self):
+        miner = AmieMiner([])
+        assert miner.rules == []
+        assert not miner.equivalent("a", "b")

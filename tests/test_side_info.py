@@ -1,0 +1,47 @@
+"""Tests for the SideInformation bundle and its defaults."""
+
+from repro.ckb.anchors import AnchorStatistics
+from repro.core.side_info import SideInformation
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+
+
+class TestBuildDefaults:
+    def test_minimal_build(self, tiny_okb, tiny_kb):
+        side = SideInformation.build(okb=tiny_okb, kb=tiny_kb)
+        assert side.anchors is not None
+        assert side.candidates is not None
+        assert isinstance(side.embedding, HashedCharNgramEmbedding)
+        # AMIE mined from the OKB itself.
+        assert side.amie is not None
+        # KBP distantly supervised by the CKB.
+        assert side.kbp.relation_of("locate in") == "r:contained_by"
+
+    def test_explicit_resources_kept(self, tiny_okb, tiny_kb, tiny_anchors, tiny_ppdb):
+        side = SideInformation.build(
+            okb=tiny_okb, kb=tiny_kb, anchors=tiny_anchors, ppdb=tiny_ppdb
+        )
+        assert side.anchors is tiny_anchors
+        assert side.ppdb is tiny_ppdb
+
+    def test_max_candidates_forwarded(self, tiny_okb, tiny_kb):
+        side = SideInformation.build(okb=tiny_okb, kb=tiny_kb, max_candidates=2)
+        assert side.candidates.max_candidates == 2
+
+    def test_default_anchor_table_empty(self, tiny_okb, tiny_kb):
+        side = SideInformation.build(okb=tiny_okb, kb=tiny_kb)
+        assert isinstance(side.anchors, AnchorStatistics)
+        assert side.anchors.popularity("umd", "e:umd") == 0.0
+
+
+class TestCachedSurfaceForms:
+    def test_entity_surface_forms(self, tiny_side):
+        forms = tiny_side.entity_surface_forms
+        assert "umd" in forms["e:umd"]
+        assert "university of maryland" in forms["e:umd"]
+        # Cached property: same object on second access.
+        assert tiny_side.entity_surface_forms is forms
+
+    def test_relation_surface_forms(self, tiny_side):
+        forms = tiny_side.relation_surface_forms
+        assert "locate in" in forms["r:contained_by"]
+        assert "location contained by" in forms["r:contained_by"]

@@ -1,0 +1,107 @@
+"""Tests for IDF statistics and IDF token overlap (Section 3.1.3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strings.idf import IdfStatistics, idf_token_overlap
+
+PHRASES = [
+    "university of maryland",
+    "university of virginia",
+    "maryland",
+    "bank of maryland",
+    "warren buffett",
+    "buffett",
+]
+
+
+@pytest.fixture
+def stats():
+    return IdfStatistics(PHRASES)
+
+
+class TestIdfStatistics:
+    def test_frequency_counts_occurrences(self, stats):
+        assert stats.frequency("maryland") == 3
+        assert stats.frequency("of") == 3
+        assert stats.frequency("buffett") == 2
+        assert stats.frequency("virginia") == 1
+
+    def test_unseen_word_frequency_zero(self, stats):
+        assert stats.frequency("zebra") == 0
+
+    def test_weight_decreases_with_frequency(self, stats):
+        assert stats.weight("virginia") > stats.weight("maryland")
+
+    def test_unseen_word_weight_is_max(self, stats):
+        assert stats.weight("zebra") == pytest.approx(1.0 / math.log(2.0))
+
+    def test_contains(self, stats):
+        assert "maryland" in stats
+        assert "zebra" not in stats
+
+    def test_update_extends(self):
+        stats = IdfStatistics(["alpha"])
+        stats.update(["alpha beta"])
+        assert stats.frequency("alpha") == 2
+        assert stats.frequency("beta") == 1
+
+    def test_vocabulary_and_total(self, stats):
+        # university, of, maryland, virginia, bank, warren, buffett
+        assert stats.vocabulary_size == 7
+        assert stats.total_tokens == 13
+
+    def test_case_insensitive(self, stats):
+        assert stats.frequency("MARYLAND") == 3
+
+
+class TestIdfTokenOverlap:
+    def test_identical_phrases(self, stats):
+        assert idf_token_overlap("maryland", "maryland", stats) == 1.0
+
+    def test_disjoint_phrases(self, stats):
+        assert idf_token_overlap("maryland", "buffett", stats) == 0.0
+
+    def test_rare_shared_word_scores_high(self, stats):
+        # "buffett" (frequency 2) outweighs "warren" (frequency 1 but
+        # absent from the intersection); the score clearly exceeds the
+        # frequent-token-only overlap below.
+        rare = idf_token_overlap("warren buffett", "buffett", stats)
+        frequent = idf_token_overlap("bank of maryland", "university of virginia", stats)
+        assert rare > 0.3
+        assert rare > frequent
+
+    def test_frequent_shared_word_scores_low(self, stats):
+        # Sharing only "of" and "university" (both frequent).
+        high = idf_token_overlap("university of maryland", "university of virginia", stats)
+        rare = idf_token_overlap("warren buffett", "buffett", stats)
+        assert high < 1.0
+        assert rare > 0.0
+
+    def test_empty_phrases(self, stats):
+        assert idf_token_overlap("", "", stats) == 0.0
+        assert idf_token_overlap("maryland", "", stats) == 0.0
+
+    def test_symmetry(self, stats):
+        a, b = "university of maryland", "bank of maryland"
+        assert idf_token_overlap(a, b, stats) == idf_token_overlap(b, a, stats)
+
+    @given(
+        st.text(alphabet="abc de", max_size=20),
+        st.text(alphabet="abc de", max_size=20),
+    )
+    def test_bounds(self, first, second):
+        stats = IdfStatistics(PHRASES)
+        score = idf_token_overlap(first, second, stats)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.text(alphabet="abcde ", min_size=1, max_size=20))
+    def test_self_similarity_is_one_when_tokenizable(self, phrase):
+        stats = IdfStatistics([phrase])
+        from repro.strings.tokenize import tokenize
+
+        if tokenize(phrase):
+            assert idf_token_overlap(phrase, phrase, stats) == pytest.approx(1.0)

@@ -1,0 +1,148 @@
+"""Tests for string similarity measures (Sections 3.2.4, baselines)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strings.similarity import (
+    jaccard,
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    ngram_jaccard,
+    ngram_set,
+    normalized_levenshtein_similarity,
+)
+
+short_text = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "first, second, expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_distances(self, first, second, expected):
+        assert levenshtein_distance(first, second) == expected
+
+    @given(short_text, short_text)
+    def test_symmetry(self, first, second):
+        assert levenshtein_distance(first, second) == levenshtein_distance(
+            second, first
+        )
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(
+            a, b
+        ) + levenshtein_distance(b, c)
+
+    @given(short_text)
+    def test_identity(self, text):
+        assert levenshtein_distance(text, text) == 0
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_string(self, first, second):
+        assert levenshtein_distance(first, second) <= max(len(first), len(second))
+
+
+class TestNormalizedLevenshtein:
+    def test_empty_strings_identical(self):
+        assert normalized_levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint(self):
+        assert normalized_levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_bounds(self, first, second):
+        assert 0.0 <= normalized_levenshtein_similarity(first, second) <= 1.0
+
+
+class TestNgrams:
+    def test_ngram_set_basic(self):
+        assert ngram_set("abcd", 3) == frozenset({"abc", "bcd"})
+
+    def test_short_string_falls_back_to_whole(self):
+        assert ngram_set("ab", 3) == frozenset({"ab"})
+
+    def test_empty_string(self):
+        assert ngram_set("", 3) == frozenset()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_set("abc", 0)
+
+    def test_ngram_jaccard_identical(self):
+        assert ngram_jaccard("capital of", "capital of") == 1.0
+
+    def test_ngram_jaccard_similar_beats_dissimilar(self):
+        close = ngram_jaccard("is the capital of", "is the capital city of")
+        far = ngram_jaccard("is the capital of", "works for")
+        assert close > far
+
+    @given(short_text, short_text)
+    def test_bounds(self, first, second):
+        assert 0.0 <= ngram_jaccard(first, second) <= 1.0
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_empty_vs_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("maryland", "maryland") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_known_value(self):
+        # Classic example: MARTHA vs MARHTA = 0.944...
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_completely_different(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry_and_bounds(self, first, second):
+        ab = jaro_similarity(first, second)
+        ba = jaro_similarity(second, first)
+        assert ab == pytest.approx(ba)
+        assert 0.0 <= ab <= 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("maryland", "marylande") > jaro_similarity(
+            "maryland", "marylande"
+        )
+
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_invalid_prefix_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    def test_bounds(self, first, second):
+        assert 0.0 <= jaro_winkler(first, second) <= 1.0
+
+    @given(short_text, short_text)
+    def test_at_least_jaro(self, first, second):
+        assert jaro_winkler(first, second) >= jaro_similarity(first, second) - 1e-12

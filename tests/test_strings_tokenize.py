@@ -1,0 +1,64 @@
+"""Tests for repro.strings.tokenize."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strings.tokenize import normalize_text, tokenize, word_set
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("University Of Maryland") == "university of maryland"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  a \t b\n c ") == "a b c"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+    def test_idempotent(self):
+        text = "University  of   MARYLAND"
+        assert normalize_text(normalize_text(text)) == normalize_text(text)
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("University of Maryland") == ["university", "of", "maryland"]
+
+    def test_punctuation_separates(self):
+        assert tokenize("hello,world!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("universitas 21") == ["universitas", "21"]
+
+    def test_apostrophe_inside_word(self):
+        assert tokenize("o'brien works") == ["o'brien", "works"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! ???") == []
+
+    @given(st.text(max_size=60))
+    def test_all_tokens_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+    @given(st.text(max_size=60))
+    def test_tokens_nonempty(self, text):
+        assert all(token for token in tokenize(text))
+
+
+class TestWordSet:
+    def test_deduplicates(self):
+        assert word_set("the cat and the hat") == frozenset(
+            {"the", "cat", "and", "hat"}
+        )
+
+    def test_frozen(self):
+        assert isinstance(word_set("a b"), frozenset)
+
+    @given(st.text(max_size=60))
+    def test_subset_of_tokens(self, text):
+        assert word_set(text) == frozenset(tokenize(text))
