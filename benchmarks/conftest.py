@@ -1,8 +1,10 @@
 """Shared fixtures for the benchmark harness.
 
 One ReVerb45K-shaped and one NYTimes2018-shaped dataset at the scale the
-tables were tuned on, plus a JOCL model trained once on the ReVerb45K
-validation split (the paper trains all parameters there, Section 4.1).
+tables were tuned on, plus template weights learned once on the ReVerb45K
+validation split (the paper trains all parameters there, Section 4.1) via
+the :class:`repro.api.JOCLEngine` surface and shipped to per-dataset
+engines as a JSON-safe snapshot.
 Results of every table/figure are also appended to
 ``benchmarks/results.txt`` so EXPERIMENTS.md can cite them.
 """
@@ -13,8 +15,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import JOCL, JOCLConfig
-from repro.core.learning import GoldAnnotations
+from repro.api import JOCLEngine
+from repro.core import JOCLConfig
 from repro.datasets import (
     NYTimes2018Config,
     ReVerb45KConfig,
@@ -63,20 +65,32 @@ def nytimes_side(nytimes):
 
 
 @pytest.fixture(scope="session")
-def trained_jocl(reverb):
-    """JOCL with weights learned on the ReVerb45K validation split."""
-    model = JOCL(BENCH_CONFIG)
-    validation_side = reverb.side_information("validation")
-    gold = GoldAnnotations.from_triples(reverb.validation_triples)
-    model.fit(validation_side, gold)
-    return model
+def trained_weights(reverb):
+    """Template weights learned on the ReVerb45K validation split.
+
+    Exported through the engine API's JSON-safe snapshot, exactly as a
+    serving deployment would ship them to inference workers.
+    """
+    engine = reverb.engine("validation", config=BENCH_CONFIG)
+    engine.fit(reverb.validation_triples)
+    return engine.export_weights()
+
+
+def _engine_for(side, weights):
+    return (
+        JOCLEngine.builder()
+        .with_side_information(side)
+        .with_config(BENCH_CONFIG)
+        .with_trained_weights(weights)
+        .build()
+    )
 
 
 @pytest.fixture(scope="session")
-def reverb_output(trained_jocl, reverb_side):
-    return trained_jocl.infer(reverb_side)
+def reverb_output(trained_weights, reverb_side):
+    return _engine_for(reverb_side, trained_weights).run_joint().as_output()
 
 
 @pytest.fixture(scope="session")
-def nytimes_output(trained_jocl, nytimes_side):
-    return trained_jocl.infer(nytimes_side)
+def nytimes_output(trained_weights, nytimes_side):
+    return _engine_for(nytimes_side, trained_weights).run_joint().as_output()

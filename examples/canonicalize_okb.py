@@ -9,6 +9,7 @@ the joint linking task.
 Run:  python examples/canonicalize_okb.py
 """
 
+from repro.api import JOCLEngine
 from repro.baselines import (
     CesiBaseline,
     IdfTokenOverlapBaseline,
@@ -18,11 +19,7 @@ from repro.baselines import (
 )
 from repro.core import JOCLConfig
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
-from repro.pipeline import (
-    JOCLPipeline,
-    format_table,
-    run_canonicalization_systems,
-)
+from repro.pipeline import format_table, run_canonicalization_systems
 from repro.pipeline.experiment import score_clustering
 
 def main() -> None:
@@ -41,12 +38,17 @@ def main() -> None:
     ]
     rows = run_canonicalization_systems(systems, side, gold.np_clusters, "S")
 
-    pipeline = JOCLPipeline.from_dataset(
-        dataset, JOCLConfig(lbp_iterations=20, learn_iterations=10)
+    engine = (
+        JOCLEngine.builder()
+        .with_side_information(side)
+        .with_config(JOCLConfig(lbp_iterations=20, learn_iterations=10))
+        .build()
     )
-    pipeline.side = side
-    result = pipeline.run()
-    rows.append(score_clustering("JOCL", result.output.np_clusters, gold.np_clusters))
+    engine.fit(
+        dataset.validation_triples, side=dataset.side_information("validation")
+    )
+    result = engine.canonicalize()
+    rows.append(score_clustering("JOCL", result.np_clusters, gold.np_clusters))
 
     print(format_table("NP canonicalization (ReVerb45K-shaped OKB)", rows))
 
@@ -54,7 +56,7 @@ def main() -> None:
     print("\ngroups JOCL recovers that IDF-overlap clustering misses:")
     idf_clusters = systems[2].cluster(side, "S")
     shown = 0
-    for group in result.output.np_clusters.non_singletons():
+    for group in result.np_clusters.non_singletons():
         members = sorted(group)
         if not idf_clusters.same_cluster(members[0], members[-1]) and (
             gold.np_clusters.same_cluster(members[0], members[-1])

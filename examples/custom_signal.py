@@ -15,7 +15,8 @@ them — the new signal gives the factor graph direct evidence.
 Run:  python examples/custom_signal.py
 """
 
-from repro.core import JOCL, JOCLConfig
+from repro.api import JOCLEngine
+from repro.core import JOCLConfig
 from repro.core.signals.base import PairSignal
 from repro.core.signals.registry import default_registry
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
@@ -45,12 +46,21 @@ def main() -> None:
     gold = dataset.gold
     config = JOCLConfig(lbp_iterations=20)
 
-    stock = JOCL(config).infer(side)
-    extended_model = JOCL(config, registry_factory=registry_with_acronyms)
-    graph, _index, _builder = extended_model.build_graph(side)
+    stock_engine = (
+        JOCLEngine.builder().with_side_information(side).with_config(config).build()
+    )
+    stock = stock_engine.canonicalize()
+    extended_engine = (
+        JOCLEngine.builder()
+        .with_side_information(side)
+        .with_config(config)
+        .with_signals(registry_with_acronyms)
+        .build()
+    )
+    registry = registry_with_acronyms(side, config.variant)
     print("F1 feature vector with the new signal:",
-          graph.templates["F1"].feature_names)
-    extended = extended_model.infer(side)
+          [signal.name for signal in registry.np_pair])
+    extended = extended_engine.canonicalize()
 
     stock_f1 = evaluate_clustering(stock.np_clusters, gold.np_clusters).average_f1
     extended_f1 = evaluate_clustering(

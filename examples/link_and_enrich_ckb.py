@@ -11,31 +11,32 @@ Run:  python examples/link_and_enrich_ckb.py
 """
 
 from repro.ckb.kb import Fact
-from repro.core import JOCL, JOCLConfig
-from repro.core.learning import GoldAnnotations
+from repro.core import JOCLConfig
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
 
 def main() -> None:
     dataset = generate_reverb45k(
         ReVerb45KConfig(n_entities=80, n_facts=180, n_triples=240, seed=19)
     )
-    side = dataset.side_information("test")
     kb = dataset.kb
     print(f"CKB before enrichment: {kb}")
 
-    model = JOCL(JOCLConfig(lbp_iterations=20, learn_iterations=10))
-    validation_side = dataset.side_information("validation")
-    model.fit(validation_side, GoldAnnotations.from_triples(dataset.validation_triples))
-    output = model.infer(side)
+    engine = dataset.engine(
+        "test", config=JOCLConfig(lbp_iterations=20, learn_iterations=10)
+    )
+    engine.fit(
+        dataset.validation_triples, side=dataset.side_information("validation")
+    )
+    links = engine.link()
 
     # Materialize linked triples; keep the ones the CKB does not know.
     novel: list[Fact] = []
     seen: set[tuple[str, str, str]] = set()
-    for triple in side.okb.triples:
+    for triple in engine.okb.triples:
         subject, predicate, obj = triple.as_tuple()
-        entity_s = output.entity_links.get(subject)
-        relation = output.relation_links.get(predicate)
-        entity_o = output.object_links.get(obj)
+        entity_s = links.entity_links.get(subject)
+        relation = links.relation_links.get(predicate)
+        entity_o = links.object_links.get(obj)
         if not (entity_s and relation and entity_o):
             continue  # NIL somewhere: nothing to assert
         key = (entity_s, relation, entity_o)

@@ -1,17 +1,22 @@
-"""Quickstart: joint OKB canonicalization and linking in ~30 lines.
+"""Quickstart: the JOCL engine API in ~40 lines.
 
-Generates a ReVerb45K-shaped synthetic OKB + CKB, trains JOCL's template
+Generates a ReVerb45K-shaped synthetic OKB + CKB, builds a
+:class:`repro.api.JOCLEngine` over the test split, trains its template
 weights on the validation split (learning rate 0.05, as in the paper),
-runs joint inference on the test split, and prints the evaluation the
-paper reports: macro/micro/pairwise/average F1 for canonicalization and
-accuracy for linking.
+runs joint canonicalization + linking, evaluates the way the paper
+reports (macro/micro/pairwise/average F1, linking accuracy), and shows
+the two service-grade features batch pipelines lack: a single-mention
+``resolve`` query and a JSON round-trip of the full report.
 
 Run:  python examples/quickstart.py
 """
 
+import json
+
+from repro.api import EngineReport, JOCLEngine
 from repro.core import JOCLConfig
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
-from repro.pipeline import JOCLPipeline
+from repro.metrics import evaluate_clustering, linking_accuracy
 
 def main() -> None:
     dataset = generate_reverb45k(
@@ -20,30 +25,56 @@ def main() -> None:
     print(f"dataset: {dataset}")
 
     config = JOCLConfig(lbp_iterations=20, learn_iterations=10)
-    pipeline = JOCLPipeline.from_dataset(dataset, config)
-    result = pipeline.run()
+    engine = dataset.engine("test", config=config)
+    engine.fit(
+        dataset.validation_triples, side=dataset.side_information("validation")
+    )
+    report = engine.run_joint()
 
-    print(f"\ntrained on validation split: {result.trained}")
-    print(f"LBP iterations: {result.output.iterations} "
-          f"(converged: {result.output.converged})")
+    print(f"\ntrained on validation split: {report.stats.trained}")
+    print(f"LBP iterations: {report.iterations} (converged: {report.converged})")
 
+    gold = dataset.gold
+    np_report = evaluate_clustering(
+        report.canonicalization.np_clusters, gold.np_clusters
+    )
+    rp_report = evaluate_clustering(
+        report.canonicalization.rp_clusters, gold.rp_clusters
+    )
     print("\nNP canonicalization (subject noun phrases):")
-    for name, value in result.np_report.as_row().items():
+    for name, value in np_report.as_row().items():
         print(f"  {name:<12} {value:.3f}")
-
     print("\nRP canonicalization (relation phrases):")
-    for name, value in result.rp_report.as_row().items():
+    for name, value in rp_report.as_row().items():
         print(f"  {name:<12} {value:.3f}")
+    entity_accuracy = linking_accuracy(
+        report.linking.entity_links, gold.entity_links
+    )
+    relation_accuracy = linking_accuracy(
+        report.linking.relation_links, gold.relation_links
+    )
+    print(f"\nOKB entity linking accuracy:   {entity_accuracy:.3f}")
+    print(f"OKB relation linking accuracy: {relation_accuracy:.3f}")
 
-    print(f"\nOKB entity linking accuracy:   {result.entity_accuracy:.3f}")
-    print(f"OKB relation linking accuracy: {result.relation_accuracy:.3f}")
+    # Serving-time query: resolve one mention against the joint decoding.
+    mention = dataset.test_triples[0].subject
+    resolution = engine.resolve(mention)
+    print(f"\nresolve({mention!r}):")
+    print(f"  linked to: {resolution.target}")
+    print(f"  co-canonical mentions: {sorted(resolution.cluster)[:5]}")
+
+    # The whole report survives a JSON round-trip (schema-versioned).
+    payload = json.dumps(report.to_dict())
+    restored = EngineReport.from_dict(json.loads(payload))
+    print(f"\nJSON round-trip intact: {restored == report} "
+          f"({len(payload)} bytes on the wire)")
 
     # Peek at a few canonicalization groups with their linked entity.
     print("\nsample canonicalized + linked groups:")
     shown = 0
-    for group in result.output.np_clusters.non_singletons():
+    for group in report.canonicalization.np_clusters.non_singletons():
         members = sorted(group)
-        link = result.output.entity_links.get(members[0])
+        link = report.linking.entity_links.get(members[0])
         print(f"  {members} -> {link}")
         shown += 1
         if shown == 5:

@@ -1,9 +1,10 @@
-"""Setup shim.
+"""Setup shim for legacy tooling.
 
-The offline environment has setuptools but not ``wheel``, so PEP 660
-editable installs (which build a wheel) fail.  This shim enables the
-legacy ``pip install -e . --no-use-pep517`` path; all real metadata
-lives in ``pyproject.toml``.
+All real metadata lives in ``pyproject.toml``.  Note that offline
+environments without ``wheel`` cannot do editable installs at all
+(modern pip requires wheel both for PEP 660 and for the legacy
+``--no-use-pep517`` path); run from the checkout with
+``PYTHONPATH=src`` instead, as the README describes.
 """
 
 from setuptools import setup

@@ -4,6 +4,9 @@ This package is a from-scratch reproduction of the SIGMOD 2021 paper
 *Joint Open Knowledge Base Canonicalization and Linking* (Liu, Shen,
 Wang, Wang, Yang, Yuan).  It contains:
 
+* the service-grade engine API (:mod:`repro.api`) — the supported
+  public surface: a long-lived :class:`JOCLEngine` with incremental
+  ingest, serving-time ``resolve`` and JSON-serializable results,
 * the JOCL factor-graph framework itself (:mod:`repro.core`),
 * every substrate the paper depends on (curated KB, OKB triple store,
   embeddings, paraphrase DB, AMIE rule mining, KBP-style relation
@@ -12,21 +15,69 @@ Wang, Wang, Yang, Yuan).  It contains:
   (:mod:`repro.baselines`),
 * synthetic dataset generators shaped like ReVerb45K and NYTimes2018
   (:mod:`repro.datasets`), and
-* an experiment pipeline (:mod:`repro.pipeline`) used by the benchmark
-  harness to regenerate every table and figure of the paper.
+* the legacy experiment pipeline (:mod:`repro.pipeline`), now a thin
+  adapter over the engine, used by the benchmark harness to regenerate
+  every table and figure of the paper.
 
 Quickstart::
 
+    from repro import JOCLConfig, JOCLEngine
     from repro.datasets import ReVerb45KConfig, generate_reverb45k
-    from repro.pipeline import JOCLPipeline
 
-    dataset = generate_reverb45k(ReVerb45KConfig(n_entities=120, seed=7))
-    pipeline = JOCLPipeline.from_dataset(dataset)
-    result = pipeline.run()
-    print(result.np_clusters)       # canonicalization groups
-    print(result.entity_links)      # NP -> CKB entity
+    dataset = generate_reverb45k(ReVerb45KConfig(n_entities=32, seed=7))
+    engine = (
+        JOCLEngine.builder()
+        .with_ckb(dataset.kb)
+        .with_anchors(dataset.anchors)
+        .with_ppdb(dataset.ppdb)
+        .with_config(JOCLConfig(lbp_iterations=10))
+        .with_triples(dataset.test_triples)
+        .build()
+    )
+    report = engine.run_joint()
+    print(report.canonicalization.np_clusters)   # canonicalization groups
+    print(report.linking.entity_links)           # NP -> CKB entity
+    engine.ingest(dataset.validation_triples)    # incremental OKB growth
+    print(engine.resolve(dataset.test_triples[0].subject).target)
 """
 
+from repro.api import (
+    CanonicalizationResult,
+    EngineBuilder,
+    EngineReport,
+    EngineStats,
+    JOCLEngine,
+    LinkingResult,
+    ResolveResult,
+)
+from repro.core import JOCL, JOCLConfig, JOCLOutput
+from repro.datasets import (
+    Dataset,
+    NYTimes2018Config,
+    ReVerb45KConfig,
+    generate_nytimes2018,
+    generate_reverb45k,
+)
+from repro.pipeline import JOCLPipeline, PipelineResult
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "CanonicalizationResult",
+    "Dataset",
+    "EngineBuilder",
+    "EngineReport",
+    "EngineStats",
+    "JOCL",
+    "JOCLConfig",
+    "JOCLEngine",
+    "JOCLOutput",
+    "JOCLPipeline",
+    "LinkingResult",
+    "NYTimes2018Config",
+    "PipelineResult",
+    "ReVerb45KConfig",
+    "ResolveResult",
+    "__version__",
+    "generate_nytimes2018",
+    "generate_reverb45k",
+]

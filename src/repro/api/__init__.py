@@ -1,0 +1,61 @@
+"""The public, service-grade surface of the JOCL reproduction.
+
+This package is what applications should import.  It wraps the
+framework internals (:mod:`repro.core`) behind a long-lived
+:class:`JOCLEngine` with
+
+* fluent builder construction (:meth:`JOCLEngine.builder`),
+* incremental OKB ingest (:meth:`JOCLEngine.ingest`),
+* batch inference returning typed, schema-versioned, JSON-serializable
+  results (:meth:`JOCLEngine.run_joint` and friends),
+* single-mention serving-time queries (:meth:`JOCLEngine.resolve`),
+* weight learning and JSON-safe weight export
+  (:meth:`JOCLEngine.fit` / :meth:`JOCLEngine.export_weights`),
+
+plus the dedicated exception hierarchy of :mod:`repro.api.errors`.
+The legacy :class:`repro.pipeline.JOCLPipeline` remains as a thin
+benchmark-oriented adapter over the engine.
+"""
+
+from repro.api import errors
+from repro.api.engine import EngineBuilder, JOCLEngine
+from repro.api.errors import (
+    EngineBuildError,
+    EngineStateError,
+    IngestError,
+    InvalidRequestError,
+    JOCLAPIError,
+    SchemaError,
+    SchemaVersionError,
+    TrainingError,
+    UnknownMentionError,
+)
+from repro.api.results import (
+    SCHEMA_VERSION,
+    CanonicalizationResult,
+    EngineReport,
+    EngineStats,
+    LinkingResult,
+    ResolveResult,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CanonicalizationResult",
+    "EngineBuildError",
+    "EngineBuilder",
+    "EngineReport",
+    "EngineStateError",
+    "EngineStats",
+    "IngestError",
+    "InvalidRequestError",
+    "JOCLAPIError",
+    "JOCLEngine",
+    "LinkingResult",
+    "ResolveResult",
+    "SchemaError",
+    "SchemaVersionError",
+    "TrainingError",
+    "UnknownMentionError",
+    "errors",
+]

@@ -1,0 +1,569 @@
+"""The :class:`JOCLEngine`: a long-lived, service-grade JOCL instance.
+
+Where :class:`repro.core.model.JOCL` is a stateless facade over one
+factor-graph build and :class:`repro.pipeline.JOCLPipeline` is bound to
+a benchmark dataset, the engine is the deployment surface: it *owns*
+the curated KB, the configuration, the learned template weights and all
+cached side information across calls, and exposes
+
+* :meth:`JOCLEngine.ingest` — incremental OKB growth that invalidates
+  only OKB-derived state (AMIE rules, KBP supervision, the inference
+  cache) while keeping every CKB-derived resource (candidate indexes,
+  anchors, embeddings, paraphrases) warm;
+* :meth:`JOCLEngine.run_joint` / :meth:`JOCLEngine.canonicalize` /
+  :meth:`JOCLEngine.link` — batch inference returning the typed,
+  JSON-serializable results of :mod:`repro.api.results`;
+* :meth:`JOCLEngine.resolve` — a single-mention serving-time query;
+* :meth:`JOCLEngine.fit` — weight learning from gold annotations;
+* :meth:`JOCLEngine.export_weights` — JSON-safe weight snapshots that
+  :meth:`EngineBuilder.with_trained_weights` restores in another
+  process.
+
+Engines are assembled through the fluent builder::
+
+    engine = (
+        JOCLEngine.builder()
+        .with_ckb(kb)
+        .with_config(JOCLConfig(lbp_iterations=20))
+        .with_triples(triples)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.errors import (
+    EngineBuildError,
+    EngineStateError,
+    IngestError,
+    InvalidRequestError,
+    TrainingError,
+    UnknownMentionError,
+)
+from repro.api.results import (
+    CanonicalizationResult,
+    EngineReport,
+    EngineStats,
+    LinkingResult,
+    ResolveResult,
+)
+from repro.ckb.anchors import AnchorStatistics
+from repro.ckb.candidates import CandidateGenerator
+from repro.ckb.kb import CuratedKB
+from repro.core.config import JOCLConfig
+from repro.core.inference import JOCLOutput
+from repro.core.learning import GoldAnnotations
+from repro.core.model import JOCL
+from repro.core.side_info import SideInformation
+from repro.embeddings.base import WordEmbedding
+from repro.kbp.categorizer import RelationCategorizer
+from repro.okb.store import OpenKB
+from repro.okb.triples import OIETriple
+from repro.paraphrase.ppdb import ParaphraseDB
+from repro.rules.amie import AmieMiner
+from repro.strings.tokenize import normalize_text
+
+#: Friendly aliases accepted wherever a slot kind is expected.  Each
+#: maps to the tuple of slots it covers: noun-phrase-flavored aliases
+#: span both NP slots, since an NP may occur only as an object.
+_KIND_ALIASES = {
+    "S": ("S",),
+    "P": ("P",),
+    "O": ("O",),
+    "subject": ("S",),
+    "entity": ("S", "O"),
+    "np": ("S", "O"),
+    "predicate": ("P",),
+    "relation": ("P",),
+    "rp": ("P",),
+    "object": ("O",),
+}
+
+
+def _resolve_kinds(kind: str) -> tuple[str, ...]:
+    for key in (kind, kind.upper(), kind.lower()):
+        if key in _KIND_ALIASES:
+            return _KIND_ALIASES[key]
+    raise InvalidRequestError(
+        f"unknown slot kind {kind!r}; expected one of "
+        f"{sorted(set(_KIND_ALIASES))}"
+    )
+
+
+class EngineBuilder:
+    """Fluent assembly of a :class:`JOCLEngine`.
+
+    Every ``with_*`` method returns the builder, so construction chains.
+    A CKB is mandatory (via :meth:`with_ckb` or implicitly through
+    :meth:`with_side_information`); everything else defaults the way
+    :meth:`repro.core.side_info.SideInformation.build` does.
+    """
+
+    def __init__(self) -> None:
+        self._kb: CuratedKB | None = None
+        self._config: JOCLConfig | None = None
+        self._triples: list[OIETriple] = []
+        self._anchors: AnchorStatistics | None = None
+        self._ppdb: ParaphraseDB | None = None
+        self._embedding: WordEmbedding | None = None
+        self._amie: AmieMiner | None = None
+        self._kbp: RelationCategorizer | None = None
+        self._registry_factory = None
+        self._weights: Mapping[str, Sequence[float] | np.ndarray] | None = None
+        self._side: SideInformation | None = None
+        self._model: JOCL | None = None
+
+    # ------------------------------------------------------------------
+    # Core resources
+    # ------------------------------------------------------------------
+    def with_ckb(self, kb: CuratedKB) -> "EngineBuilder":
+        """The curated KB the engine links against (required)."""
+        self._kb = kb
+        return self
+
+    def with_config(self, config: JOCLConfig) -> "EngineBuilder":
+        """Hyper-parameters; defaults to the paper's constants."""
+        self._config = config
+        return self
+
+    def with_triples(self, triples: Iterable[OIETriple]) -> "EngineBuilder":
+        """Seed OIE triples (may be called repeatedly; batches append)."""
+        self._triples.extend(triples)
+        return self
+
+    def with_signals(self, registry_factory) -> "EngineBuilder":
+        """A ``(side, variant) -> SignalRegistry`` feature-set override."""
+        self._registry_factory = registry_factory
+        return self
+
+    def with_trained_weights(
+        self, weights: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> "EngineBuilder":
+        """Install previously learned template weights.
+
+        Accepts the JSON-safe mapping :meth:`JOCLEngine.export_weights`
+        produces (template name -> list of floats) or raw numpy arrays.
+        """
+        self._weights = weights
+        return self
+
+    # ------------------------------------------------------------------
+    # Optional side-information resources
+    # ------------------------------------------------------------------
+    def with_anchors(self, anchors: AnchorStatistics) -> "EngineBuilder":
+        """Anchor statistics for the candidate popularity prior."""
+        self._anchors = anchors
+        return self
+
+    def with_ppdb(self, ppdb: ParaphraseDB) -> "EngineBuilder":
+        """Paraphrase database consumed by the PPDB signals."""
+        self._ppdb = ppdb
+        return self
+
+    def with_embedding(self, embedding: WordEmbedding) -> "EngineBuilder":
+        """Word embedding backing the ``f_emb`` signals."""
+        self._embedding = embedding
+        return self
+
+    def with_amie(self, amie: AmieMiner) -> "EngineBuilder":
+        """A pre-mined AMIE rule set (kept verbatim across ingests)."""
+        self._amie = amie
+        return self
+
+    def with_kbp(self, kbp: RelationCategorizer) -> "EngineBuilder":
+        """A pre-built KBP categorizer (kept verbatim across ingests)."""
+        self._kbp = kbp
+        return self
+
+    def with_side_information(self, side: SideInformation) -> "EngineBuilder":
+        """Adopt a fully assembled side-information bundle.
+
+        Mutually exclusive with the per-resource ``with_*`` methods and
+        :meth:`with_triples`: the bundle already fixes the OKB and every
+        resource.  Its OKB-derived resources are treated as refreshable
+        on ingest.
+        """
+        self._side = side
+        return self
+
+    def with_model(self, model: JOCL) -> "EngineBuilder":
+        """Adopt an existing core model (back-compat / advanced use).
+
+        The engine will train and infer through *this* instance, so
+        weights learned via :meth:`JOCLEngine.fit` become visible on the
+        adopted model.  Overrides :meth:`with_config` and
+        :meth:`with_signals`.
+        """
+        self._model = model
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> "JOCLEngine":
+        """Validate the configuration and assemble the engine."""
+        if self._side is not None:
+            conflicts = [
+                name
+                for name, value in (
+                    ("with_ckb", self._kb),
+                    ("with_anchors", self._anchors),
+                    ("with_ppdb", self._ppdb),
+                    ("with_embedding", self._embedding),
+                    ("with_amie", self._amie),
+                    ("with_kbp", self._kbp),
+                )
+                if value is not None
+            ]
+            if self._triples:
+                conflicts.append("with_triples")
+            if conflicts:
+                raise EngineBuildError(
+                    "with_side_information fixes every resource; also calling "
+                    + ", ".join(conflicts)
+                    + " is ambiguous"
+                )
+        elif self._kb is None:
+            raise EngineBuildError(
+                "an engine needs a curated KB: call with_ckb(...) or adopt a "
+                "bundle via with_side_information(...)"
+            )
+        config = self._config or JOCLConfig()
+        if self._model is not None:
+            model = self._model
+            config = model.config
+        else:
+            model = JOCL(config, registry_factory=self._registry_factory)
+        if self._weights is not None:
+            model.weights = _coerce_weights(self._weights)
+        return JOCLEngine(
+            kb=self._side.kb if self._side is not None else self._kb,
+            config=config,
+            model=model,
+            triples=self._triples,
+            anchors=self._anchors,
+            ppdb=self._ppdb,
+            embedding=self._embedding,
+            amie=self._amie,
+            kbp=self._kbp,
+            side=self._side,
+        )
+
+
+def _coerce_weights(
+    weights: Mapping[str, Sequence[float] | np.ndarray],
+) -> dict[str, np.ndarray]:
+    if not weights:
+        raise EngineBuildError(
+            "trained weights mapping is empty; pass the snapshot from "
+            "export_weights or omit with_trained_weights entirely"
+        )
+    coerced: dict[str, np.ndarray] = {}
+    for name, values in weights.items():
+        array = np.asarray(values, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise EngineBuildError(
+                f"trained weights for template {name!r} must be a non-empty "
+                f"1-d vector, got shape {array.shape}"
+            )
+        coerced[name] = array
+    return coerced
+
+
+class JOCLEngine:
+    """A stateful joint canonicalization + linking service.
+
+    Construct through :meth:`JOCLEngine.builder`; see the module
+    docstring for the lifecycle.  All inference entry points share one
+    cached decoding, so ``canonicalize()`` after ``run_joint()`` (or a
+    burst of ``resolve()`` calls) costs a dictionary lookup, not another
+    LBP run.
+    """
+
+    def __init__(
+        self,
+        *,
+        kb: CuratedKB,
+        config: JOCLConfig,
+        model: JOCL,
+        triples: Iterable[OIETriple] = (),
+        anchors: AnchorStatistics | None = None,
+        ppdb: ParaphraseDB | None = None,
+        embedding: WordEmbedding | None = None,
+        amie: AmieMiner | None = None,
+        kbp: RelationCategorizer | None = None,
+        side: SideInformation | None = None,
+    ) -> None:
+        self._kb = kb
+        self._config = config
+        self._model = model
+        if side is not None:
+            self._okb = side.okb
+        else:
+            try:
+                self._okb = OpenKB(self._validated_batch(triples))
+            except (IngestError, ValueError) as error:
+                raise EngineBuildError(str(error)) from error
+        # CKB-derived resources survive every ingest.  None means "use
+        # the defaults of SideInformation.build" — the single source of
+        # truth for default resources.
+        self._anchors = anchors
+        self._embedding = embedding
+        self._ppdb = ppdb
+        self._candidates: CandidateGenerator | None = (
+            side.candidates if side is not None else None
+        )
+        # OKB-derived resources: rebuilt on ingest unless user-pinned.
+        self._custom_amie = amie
+        self._custom_kbp = kbp
+        self._side = side
+        self._okb_derived_stale = False
+        self._output: JOCLOutput | None = None
+        self._n_ingests = 0
+
+    @classmethod
+    def builder(cls) -> EngineBuilder:
+        """Start a fluent :class:`EngineBuilder` chain."""
+        return EngineBuilder()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> JOCLConfig:
+        """The engine's immutable hyper-parameter set."""
+        return self._config
+
+    @property
+    def kb(self) -> CuratedKB:
+        """The curated KB the engine links against."""
+        return self._kb
+
+    @property
+    def okb(self) -> OpenKB:
+        """The OKB accumulated so far (build-time triples + ingests)."""
+        return self._okb
+
+    @property
+    def trained(self) -> bool:
+        """Whether learned template weights are active."""
+        return self._model.weights is not None
+
+    def stats(self) -> EngineStats:
+        """Current OKB size and run provenance."""
+        return EngineStats(
+            n_triples=len(self._okb),
+            n_noun_phrases=len(self._okb.noun_phrases),
+            n_relation_phrases=len(self._okb.relation_phrases),
+            n_ingests=self._n_ingests,
+            trained=self.trained,
+        )
+
+    def export_weights(self) -> dict[str, list[float]]:
+        """Learned template weights as a JSON-safe mapping.
+
+        Feed the result to :meth:`EngineBuilder.with_trained_weights` to
+        reconstruct a trained engine in another process.  Raises
+        :class:`EngineStateError` when the engine has never been fitted.
+        """
+        if self._model.weights is None:
+            raise EngineStateError("engine holds no learned weights; call fit first")
+        return {
+            name: [float(value) for value in weights]
+            for name, weights in self._model.weights.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validated_batch(triples: Iterable[OIETriple]) -> list[OIETriple]:
+        batch = list(triples)
+        for triple in batch:
+            if not isinstance(triple, OIETriple):
+                raise IngestError(
+                    f"ingest expects OIETriple instances, got "
+                    f"{type(triple).__name__}"
+                )
+        return batch
+
+    def ingest(self, triples: Iterable[OIETriple]) -> int:
+        """Add OIE triples to the engine's OKB incrementally.
+
+        The OKB indexes grow in place; of the cached side information,
+        only the OKB-derived pieces (AMIE rules, KBP distant
+        supervision) and the inference cache are invalidated —
+        candidate-generation indexes, anchors, embeddings and the PPDB
+        stay warm.  The batch is validated as a whole: on
+        :class:`IngestError` (duplicate triple id, non-triple input) no
+        state changes.
+
+        Returns the number of triples added.
+        """
+        batch = self._validated_batch(triples)
+        if not batch:
+            return 0
+        try:
+            self._okb.extend(batch)
+        except ValueError as error:
+            raise IngestError(str(error)) from error
+        self._n_ingests += 1
+        self._output = None
+        # Lazy invalidation: N ingest batches before the next inference
+        # cost one AMIE/KBP rebuild, not N.
+        self._okb_derived_stale = self._side is not None
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Side information / inference plumbing
+    # ------------------------------------------------------------------
+    def side_information(self) -> SideInformation:
+        """The engine's (lazily assembled, cached) side-info bundle."""
+        if self._side is None:
+            self._side = SideInformation.build(
+                okb=self._okb,
+                kb=self._kb,
+                anchors=self._anchors,
+                candidates=self._candidates,
+                embedding=self._embedding,
+                ppdb=self._ppdb,
+                amie=self._custom_amie,
+                kbp=self._custom_kbp,
+                max_candidates=self._config.max_candidates,
+            )
+            # Candidate indexes are CKB-derived: keep them for the
+            # engine's lifetime even if the bundle is rebuilt.
+            self._candidates = self._side.candidates
+        elif self._okb_derived_stale:
+            # Pinned resources are kept verbatim — and their rebuild is
+            # skipped, not computed-and-discarded.
+            self._side.refresh_okb_derived(
+                amie=self._custom_amie is None,
+                kbp=self._custom_kbp is None,
+            )
+        self._okb_derived_stale = False
+        return self._side
+
+    def _decoded(self) -> JOCLOutput:
+        if len(self._okb) == 0:
+            raise EngineStateError(
+                "the engine's OKB is empty; seed triples at build time or "
+                "call ingest before running inference"
+            )
+        if self._output is None:
+            side = self.side_information()
+            try:
+                graph, index, builder = self._model.build_graph(side)
+            except ValueError as error:
+                if self._model.weights:
+                    # Typically a weight snapshot whose vectors do not
+                    # match this engine's feature set (wrong variant /
+                    # signals).
+                    message = (
+                        f"installed template weights do not fit this "
+                        f"engine's factor graph: {error}"
+                    )
+                else:
+                    message = (
+                        f"failed to build the factor graph for this "
+                        f"engine's OKB: {error}"
+                    )
+                raise EngineStateError(message) from error
+            if self._model.weights:
+                unknown = sorted(set(self._model.weights) - set(graph.templates))
+                if unknown:
+                    raise EngineStateError(
+                        f"trained weights name unknown templates {unknown}; "
+                        f"this graph has {sorted(graph.templates)}"
+                    )
+            self._output = self._model.infer_built(graph, index, builder)
+        return self._output
+
+    # ------------------------------------------------------------------
+    # Batch inference
+    # ------------------------------------------------------------------
+    def run_joint(self) -> EngineReport:
+        """Joint canonicalization + linking over the current OKB."""
+        output = self._decoded()
+        return EngineReport.from_output(output, stats=self.stats())
+
+    def canonicalize(self) -> CanonicalizationResult:
+        """Canonicalization groups only (shares the joint decoding)."""
+        return self.run_joint().canonicalization
+
+    def link(self) -> LinkingResult:
+        """Linking decisions only (shares the joint decoding)."""
+        return self.run_joint().linking
+
+    # ------------------------------------------------------------------
+    # Serving-time queries
+    # ------------------------------------------------------------------
+    def resolve(self, mention: str, kind: str | None = None) -> ResolveResult:
+        """Resolve one mention against the current joint decoding.
+
+        ``kind`` may be ``"S"``/``"P"``/``"O"`` or a friendly alias
+        (``"subject"``, ``"relation"``, ``"object"``, ...; the
+        NP-flavored aliases ``"entity"``/``"np"`` span both the subject
+        and object slots); when omitted, the slots are searched in S, P,
+        O order.  Raises :class:`UnknownMentionError` when the mention
+        does not occur in the OKB (in the requested slots).
+        """
+        phrase = normalize_text(mention)
+        output = self._decoded()
+        kinds = _resolve_kinds(kind) if kind is not None else ("S", "P", "O")
+        found: str | None = None
+        for candidate_kind in kinds:
+            if phrase in output.clusters.get(candidate_kind, ()):  # Clustering
+                found = candidate_kind
+                break
+        if found is None:
+            raise UnknownMentionError(mention, kind)
+        cluster = tuple(sorted(output.clusters[found].cluster_of(phrase)))
+        generator = self.side_information().candidates
+        if found == "P":
+            retrieved = generator.relation_candidates(phrase)
+            scored = tuple((c.relation_id, c.score) for c in retrieved)
+        else:
+            retrieved = generator.entity_candidates(phrase)
+            scored = tuple((c.entity_id, c.score) for c in retrieved)
+        return ResolveResult(
+            mention=phrase,
+            kind=found,
+            target=output.links[found].get(phrase),
+            cluster=cluster,
+            candidates=scored,
+        )
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        gold: GoldAnnotations | Iterable[OIETriple],
+        side: SideInformation | None = None,
+    ):
+        """Learn template weights from gold annotations.
+
+        ``gold`` is either phrase-level :class:`GoldAnnotations` or an
+        iterable of gold-annotated :class:`OIETriple` (the validation
+        split), from which annotations are collected.  ``side``
+        optionally supplies a dedicated training OKB (the paper's
+        protocol: learn on the validation split, infer on the test
+        split); by default the engine trains on its own OKB.
+
+        Learned weights stay on the engine and apply to every subsequent
+        inference; the inference cache is invalidated.  Raises
+        :class:`TrainingError` when no gold label maps onto the training
+        graph.
+        """
+        if not isinstance(gold, GoldAnnotations):
+            gold = GoldAnnotations.from_triples(gold)
+        training_side = side if side is not None else self.side_information()
+        try:
+            history = self._model.fit(training_side, gold)
+        except ValueError as error:
+            raise TrainingError(str(error)) from error
+        self._output = None
+        return history

@@ -1,0 +1,84 @@
+"""The exception hierarchy of the public engine API.
+
+Everything :mod:`repro.api` raises deliberately derives from
+:class:`JOCLAPIError`, so service wrappers can catch one base class at
+the process boundary and map subclasses onto transport-level error
+codes (bad request, conflict, not found, ...).  Lower-level ``repro``
+internals keep raising plain :class:`ValueError`/:class:`KeyError`;
+the engine translates the ones that cross the API surface.
+"""
+
+from __future__ import annotations
+
+
+class JOCLAPIError(Exception):
+    """Base class of every error raised by :mod:`repro.api`."""
+
+
+class InvalidRequestError(JOCLAPIError, ValueError):
+    """A request argument is malformed (e.g. an unknown slot kind).
+
+    Also a :class:`ValueError`, so callers treating bad arguments as
+    ordinary value errors keep working while service wrappers can catch
+    :class:`JOCLAPIError` alone.
+    """
+
+
+class EngineBuildError(JOCLAPIError):
+    """The builder was asked to assemble an engine from invalid parts.
+
+    Raised for a missing CKB, conflicting resource specifications, or
+    malformed trained weights.
+    """
+
+
+class EngineStateError(JOCLAPIError):
+    """An operation requires state the engine does not (yet) have.
+
+    Typical case: calling :meth:`~repro.api.engine.JOCLEngine.run_joint`
+    on an engine whose OKB holds no triples.
+    """
+
+
+class IngestError(JOCLAPIError):
+    """An ingest batch was rejected; the engine's OKB is unchanged.
+
+    Raised for duplicate triple ids (within the batch or against the
+    already-ingested OKB) and for objects that are not
+    :class:`~repro.okb.triples.OIETriple` instances.
+    """
+
+
+class TrainingError(JOCLAPIError):
+    """``fit`` could not learn from the supplied gold annotations.
+
+    Most commonly: no gold label maps onto the engine's factor graph
+    (e.g. a canonicalization-only variant whose admissible pairs carry
+    no annotations).
+    """
+
+
+class UnknownMentionError(JOCLAPIError):
+    """``resolve`` was asked about a mention the OKB has never seen."""
+
+    def __init__(self, mention: str, kind: str | None = None) -> None:
+        self.mention = mention
+        self.kind = kind
+        where = f" as kind {kind!r}" if kind is not None else ""
+        super().__init__(f"mention {mention!r} does not occur in the OKB{where}")
+
+
+class SchemaError(JOCLAPIError):
+    """A serialized payload is structurally invalid for its result type."""
+
+
+class SchemaVersionError(SchemaError):
+    """A serialized payload carries an unsupported schema version."""
+
+    def __init__(self, found: object, expected: int) -> None:
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"payload schema_version {found!r} is not supported; this build "
+            f"of repro.api reads schema_version {expected}"
+        )

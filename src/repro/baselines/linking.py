@@ -200,7 +200,9 @@ class FalconBaseline(LinkingBaseline):
                     if entity_id in (fact.subject_id, fact.object_id):
                         counts[entity_id] += 1
         if counts:
-            return counts.most_common(1)[0][0]
+            # Ties break toward the smallest entity id so the result does
+            # not depend on set iteration order (PYTHONHASHSEED).
+            return max(sorted(counts), key=counts.__getitem__)
         return max(
             matches,
             key=lambda entity_id: (side.anchors.popularity(phrase, entity_id), entity_id),

@@ -109,6 +109,16 @@ class JOCL:
     def infer(self, side: SideInformation) -> JOCLOutput:
         """Run LBP and decoding on an OKB; weights from :meth:`fit` if set."""
         graph, index, builder = self.build_graph(side)
+        return self.infer_built(graph, index, builder)
+
+    def infer_built(
+        self, graph: FactorGraph, index: GraphIndex, builder: GraphBuilder
+    ) -> JOCLOutput:
+        """Run LBP and decoding on a graph from :meth:`build_graph`.
+
+        Lets callers (e.g. the engine API) inspect or validate the built
+        graph before paying for message passing.
+        """
         result = self._run_lbp(graph, builder)
         return decode(result, index, self.config)
 

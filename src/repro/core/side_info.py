@@ -74,6 +74,28 @@ class SideInformation:
             kbp=kbp,
         )
 
+    def refresh_okb_derived(self, amie: bool = True, kbp: bool = True) -> None:
+        """Re-derive OKB-dependent resources after in-place OKB growth.
+
+        The incremental-ingest hook used by :class:`repro.api.JOCLEngine`:
+        after :meth:`repro.okb.store.OpenKB.extend` added triples, the two
+        resources distilled *from* the OKB (the AMIE rule miner and the
+        distantly supervised KBP categorizer) are stale and rebuilt here.
+        Everything derived from the CKB alone (candidate generator, anchor
+        statistics, surface-form caches, embeddings, PPDB) is untouched.
+        Pass ``amie=False`` / ``kbp=False`` to keep a user-pinned resource
+        (and skip its rebuild cost entirely).  Rebuilds reuse the current
+        resources' configuration (mining thresholds, vote minimums), so
+        an ingest-then-infer run matches a batch run over the union even
+        under non-default settings.
+        """
+        if amie:
+            self.amie = AmieMiner(self.okb.triples, self.amie.config)
+        if kbp:
+            self.kbp = RelationCategorizer(
+                self.kb, self.okb.triples, min_votes=self.kbp.min_votes
+            )
+
     @cached_property
     def entity_surface_forms(self) -> dict[str, frozenset[str]]:
         """Entity id -> normalized surface forms (name + aliases)."""

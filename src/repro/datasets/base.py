@@ -188,6 +188,35 @@ class Dataset:
             max_candidates=max_candidates,
         )
 
+    def engine(
+        self,
+        which: str = "test",
+        config=None,
+        embedding: WordEmbedding | str | None = None,
+        registry_factory=None,
+    ) -> "repro.api.engine.JOCLEngine":  # noqa: F821 - forward reference
+        """A :class:`repro.api.JOCLEngine` seeded with one split.
+
+        The side-info construction hook for the engine API: the returned
+        engine owns this dataset's CKB, anchors and paraphrase DB, holds
+        the chosen split's triples as its OKB, and supports incremental
+        :meth:`~repro.api.engine.JOCLEngine.ingest` of further triples
+        (e.g. streaming the other split in batch by batch).
+        """
+        from repro.api.engine import JOCLEngine
+        from repro.core.config import JOCLConfig
+
+        max_candidates = (config or JOCLConfig()).max_candidates
+        side = self.side_information(
+            which, embedding=embedding, max_candidates=max_candidates
+        )
+        builder = JOCLEngine.builder().with_side_information(side)
+        if config is not None:
+            builder = builder.with_config(config)
+        if registry_factory is not None:
+            builder = builder.with_signals(registry_factory)
+        return builder.build()
+
     def validation_gold(self) -> EvaluationGold:
         """Gold over the validation triples (used for learning)."""
         return EvaluationGold.from_triples(self.validation_triples)

@@ -109,6 +109,11 @@ class RelationCategorizer:
         return 1.0 if self.same_category(first, second) else 0.0
 
     @property
+    def min_votes(self) -> int:
+        """Minimum distant-supervision votes required for a mapping."""
+        return self._min_votes
+
+    @property
     def mapped_phrases(self) -> frozenset[str]:
         """RPs with a distant-supervision mapping."""
         return frozenset(self._mapping)

@@ -43,23 +43,53 @@ class OpenKB:
         self._np_mentions: dict[str, list[tuple[str, PhraseRole]]] = {}
         self._rp_mentions: dict[str, list[str]] = {}
         self._attributes: dict[str, set[tuple[str, str]]] = {}
-        for triple in triples:
-            if triple.triple_id in self._by_id:
+        self._np_idf = IdfStatistics()
+        self._rp_idf = IdfStatistics()
+        self.extend(triples)
+
+    def extend(self, triples: Iterable[OIETriple]) -> list[OIETriple]:
+        """Incrementally index additional triples.
+
+        Only state touched by the new triples is updated: mention lists
+        and attribute sets are appended in place, and the IDF tables see
+        each surface form the first time it enters the vocabulary (the
+        statistics count distinct phrases, so the result is identical to
+        rebuilding from the union).  The whole batch is validated before
+        any of it is indexed, so a duplicate id leaves the store
+        untouched.
+
+        Returns the list of triples actually added.
+        """
+        batch = list(triples)
+        seen: set[str] = set()
+        for triple in batch:
+            if triple.triple_id in self._by_id or triple.triple_id in seen:
                 raise ValueError(f"duplicate triple id {triple.triple_id!r}")
+            seen.add(triple.triple_id)
+        new_nps: list[str] = []
+        new_rps: list[str] = []
+        for triple in batch:
             self._by_id[triple.triple_id] = triple
             self._triples.append(triple)
             subject, predicate, obj = triple.as_tuple()
+            if subject not in self._np_mentions:
+                new_nps.append(subject)
             self._np_mentions.setdefault(subject, []).append(
                 (triple.triple_id, PhraseRole.SUBJECT)
             )
+            if obj not in self._np_mentions:
+                new_nps.append(obj)
             self._np_mentions.setdefault(obj, []).append(
                 (triple.triple_id, PhraseRole.OBJECT)
             )
+            if predicate not in self._rp_mentions:
+                new_rps.append(predicate)
             self._rp_mentions.setdefault(predicate, []).append(triple.triple_id)
             self._attributes.setdefault(subject, set()).add((predicate, obj))
             self._attributes.setdefault(obj, set()).add((predicate, subject))
-        self._np_idf = IdfStatistics(self._np_mentions.keys())
-        self._rp_idf = IdfStatistics(self._rp_mentions.keys())
+        self._np_idf.update(new_nps)
+        self._rp_idf.update(new_rps)
+        return batch
 
     # ------------------------------------------------------------------
     # Triples

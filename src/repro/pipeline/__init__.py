@@ -1,7 +1,9 @@
-"""End-to-end experiment pipeline.
+"""End-to-end experiment pipeline (legacy adapter).
 
 * :class:`JOCLPipeline` — dataset in, trained-and-decoded
-  :class:`~repro.core.inference.JOCLOutput` plus metrics out.
+  :class:`~repro.core.inference.JOCLOutput` plus metrics out; now a
+  thin back-compat adapter over :class:`repro.api.JOCLEngine`, which is
+  the supported public surface for new code.
 * :mod:`~repro.pipeline.experiment` — helpers that run whole
   baseline+JOCL comparisons and format them as the paper's tables.
 """

@@ -114,6 +114,11 @@ class AmieMiner:
     # Queries
     # ------------------------------------------------------------------
     @property
+    def config(self) -> AmieConfig:
+        """The mining configuration this miner was built with."""
+        return self._config
+
+    @property
     def rules(self) -> list[ImplicationRule]:
         """All mined rules meeting the support threshold."""
         return sorted(

@@ -1,0 +1,422 @@
+"""Behavioral tests for the JOCLEngine service surface.
+
+Covers builder validation, incremental ingest (metric-level equivalence
+with a from-scratch batch run), serving-time resolve, training and the
+weight export/import round-trip.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    EngineBuildError,
+    EngineStateError,
+    IngestError,
+    JOCLAPIError,
+    JOCLEngine,
+    TrainingError,
+    UnknownMentionError,
+)
+from repro.core import JOCLConfig
+from repro.core.variants import jocl_cano_config
+from repro.metrics import evaluate_clustering, linking_accuracy
+from repro.okb.triples import OIETriple
+
+FAST = JOCLConfig(lbp_iterations=10, learn_iterations=2)
+
+
+def build_engine(dataset, triples, config=FAST):
+    return (
+        JOCLEngine.builder()
+        .with_ckb(dataset.kb)
+        .with_anchors(dataset.anchors)
+        .with_ppdb(dataset.ppdb)
+        .with_config(config)
+        .with_triples(triples)
+        .build()
+    )
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class TestBuilder:
+    def test_requires_ckb(self):
+        with pytest.raises(EngineBuildError):
+            JOCLEngine.builder().build()
+
+    def test_side_information_conflicts_with_resources(self, small_dataset):
+        side = small_dataset.side_information("test")
+        builder = (
+            JOCLEngine.builder()
+            .with_side_information(side)
+            .with_ckb(small_dataset.kb)
+        )
+        with pytest.raises(EngineBuildError, match="with_ckb"):
+            builder.build()
+
+    def test_bad_trained_weights_rejected(self, small_dataset):
+        builder = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_trained_weights({"F1": []})
+        )
+        with pytest.raises(EngineBuildError):
+            builder.build()
+
+    def test_empty_trained_weights_rejected(self, small_dataset):
+        """An empty snapshot must not masquerade as a trained engine."""
+        builder = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_trained_weights({})
+        )
+        with pytest.raises(EngineBuildError, match="empty"):
+            builder.build()
+
+    def test_duplicate_seed_triples_rejected(self, small_dataset):
+        triple = small_dataset.test_triples[0]
+        builder = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_triples([triple, triple])
+        )
+        with pytest.raises(EngineBuildError):
+            builder.build()
+
+    def test_builder_chains_and_builds(self, small_dataset):
+        engine = build_engine(small_dataset, small_dataset.test_triples)
+        assert engine.config is FAST
+        assert len(engine.okb) == len(small_dataset.test_triples)
+
+    def test_dataset_engine_hook(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        assert engine.kb is small_dataset.kb
+        assert len(engine.okb) == len(small_dataset.test_triples)
+
+
+# ----------------------------------------------------------------------
+# Batch inference
+# ----------------------------------------------------------------------
+class TestInference:
+    def test_run_joint_report(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        report = engine.run_joint()
+        assert report.stats.n_triples == len(small_dataset.test_triples)
+        assert not report.stats.trained
+        assert report.canonicalization.np_clusters.items
+        assert set(report.linking.links) == {"S", "P", "O"}
+
+    def test_canonicalize_and_link_share_decoding(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        report = engine.run_joint()
+        assert engine.canonicalize() == report.canonicalization
+        assert engine.link() == report.linking
+
+    def test_empty_okb_raises(self, small_dataset):
+        engine = JOCLEngine.builder().with_ckb(small_dataset.kb).build()
+        with pytest.raises(EngineStateError):
+            engine.run_joint()
+
+    def test_errors_share_api_base(self):
+        for error_type in (EngineStateError, IngestError, TrainingError):
+            assert issubclass(error_type, JOCLAPIError)
+
+    def test_invalid_kind_is_api_error_and_value_error(self, small_dataset):
+        from repro.api import InvalidRequestError
+
+        engine = small_dataset.engine("test", config=FAST)
+        mention = small_dataset.test_triples[0].subject
+        with pytest.raises(InvalidRequestError) as excinfo:
+            engine.resolve(mention, kind="verb")
+        assert isinstance(excinfo.value, JOCLAPIError)
+        assert isinstance(excinfo.value, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Incremental ingest
+# ----------------------------------------------------------------------
+class TestIngest:
+    def test_ingest_then_join_matches_batch_run(self, small_dataset):
+        """ingest + run_joint == from-scratch batch run on the union.
+
+        Metric-level equivalence on a ReVerb45K-shaped dataset, per the
+        incremental-ingest contract: warm CKB-derived caches must not
+        change any decision.
+        """
+        triples = small_dataset.test_triples
+        half = len(triples) // 2
+        gold = small_dataset.gold
+
+        batch = build_engine(small_dataset, triples)
+        batch_report = batch.run_joint()
+
+        incremental = build_engine(small_dataset, triples[:half])
+        incremental.run_joint()  # force side-info build + a stale decode
+        assert incremental.ingest(triples[half:]) == len(triples) - half
+        incremental_report = incremental.run_joint()
+
+        assert incremental_report.stats.n_ingests == 1
+        assert incremental_report.stats.n_triples == len(triples)
+        for report in (batch_report, incremental_report):
+            assert report.stats.n_triples == len(triples)
+
+        batch_np = evaluate_clustering(
+            batch_report.canonicalization.np_clusters, gold.np_clusters
+        )
+        incremental_np = evaluate_clustering(
+            incremental_report.canonicalization.np_clusters, gold.np_clusters
+        )
+        assert batch_np == incremental_np
+        assert linking_accuracy(
+            incremental_report.linking.entity_links, gold.entity_links
+        ) == linking_accuracy(
+            batch_report.linking.entity_links, gold.entity_links
+        )
+        # The equivalence is in fact exact, decision for decision.
+        assert incremental_report.canonicalization == batch_report.canonicalization
+        assert incremental_report.linking == batch_report.linking
+
+    def test_ingest_invalidates_inference_cache(self, small_dataset):
+        triples = small_dataset.test_triples
+        engine = build_engine(small_dataset, triples[:20])
+        before = engine.run_joint()
+        engine.ingest(triples[20:40])
+        after = engine.run_joint()
+        assert after.stats.n_triples == 40
+        assert before.canonicalization != after.canonicalization
+
+    def test_duplicate_ingest_rejected_atomically(self, small_dataset):
+        triples = small_dataset.test_triples
+        engine = build_engine(small_dataset, triples[:10])
+        fresh = triples[10:12]
+        with pytest.raises(IngestError):
+            engine.ingest([*fresh, triples[0]])
+        # Atomicity: the two fresh triples were not half-applied.
+        assert len(engine.okb) == 10
+        assert engine.ingest(fresh) == 2
+        assert len(engine.okb) == 12
+
+    def test_non_triple_ingest_rejected(self, small_dataset):
+        engine = build_engine(small_dataset, small_dataset.test_triples[:5])
+        with pytest.raises(IngestError):
+            engine.ingest(["not a triple"])
+        assert len(engine.okb) == 5
+
+    def test_pinned_amie_and_kbp_survive_ingest_without_rebuild(
+        self, small_dataset
+    ):
+        """User-pinned OKB-derived resources are kept verbatim on ingest."""
+        from repro.kbp.categorizer import RelationCategorizer
+        from repro.okb.store import OpenKB
+        from repro.rules.amie import AmieConfig, AmieMiner
+
+        triples = small_dataset.test_triples
+        pinned_amie = AmieMiner(OpenKB(triples).triples, AmieConfig())
+        pinned_kbp = RelationCategorizer(small_dataset.kb, triples)
+        engine = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_config(FAST)
+            .with_triples(triples[:10])
+            .with_amie(pinned_amie)
+            .with_kbp(pinned_kbp)
+            .build()
+        )
+        side = engine.side_information()
+        assert side.amie is pinned_amie
+        assert side.kbp is pinned_kbp
+        engine.ingest(triples[10:20])
+        side = engine.side_information()  # post-ingest refresh point
+        assert side.amie is pinned_amie  # same object: no rebuild happened
+        assert side.kbp is pinned_kbp
+
+    def test_refresh_preserves_custom_amie_and_kbp_configs(self, small_dataset):
+        """Ingest rebuilds keep non-default mining/supervision settings."""
+        from repro.core.side_info import SideInformation
+        from repro.kbp.categorizer import RelationCategorizer
+        from repro.okb.store import OpenKB
+        from repro.rules.amie import AmieConfig, AmieMiner
+
+        triples = small_dataset.test_triples
+        okb = OpenKB(triples[:10])
+        custom_amie = AmieMiner(okb.triples, AmieConfig(min_support=5))
+        custom_kbp = RelationCategorizer(small_dataset.kb, okb.triples, min_votes=3)
+        side = SideInformation.build(
+            okb=okb, kb=small_dataset.kb, amie=custom_amie, kbp=custom_kbp
+        )
+        engine = (
+            JOCLEngine.builder().with_side_information(side).with_config(FAST).build()
+        )
+        engine.ingest(triples[10:20])
+        side = engine.side_information()  # post-ingest refresh point
+        assert side.amie is not custom_amie  # rebuilt over the grown OKB...
+        assert side.amie.config == AmieConfig(min_support=5)  # ...same settings
+        assert side.kbp.min_votes == 3
+
+    def test_many_ingests_cost_one_rebuild(self, small_dataset, monkeypatch):
+        """OKB-derived refresh is lazy: N batches, one rebuild."""
+        from repro.core.side_info import SideInformation
+
+        calls = []
+        original = SideInformation.refresh_okb_derived
+
+        def counting(self, **kwargs):
+            calls.append(kwargs)
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(SideInformation, "refresh_okb_derived", counting)
+        triples = small_dataset.test_triples
+        engine = build_engine(small_dataset, triples[:10])
+        engine.run_joint()  # materialize side info
+        for start in range(10, 40, 10):
+            engine.ingest(triples[start : start + 10])
+        assert calls == []  # nothing rebuilt while only ingesting
+        engine.run_joint()
+        assert len(calls) == 1  # one refresh served all three batches
+
+    def test_empty_ingest_is_noop(self, small_dataset):
+        engine = build_engine(small_dataset, small_dataset.test_triples[:5])
+        report = engine.run_joint()
+        assert engine.ingest([]) == 0
+        assert engine.run_joint() == report
+        assert engine.stats().n_ingests == 0
+
+
+# ----------------------------------------------------------------------
+# Serving-time resolve
+# ----------------------------------------------------------------------
+class TestResolve:
+    def test_resolve_subject(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        triple = small_dataset.test_triples[0]
+        result = engine.resolve(triple.subject)
+        assert result.kind == "S"
+        assert result.mention == triple.subject_norm
+        assert result.mention in result.cluster
+        assert result.target is None or isinstance(result.target, str)
+
+    def test_resolve_relation_kind_aliases(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        predicate = small_dataset.test_triples[0].predicate
+        for kind in ("P", "relation", "predicate"):
+            result = engine.resolve(predicate, kind=kind)
+            assert result.kind == "P"
+
+    def test_resolve_object_only_np_via_entity_alias(self, small_dataset):
+        """'entity'/'np' aliases span both NP slots, not just subjects."""
+        engine = small_dataset.engine("test", config=FAST)
+        report = engine.run_joint()
+        subject_nps = set(report.canonicalization.np_clusters.items)
+        object_only = next(
+            phrase
+            for phrase in report.canonicalization.object_clusters.items
+            if phrase not in subject_nps
+        )
+        for alias in ("entity", "np"):
+            result = engine.resolve(object_only, kind=alias)
+            assert result.kind == "O"
+        with pytest.raises(UnknownMentionError):
+            engine.resolve(object_only, kind="subject")
+
+    def test_resolve_unknown_mention(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        with pytest.raises(UnknownMentionError):
+            engine.resolve("a mention nobody ever extracted")
+
+    def test_resolve_normalizes_mention(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        triple = small_dataset.test_triples[0]
+        shouted = triple.subject.upper() + "   "
+        assert engine.resolve(shouted).mention == triple.subject_norm
+
+    def test_resolve_result_serializes(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        result = engine.resolve(small_dataset.test_triples[0].subject)
+        assert json.dumps(result.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Training and weight export
+# ----------------------------------------------------------------------
+class TestFit:
+    def test_fit_on_validation_side_improves_report(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        assert not engine.trained
+        engine.fit(
+            small_dataset.validation_triples,
+            side=small_dataset.side_information("validation"),
+        )
+        assert engine.trained
+        assert engine.run_joint().stats.trained
+
+    def test_fit_without_usable_gold_raises(self, small_dataset):
+        config = jocl_cano_config(FAST)
+        engine = small_dataset.engine("test", config=config)
+        unannotated = [
+            OIETriple(triple_id=f"u{i}", subject=f"s{i}", predicate="p", object="o")
+            for i in range(3)
+        ]
+        with pytest.raises(TrainingError):
+            engine.fit(unannotated)
+
+    def test_export_weights_untrained_raises(self, small_dataset):
+        engine = small_dataset.engine("test", config=FAST)
+        with pytest.raises(EngineStateError):
+            engine.export_weights()
+
+    def test_wrong_length_weight_snapshot_raises_api_error(self, small_dataset):
+        """Shape mismatches surface as API errors, not raw core ValueError."""
+        engine = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_config(FAST)
+            .with_triples(small_dataset.test_triples[:10])
+            .with_trained_weights({"F1": [0.1] * 7})
+            .build()
+        )
+        with pytest.raises(EngineStateError, match="do not fit"):
+            engine.run_joint()
+
+    def test_unknown_template_names_raise_instead_of_silent_skip(
+        self, small_dataset
+    ):
+        """A mistyped snapshot key must not silently run untrained."""
+        engine = (
+            JOCLEngine.builder()
+            .with_ckb(small_dataset.kb)
+            .with_config(FAST)
+            .with_triples(small_dataset.test_triples[:10])
+            .with_trained_weights({"f1": [0.5, 0.5]})
+            .build()
+        )
+        with pytest.raises(EngineStateError, match="unknown templates"):
+            engine.run_joint()
+
+    def test_weight_export_import_round_trip(self, small_dataset):
+        trainer = small_dataset.engine("validation", config=FAST)
+        trainer.fit(small_dataset.validation_triples)
+        snapshot = json.loads(json.dumps(trainer.export_weights()))
+
+        warm = (
+            JOCLEngine.builder()
+            .with_side_information(small_dataset.side_information("test"))
+            .with_config(FAST)
+            .with_trained_weights(snapshot)
+            .build()
+        )
+        assert warm.trained
+        report = warm.run_joint()
+        assert report.stats.trained
+
+        # Weights survive the JSON hop bit-for-bit: inference matches an
+        # engine trained in-process with the same protocol.
+        direct = small_dataset.engine("test", config=FAST)
+        direct.fit(
+            small_dataset.validation_triples,
+            side=small_dataset.side_information("validation"),
+        )
+        direct_report = direct.run_joint()
+        assert report.canonicalization == direct_report.canonicalization
+        assert report.linking == direct_report.linking

@@ -1,0 +1,216 @@
+"""JSON round-trips and schema validation for the API result types."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    CanonicalizationResult,
+    EngineReport,
+    EngineStats,
+    LinkingResult,
+    ResolveResult,
+    SchemaError,
+    SchemaVersionError,
+)
+from repro.clustering.clusters import Clustering
+from repro.core.inference import JOCLOutput
+
+
+def make_canonicalization() -> CanonicalizationResult:
+    return CanonicalizationResult(
+        clusters={
+            "S": Clustering([{"umd", "university of maryland"}, {"maryland"}]),
+            "P": Clustering([{"locate in", "be located in"}]),
+            "O": Clustering([{"u21"}]),
+        },
+        iterations=7,
+        converged=True,
+    )
+
+
+def make_linking() -> LinkingResult:
+    return LinkingResult(
+        links={
+            "S": {"umd": "e:umd", "university of maryland": "e:umd"},
+            "P": {"locate in": "r:contained_by"},
+            "O": {"u21": None},
+        },
+        iterations=7,
+        converged=True,
+    )
+
+
+def make_stats() -> EngineStats:
+    return EngineStats(
+        n_triples=3,
+        n_noun_phrases=5,
+        n_relation_phrases=2,
+        n_ingests=1,
+        trained=True,
+    )
+
+
+def make_report() -> EngineReport:
+    return EngineReport(
+        canonicalization=make_canonicalization(),
+        linking=make_linking(),
+        stats=make_stats(),
+    )
+
+
+def make_resolve() -> ResolveResult:
+    return ResolveResult(
+        mention="umd",
+        kind="S",
+        target="e:umd",
+        cluster=("umd", "university of maryland"),
+        candidates=(("e:umd", 1.0), ("e:maryland", 0.4)),
+    )
+
+
+ALL_RESULTS = [
+    make_canonicalization,
+    make_linking,
+    make_stats,
+    make_report,
+    make_resolve,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_json_round_trip_equality(factory):
+    """to_dict -> json -> from_dict reproduces an equal object."""
+    original = factory()
+    wire = json.dumps(original.to_dict())
+    restored = type(original).from_dict(json.loads(wire))
+    assert restored == original
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_payload_envelope(factory):
+    payload = factory().to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["type"] == type(factory()).TYPE
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_schema_version_mismatch_raises(factory):
+    original = factory()
+    payload = original.to_dict()
+    payload["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaVersionError) as excinfo:
+        type(original).from_dict(payload)
+    assert excinfo.value.found == SCHEMA_VERSION + 1
+    assert excinfo.value.expected == SCHEMA_VERSION
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_missing_schema_version_raises(factory):
+    original = factory()
+    payload = original.to_dict()
+    del payload["schema_version"]
+    with pytest.raises(SchemaVersionError):
+        type(original).from_dict(payload)
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_wrong_type_discriminator_raises(factory):
+    original = factory()
+    payload = original.to_dict()
+    payload["type"] = "something_else"
+    with pytest.raises(SchemaError):
+        type(original).from_dict(payload)
+
+
+@pytest.mark.parametrize("factory", ALL_RESULTS, ids=lambda f: f.__name__)
+def test_non_mapping_payload_raises(factory):
+    with pytest.raises(SchemaError):
+        type(factory()).from_dict([1, 2, 3])
+
+
+def test_schema_version_error_is_schema_error():
+    assert issubclass(SchemaVersionError, SchemaError)
+
+
+def test_malformed_cluster_body_raises_schema_error():
+    """An item repeated across clusters must not leak raw ValueError."""
+    payload = make_canonicalization().to_dict()
+    payload["clusters"]["S"] = [["a"], ["a"]]
+    with pytest.raises(SchemaError, match="malformed"):
+        CanonicalizationResult.from_dict(payload)
+
+
+def test_scalar_cluster_body_raises_schema_error():
+    payload = make_canonicalization().to_dict()
+    payload["clusters"] = 7
+    with pytest.raises(SchemaError):
+        CanonicalizationResult.from_dict(payload)
+
+
+def test_scalar_links_body_raises_schema_error():
+    payload = make_linking().to_dict()
+    payload["links"] = "not a mapping"
+    with pytest.raises(SchemaError):
+        LinkingResult.from_dict(payload)
+
+
+def test_resolve_candidates_missing_id_raises_schema_error():
+    payload = make_resolve().to_dict()
+    payload["candidates"] = [{"score": 1.0}]
+    with pytest.raises(SchemaError, match="malformed"):
+        ResolveResult.from_dict(payload)
+
+
+def test_non_numeric_stats_raise_schema_error():
+    payload = make_stats().to_dict()
+    payload["n_triples"] = "many"
+    with pytest.raises(SchemaError):
+        EngineStats.from_dict(payload)
+
+
+def test_canonicalization_accessors():
+    result = make_canonicalization()
+    assert result.np_clusters.same_cluster("umd", "university of maryland")
+    assert "locate in" in result.rp_clusters
+    assert "u21" in result.object_clusters
+
+
+def test_linking_accessors():
+    result = make_linking()
+    assert result.entity_links["umd"] == "e:umd"
+    assert result.relation_links["locate in"] == "r:contained_by"
+    assert result.object_links["u21"] is None
+
+
+def test_linking_nil_survives_round_trip():
+    result = make_linking()
+    restored = LinkingResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored.object_links["u21"] is None
+
+
+def test_report_missing_section_raises():
+    payload = make_report().to_dict()
+    del payload["linking"]
+    with pytest.raises(SchemaError):
+        EngineReport.from_dict(payload)
+
+
+def test_report_as_output_round_trip():
+    """EngineReport <-> JOCLOutput conversion preserves decisions."""
+    report = make_report()
+    output = report.as_output()
+    assert isinstance(output, JOCLOutput)
+    assert output.np_clusters == report.canonicalization.np_clusters
+    assert output.entity_links == report.linking.entity_links
+    assert output.iterations == report.iterations
+    rewrapped = EngineReport.from_output(output, stats=report.stats)
+    assert rewrapped == report
+
+
+def test_resolve_result_candidates_round_trip():
+    restored = ResolveResult.from_dict(
+        json.loads(json.dumps(make_resolve().to_dict()))
+    )
+    assert restored.candidates == (("e:umd", 1.0), ("e:maryland", 0.4))

@@ -1,12 +1,30 @@
-"""The example scripts must at least compile and expose a main()."""
+"""The example scripts must at least compile and expose a main(),
+and the package docstring's quickstart must actually run."""
 
 import ast
 import importlib.util
+import textwrap
 from pathlib import Path
 
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_package_quickstart_docstring_runs(capsys):
+    """The ``Quickstart::`` block in ``repro.__doc__`` is executable.
+
+    Guards against the docstring drifting from the real API (it used to
+    print attributes that did not exist on the advertised result type).
+    """
+    import repro
+
+    _, _, block = repro.__doc__.partition("Quickstart::")
+    assert block, "repro.__doc__ lost its Quickstart:: section"
+    code = textwrap.dedent(block)
+    exec(compile(code, "repro-quickstart", "exec"), {})
+    printed = capsys.readouterr().out
+    assert "Clustering(" in printed  # the advertised np_clusters repr
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)

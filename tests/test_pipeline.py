@@ -46,6 +46,27 @@ class TestJOCLPipeline:
         assert result.np_report.average_f1 > 0.5
         assert result.entity_accuracy > 0.5
 
+    def test_empty_test_split_returns_empty_result(self, small_dataset, fast_config):
+        """Historical behavior: an empty split decodes to empty output."""
+        from repro.datasets.base import Dataset, EvaluationGold
+
+        empty = Dataset(
+            name="empty",
+            world=small_dataset.world,
+            triples=[],
+            kb=small_dataset.kb,
+            anchors=small_dataset.anchors,
+            ppdb=small_dataset.ppdb,
+            gold=EvaluationGold.from_triples([]),
+        )
+        result = JOCLPipeline.from_dataset(empty, fast_config).run()
+        assert not result.trained
+        assert len(result.output.np_clusters) == 0
+        assert result.output.entity_links == {}
+        # Historical shape: an empty graph counts as converged.
+        assert result.output.converged
+        assert result.output.iterations == 1
+
     def test_ablation_order(self, small_dataset, fast_config):
         """Table 4 shape: full JOCL >= each single-task variant."""
         full = JOCLPipeline.from_dataset(small_dataset, fast_config).run()
