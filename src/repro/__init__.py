@@ -6,7 +6,11 @@ Wang, Wang, Yang, Yuan).  It contains:
 
 * the service-grade engine API (:mod:`repro.api`) — the supported
   public surface: a long-lived :class:`JOCLEngine` with incremental
-  ingest, serving-time ``resolve`` and JSON-serializable results,
+  ingest, serving-time ``resolve``/``resolve_many`` and
+  JSON-serializable results,
+* pluggable execution runtimes (:mod:`repro.runtime`) — serial,
+  partitioned and pool-parallel LBP behind one plan/execute/merge
+  contract, selected per engine via ``with_runtime(...)``,
 * the JOCL factor-graph framework itself (:mod:`repro.core`),
 * every substrate the paper depends on (curated KB, OKB triple store,
   embeddings, paraphrase DB, AMIE rule mining, KBP-style relation
@@ -21,7 +25,7 @@ Wang, Wang, Yang, Yuan).  It contains:
 
 Quickstart::
 
-    from repro import JOCLConfig, JOCLEngine
+    from repro import JOCLConfig, JOCLEngine, ParallelRuntime
     from repro.datasets import ReVerb45KConfig, generate_reverb45k
 
     dataset = generate_reverb45k(ReVerb45KConfig(n_entities=32, seed=7))
@@ -32,13 +36,18 @@ Quickstart::
         .with_ppdb(dataset.ppdb)
         .with_config(JOCLConfig(lbp_iterations=10))
         .with_triples(dataset.test_triples)
+        .with_runtime(ParallelRuntime(max_workers=4))  # partitioned LBP
         .build()
     )
     report = engine.run_joint()
     print(report.canonicalization.np_clusters)   # canonicalization groups
     print(report.linking.entity_links)           # NP -> CKB entity
+    print(report.profile.n_components)           # how inference executed
     engine.ingest(dataset.validation_triples)    # incremental OKB growth
-    print(engine.resolve(dataset.test_triples[0].subject).target)
+    batch = engine.resolve_many(
+        [t.subject for t in dataset.test_triples[:3]]
+    )                                            # batched serving
+    print([r.target for r in batch])
 """
 
 from repro.api import (
@@ -46,6 +55,7 @@ from repro.api import (
     EngineBuilder,
     EngineReport,
     EngineStats,
+    ExecutionProfile,
     JOCLEngine,
     LinkingResult,
     ResolveResult,
@@ -55,10 +65,18 @@ from repro.datasets import (
     Dataset,
     NYTimes2018Config,
     ReVerb45KConfig,
+    ShardedOKBConfig,
     generate_nytimes2018,
     generate_reverb45k,
+    generate_sharded_reverb45k,
 )
 from repro.pipeline import JOCLPipeline, PipelineResult
+from repro.runtime import (
+    InferenceRuntime,
+    ParallelRuntime,
+    PartitionedRuntime,
+    SerialRuntime,
+)
 from repro.version import __version__
 
 __all__ = [
@@ -67,6 +85,8 @@ __all__ = [
     "EngineBuilder",
     "EngineReport",
     "EngineStats",
+    "ExecutionProfile",
+    "InferenceRuntime",
     "JOCL",
     "JOCLConfig",
     "JOCLEngine",
@@ -74,10 +94,15 @@ __all__ = [
     "JOCLPipeline",
     "LinkingResult",
     "NYTimes2018Config",
+    "ParallelRuntime",
+    "PartitionedRuntime",
     "PipelineResult",
     "ReVerb45KConfig",
     "ResolveResult",
+    "SerialRuntime",
+    "ShardedOKBConfig",
     "__version__",
     "generate_nytimes2018",
     "generate_reverb45k",
+    "generate_sharded_reverb45k",
 ]

@@ -7,8 +7,11 @@ framework internals (:mod:`repro.core`) behind a long-lived
 * fluent builder construction (:meth:`JOCLEngine.builder`),
 * incremental OKB ingest (:meth:`JOCLEngine.ingest`),
 * batch inference returning typed, schema-versioned, JSON-serializable
-  results (:meth:`JOCLEngine.run_joint` and friends),
-* single-mention serving-time queries (:meth:`JOCLEngine.resolve`),
+  results (:meth:`JOCLEngine.run_joint` and friends), executed on a
+  pluggable :mod:`repro.runtime` (:meth:`EngineBuilder.with_runtime`)
+  and profiled per run (:class:`ExecutionProfile`),
+* serving-time queries — single-mention :meth:`JOCLEngine.resolve` and
+  request-batched :meth:`JOCLEngine.resolve_many`,
 * weight learning and JSON-safe weight export
   (:meth:`JOCLEngine.fit` / :meth:`JOCLEngine.export_weights`),
 
@@ -35,6 +38,7 @@ from repro.api.results import (
     CanonicalizationResult,
     EngineReport,
     EngineStats,
+    ExecutionProfile,
     LinkingResult,
     ResolveResult,
 )
@@ -47,6 +51,7 @@ __all__ = [
     "EngineReport",
     "EngineStateError",
     "EngineStats",
+    "ExecutionProfile",
     "IngestError",
     "InvalidRequestError",
     "JOCLAPIError",

@@ -12,8 +12,13 @@ cached side information across calls, and exposes
   anchors, embeddings, paraphrases) warm;
 * :meth:`JOCLEngine.run_joint` / :meth:`JOCLEngine.canonicalize` /
   :meth:`JOCLEngine.link` — batch inference returning the typed,
-  JSON-serializable results of :mod:`repro.api.results`;
-* :meth:`JOCLEngine.resolve` — a single-mention serving-time query;
+  JSON-serializable results of :mod:`repro.api.results`, executed on
+  the pluggable :mod:`repro.runtime` selected via
+  :meth:`EngineBuilder.with_runtime` (profiled in
+  :meth:`JOCLEngine.last_profile`);
+* :meth:`JOCLEngine.resolve` — a single-mention serving-time query —
+  and :meth:`JOCLEngine.resolve_many`, its request-batched equivalent
+  that amortizes decoding and index lookups across the batch;
 * :meth:`JOCLEngine.fit` — weight learning from gold annotations;
 * :meth:`JOCLEngine.export_weights` — JSON-safe weight snapshots that
   :meth:`EngineBuilder.with_trained_weights` restores in another
@@ -48,6 +53,7 @@ from repro.api.results import (
     CanonicalizationResult,
     EngineReport,
     EngineStats,
+    ExecutionProfile,
     LinkingResult,
     ResolveResult,
 )
@@ -65,6 +71,8 @@ from repro.okb.store import OpenKB
 from repro.okb.triples import OIETriple
 from repro.paraphrase.ppdb import ParaphraseDB
 from repro.rules.amie import AmieMiner
+from repro.runtime.base import InferenceRuntime
+from repro.runtime.serial import SerialRuntime
 from repro.strings.tokenize import normalize_text
 
 #: Friendly aliases accepted wherever a slot kind is expected.  Each
@@ -116,6 +124,7 @@ class EngineBuilder:
         self._weights: Mapping[str, Sequence[float] | np.ndarray] | None = None
         self._side: SideInformation | None = None
         self._model: JOCL | None = None
+        self._runtime: InferenceRuntime | None = None
 
     # ------------------------------------------------------------------
     # Core resources
@@ -149,6 +158,26 @@ class EngineBuilder:
         produces (template name -> list of floats) or raw numpy arrays.
         """
         self._weights = weights
+        return self
+
+    def with_runtime(self, runtime: InferenceRuntime) -> "EngineBuilder":
+        """Select how inference executes (see :mod:`repro.runtime`).
+
+        Defaults to :class:`~repro.runtime.SerialRuntime` (whole-graph
+        LBP); pass :class:`~repro.runtime.PartitionedRuntime` or
+        :class:`~repro.runtime.ParallelRuntime` to exploit the factor
+        graph's connected components.  All shipped runtimes share the
+        same fixed points; per-component early stopping can shift
+        marginals only below the LBP convergence tolerance (see
+        :class:`~repro.runtime.PartitionedRuntime`), which the seeded
+        equivalence tests pin to identical decisions.
+        """
+        if not isinstance(runtime, InferenceRuntime):
+            raise EngineBuildError(
+                f"with_runtime expects an InferenceRuntime, got "
+                f"{type(runtime).__name__}"
+            )
+        self._runtime = runtime
         return self
 
     # ------------------------------------------------------------------
@@ -249,6 +278,7 @@ class EngineBuilder:
             amie=self._amie,
             kbp=self._kbp,
             side=self._side,
+            runtime=self._runtime,
         )
 
 
@@ -295,10 +325,12 @@ class JOCLEngine:
         amie: AmieMiner | None = None,
         kbp: RelationCategorizer | None = None,
         side: SideInformation | None = None,
+        runtime: InferenceRuntime | None = None,
     ) -> None:
         self._kb = kb
         self._config = config
         self._model = model
+        self._runtime = runtime or SerialRuntime()
         if side is not None:
             self._okb = side.okb
         else:
@@ -350,6 +382,19 @@ class JOCLEngine:
     def trained(self) -> bool:
         """Whether learned template weights are active."""
         return self._model.weights is not None
+
+    @property
+    def runtime(self) -> InferenceRuntime:
+        """The execution runtime inference runs on."""
+        return self._runtime
+
+    def last_profile(self) -> ExecutionProfile | None:
+        """The :class:`ExecutionProfile` of the most recent inference.
+
+        ``None`` until the first (non-cached) inference ran; invalidated
+        together with the decoding cache on :meth:`ingest` / :meth:`fit`.
+        """
+        return self._output.profile if self._output is not None else None
 
     def stats(self) -> EngineStats:
         """Current OKB size and run provenance."""
@@ -478,7 +523,9 @@ class JOCLEngine:
                         f"trained weights name unknown templates {unknown}; "
                         f"this graph has {sorted(graph.templates)}"
                     )
-            self._output = self._model.infer_built(graph, index, builder)
+            self._output = self._model.infer_built(
+                graph, index, builder, runtime=self._runtime
+            )
         return self._output
 
     # ------------------------------------------------------------------
@@ -500,18 +547,15 @@ class JOCLEngine:
     # ------------------------------------------------------------------
     # Serving-time queries
     # ------------------------------------------------------------------
-    def resolve(self, mention: str, kind: str | None = None) -> ResolveResult:
-        """Resolve one mention against the current joint decoding.
-
-        ``kind`` may be ``"S"``/``"P"``/``"O"`` or a friendly alias
-        (``"subject"``, ``"relation"``, ``"object"``, ...; the
-        NP-flavored aliases ``"entity"``/``"np"`` span both the subject
-        and object slots); when omitted, the slots are searched in S, P,
-        O order.  Raises :class:`UnknownMentionError` when the mention
-        does not occur in the OKB (in the requested slots).
-        """
+    def _resolve_one(
+        self,
+        output,
+        generator,
+        mention: str,
+        kind: str | None,
+    ) -> ResolveResult:
+        """Resolve one mention against an already computed decoding."""
         phrase = normalize_text(mention)
-        output = self._decoded()
         kinds = _resolve_kinds(kind) if kind is not None else ("S", "P", "O")
         found: str | None = None
         for candidate_kind in kinds:
@@ -521,7 +565,6 @@ class JOCLEngine:
         if found is None:
             raise UnknownMentionError(mention, kind)
         cluster = tuple(sorted(output.clusters[found].cluster_of(phrase)))
-        generator = self.side_information().candidates
         if found == "P":
             retrieved = generator.relation_candidates(phrase)
             scored = tuple((c.relation_id, c.score) for c in retrieved)
@@ -535,6 +578,39 @@ class JOCLEngine:
             cluster=cluster,
             candidates=scored,
         )
+
+    def resolve(self, mention: str, kind: str | None = None) -> ResolveResult:
+        """Resolve one mention against the current joint decoding.
+
+        ``kind`` may be ``"S"``/``"P"``/``"O"`` or a friendly alias
+        (``"subject"``, ``"relation"``, ``"object"``, ...; the
+        NP-flavored aliases ``"entity"``/``"np"`` span both the subject
+        and object slots); when omitted, the slots are searched in S, P,
+        O order.  Raises :class:`UnknownMentionError` when the mention
+        does not occur in the OKB (in the requested slots).
+        """
+        return self._resolve_one(
+            self._decoded(), self.side_information().candidates, mention, kind
+        )
+
+    def resolve_many(
+        self, mentions: Iterable[str], kind: str | None = None
+    ) -> list[ResolveResult]:
+        """Resolve a batch of mentions in one pass.
+
+        Answer-for-answer identical to calling :meth:`resolve` per
+        mention, but the joint decoding, the side-information bundle
+        and the candidate indexes are looked up once and amortized
+        across the whole batch — the serving entry point for
+        request-batched traffic.  Raises :class:`UnknownMentionError`
+        on the first unknown mention (no partial results escape).
+        """
+        output = self._decoded()
+        generator = self.side_information().candidates
+        return [
+            self._resolve_one(output, generator, mention, kind)
+            for mention in mentions
+        ]
 
     # ------------------------------------------------------------------
     # Learning

@@ -10,8 +10,12 @@ on the other side:
 * :class:`LinkingResult` — the decoded phrase -> CKB-identifier maps
   per slot kind (``None`` = NIL);
 * :class:`EngineStats` — OKB size and run provenance;
+* :class:`ExecutionProfile` — how the inference executed (runtime
+  name, components, per-component iterations, wall time, workers);
 * :class:`EngineReport` — the full ``run_joint`` response, nesting the
-  three above;
+  above (the profile is carried but excluded from the default
+  ``to_dict()`` payload: wall times are not deterministic, and the
+  report payload is promised to be runtime-independent);
 * :class:`ResolveResult` — the single-mention serving-time answer.
 
 ``from_dict`` validates the envelope (``schema_version`` and ``type``
@@ -231,14 +235,99 @@ class EngineStats:
 
 
 @dataclass(frozen=True)
+class ExecutionProfile:
+    """How one inference run executed (the runtime's telemetry).
+
+    Produced by every :class:`repro.runtime.InferenceRuntime`; attached
+    to :class:`EngineReport` and available from
+    :meth:`repro.api.engine.JOCLEngine.last_profile`.  ``wall_time_s``
+    covers plan + execute (graph segmentation and all LBP passes).
+    """
+
+    TYPE = "execution_profile"
+
+    #: Runtime identifier ("serial", "partitioned", "parallel", ...).
+    runtime: str
+    #: Number of independent work units the plan produced.
+    n_components: int = 1
+    #: Variables per component, in plan (largest-first) order.
+    component_sizes: tuple[int, ...] = ()
+    #: LBP iterations each component ran, in plan order.
+    component_iterations: tuple[int, ...] = ()
+    #: Merged iteration count (the slowest component).
+    iterations: int = 0
+    #: Whether every component converged within the iteration cap.
+    converged: bool = False
+    #: Wall-clock seconds for plan + execute.
+    wall_time_s: float = 0.0
+    #: Worker-pool size the runtime was configured with.
+    max_workers: int = 1
+    #: Pool backend the runtime fans out on ("thread" / "process";
+    #: ``None`` for in-thread runtimes).  Degradation is reflected once
+    #: a pool has actually been started (a ParallelRuntime configured
+    #: for processes on a host that cannot spawn them reports "thread");
+    #: single-unit plans execute inline whatever this says — check
+    #: ``n_components`` for that.
+    backend: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(
+            runtime=self.runtime,
+            n_components=self.n_components,
+            component_sizes=list(self.component_sizes),
+            component_iterations=list(self.component_iterations),
+            iterations=self.iterations,
+            converged=self.converged,
+            wall_time_s=self.wall_time_s,
+            max_workers=self.max_workers,
+            backend=self.backend,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "ExecutionProfile":
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                runtime=str(_require(payload, "runtime", cls.TYPE)),
+                n_components=int(payload.get("n_components", 1)),
+                component_sizes=tuple(
+                    int(size) for size in payload.get("component_sizes", ())
+                ),
+                component_iterations=tuple(
+                    int(count) for count in payload.get("component_iterations", ())
+                ),
+                iterations=int(payload.get("iterations", 0)),
+                converged=bool(payload.get("converged", False)),
+                wall_time_s=float(payload.get("wall_time_s", 0.0)),
+                max_workers=int(payload.get("max_workers", 1)),
+                backend=(
+                    str(payload["backend"])
+                    if payload.get("backend") is not None
+                    else None
+                ),
+            )
+
+
+@dataclass(frozen=True)
 class EngineReport:
-    """The full response of :meth:`repro.api.engine.JOCLEngine.run_joint`."""
+    """The full response of :meth:`repro.api.engine.JOCLEngine.run_joint`.
+
+    ``profile`` carries the runtime's :class:`ExecutionProfile`.  It is
+    excluded from equality and from the default ``to_dict()`` payload:
+    the report body is promised to be identical whichever runtime
+    executed the inference, while wall times never are.  Serialize it
+    with ``to_dict(include_profile=True)`` when the telemetry should
+    travel with the report.
+    """
 
     TYPE = "engine_report"
 
     canonicalization: CanonicalizationResult
     linking: LinkingResult
     stats: EngineStats = field(default_factory=EngineStats)
+    profile: ExecutionProfile | None = field(default=None, compare=False)
 
     @property
     def iterations(self) -> int:
@@ -259,7 +348,10 @@ class EngineReport:
 
     @classmethod
     def from_output(
-        cls, output: JOCLOutput, stats: EngineStats | None = None
+        cls,
+        output: JOCLOutput,
+        stats: EngineStats | None = None,
+        profile: ExecutionProfile | None = None,
     ) -> "EngineReport":
         """Wrap a core :class:`JOCLOutput` into the API response shape."""
         return cls(
@@ -274,19 +366,23 @@ class EngineReport:
                 converged=output.converged,
             ),
             stats=stats or EngineStats(),
+            profile=profile if profile is not None else output.profile,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self, include_profile: bool = False) -> dict:
         payload = _envelope(self.TYPE)
         payload["canonicalization"] = self.canonicalization.to_dict()
         payload["linking"] = self.linking.to_dict()
         payload["stats"] = self.stats.to_dict()
+        if include_profile and self.profile is not None:
+            payload["profile"] = self.profile.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: object) -> "EngineReport":
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
+            raw_profile = payload.get("profile")
             return cls(
                 canonicalization=CanonicalizationResult.from_dict(
                     _require(payload, "canonicalization", cls.TYPE)
@@ -295,6 +391,11 @@ class EngineReport:
                     _require(payload, "linking", cls.TYPE)
                 ),
                 stats=EngineStats.from_dict(_require(payload, "stats", cls.TYPE)),
+                profile=(
+                    ExecutionProfile.from_dict(raw_profile)
+                    if raw_profile is not None
+                    else None
+                ),
             )
 
 

@@ -21,12 +21,16 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.clustering.clusters import Clustering
 from repro.clustering.unionfind import UnionFind
 from repro.core.builder import NIL, GraphIndex, canon_var, link_var
 from repro.core.config import JOCLConfig
 from repro.factorgraph.lbp import LBPResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api is upstream)
+    from repro.api.results import ExecutionProfile
 
 
 @dataclass
@@ -35,13 +39,16 @@ class JOCLOutput:
 
     Canonicalization clusters and links are reported per node kind:
     subjects ("S"), predicates ("P"), objects ("O").  ``links`` values
-    are CKB identifiers or ``None`` for NIL.
+    are CKB identifiers or ``None`` for NIL.  ``profile`` records how
+    the inference executed when a runtime ran it (see
+    :mod:`repro.runtime`); it never influences equality or decisions.
     """
 
     clusters: dict[str, Clustering] = field(default_factory=dict)
     links: dict[str, dict[str, str | None]] = field(default_factory=dict)
     iterations: int = 0
     converged: bool = False
+    profile: "ExecutionProfile | None" = field(default=None, compare=False)
 
     # Convenience accessors matching the paper's task names ------------
     @property
@@ -70,9 +77,16 @@ class JOCLOutput:
         return self.links["O"]
 
 
-def decode(result: LBPResult, index: GraphIndex, config: JOCLConfig) -> JOCLOutput:
+def decode(
+    result: LBPResult,
+    index: GraphIndex,
+    config: JOCLConfig,
+    profile: "ExecutionProfile | None" = None,
+) -> JOCLOutput:
     """Marginal-max decoding plus conflict resolution for all kinds."""
-    output = JOCLOutput(iterations=result.iterations, converged=result.converged)
+    output = JOCLOutput(
+        iterations=result.iterations, converged=result.converged, profile=profile
+    )
     for kind in ("S", "P", "O"):
         clusters, links = _decode_kind(result, index, config, kind)
         output.clusters[kind] = clusters

@@ -25,8 +25,14 @@ from repro.core.learning import GoldAnnotations, build_evidence
 from repro.core.side_info import SideInformation
 from repro.core.signals.base import SignalRegistry
 from repro.factorgraph.graph import FactorGraph
-from repro.factorgraph.lbp import LBPResult, LoopyBP
+from repro.factorgraph.lbp import LBPResult, LBPSettings, LoopyBP
 from repro.factorgraph.learner import LearningHistory, TemplateLearner
+from repro.runtime.base import InferenceRuntime, InferenceTask
+from repro.runtime.serial import SerialRuntime
+
+#: Shared default: whole-graph LBP in the calling thread (stateless,
+#: so one instance serves every model).
+_DEFAULT_RUNTIME = SerialRuntime()
 
 
 class JOCL:
@@ -104,23 +110,48 @@ class JOCL:
         return self.history
 
     # ------------------------------------------------------------------
-    # Inference (Sections 3.4-3.5)
+    # Inference (Sections 3.4-3.5): plan (build task) / execute (runtime)
     # ------------------------------------------------------------------
-    def infer(self, side: SideInformation) -> JOCLOutput:
+    def plan_inference(
+        self, graph: FactorGraph, builder: GraphBuilder
+    ) -> InferenceTask:
+        """The execution-agnostic inference plan for a built graph."""
+        return InferenceTask(
+            graph=graph,
+            schedule=builder.schedule(),
+            settings=LBPSettings(
+                max_iterations=self.config.lbp_iterations,
+                tolerance=self.config.lbp_tolerance,
+                damping=self.config.lbp_damping,
+            ),
+        )
+
+    def infer(
+        self, side: SideInformation, runtime: InferenceRuntime | None = None
+    ) -> JOCLOutput:
         """Run LBP and decoding on an OKB; weights from :meth:`fit` if set."""
         graph, index, builder = self.build_graph(side)
-        return self.infer_built(graph, index, builder)
+        return self.infer_built(graph, index, builder, runtime=runtime)
 
     def infer_built(
-        self, graph: FactorGraph, index: GraphIndex, builder: GraphBuilder
+        self,
+        graph: FactorGraph,
+        index: GraphIndex,
+        builder: GraphBuilder,
+        runtime: InferenceRuntime | None = None,
     ) -> JOCLOutput:
         """Run LBP and decoding on a graph from :meth:`build_graph`.
 
         Lets callers (e.g. the engine API) inspect or validate the built
-        graph before paying for message passing.
+        graph before paying for message passing.  ``runtime`` selects
+        how the plan executes (default: :class:`SerialRuntime`); the
+        resulting :class:`JOCLOutput` carries the runtime's
+        :class:`~repro.api.results.ExecutionProfile`.
         """
-        result = self._run_lbp(graph, builder)
-        return decode(result, index, self.config)
+        executed = (runtime or _DEFAULT_RUNTIME).run(
+            self.plan_inference(graph, builder)
+        )
+        return decode(executed.result, index, self.config, profile=executed.profile)
 
     def infer_raw(
         self, side: SideInformation

@@ -13,6 +13,9 @@ statistically similar worlds from a seed:
   entity), moderate noise.
 * :func:`generate_nytimes2018` — noisier OKB with out-of-KB phrases and
   *sampled* gold (the manual-labeling protocol of Section 4).
+* :func:`generate_sharded_reverb45k` — several independent worlds with
+  disjoint relation slices merged into one OKB: the naturally
+  decomposable workload the :mod:`repro.runtime` benchmarks exercise.
 * :class:`~repro.datasets.base.Dataset` — the container benchmarks
   consume: OKB, CKB, side-information resources, validation/test split
   (by gold entity, 20% validation as in Section 4.1) and evaluation
@@ -24,6 +27,7 @@ from repro.datasets.generator import TripleNoiseConfig
 from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
 from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
 from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
+from repro.datasets.sharded import ShardedOKBConfig, generate_sharded_reverb45k
 from repro.datasets.world import World, WorldConfig
 
 __all__ = [
@@ -31,11 +35,13 @@ __all__ = [
     "EvaluationGold",
     "NYTimes2018Config",
     "ReVerb45KConfig",
+    "ShardedOKBConfig",
     "TripleNoiseConfig",
     "World",
     "WorldConfig",
     "generate_nytimes2018",
     "generate_reverb45k",
+    "generate_sharded_reverb45k",
     "load_triples_jsonl",
     "save_triples_jsonl",
 ]

@@ -25,6 +25,9 @@ class ReVerb45KConfig:
     n_facts: int = 260
     n_triples: int = 400
     validation_fraction: float = 0.2
+    #: Start of the relation-catalog draw (see ``WorldConfig``); shard
+    #: generators use disjoint offsets for disjoint relation vocab.
+    relation_offset: int = 0
     seed: int = 7
 
     def world_config(self) -> WorldConfig:
@@ -37,6 +40,7 @@ class ReVerb45KConfig:
             shared_alias_fraction=0.25,
             shared_alias_weight=0.45,
             ppdb_coverage=0.7,
+            relation_offset=self.relation_offset,
             seed=self.seed,
         )
 

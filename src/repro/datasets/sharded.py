@@ -1,0 +1,171 @@
+"""Sharded multi-world OKB: the naturally decomposable workload.
+
+A single generated world chains every triple into one connected factor
+graph — all extractions share the same small relation vocabulary.  Real
+production OKBs are not like that: traffic arrives from many
+independent tenants/domains whose phrase vocabularies barely overlap,
+which is exactly the regime where the paper's closing remark of
+Section 3.4 ("can be extended to a distributed version with a graph
+segmentation algorithm") pays off.
+
+:func:`generate_sharded_reverb45k` builds that workload: ``n_shards``
+independent ReVerb45K-shaped worlds, each drawing a *disjoint* slice of
+the relation catalog (``WorldConfig.relation_offset``) and its own
+entity universe, merged into one :class:`~repro.datasets.base.Dataset`.
+Cross-shard surface collisions (two worlds minting the same acronym)
+are filtered out of the OKB, so the merged factor graph decomposes into
+at least one connected component per shard — the fixture behind the
+:mod:`repro.runtime` benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.datasets.base import Dataset
+from repro.datasets.catalog import RELATION_SEEDS
+from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
+from repro.datasets.world import World, WorldConfig, WorldFact
+from repro.okb.triples import OIETriple, TripleGold
+
+
+@dataclass(frozen=True)
+class ShardedOKBConfig:
+    """Scale knobs of the sharded multi-world generator."""
+
+    #: Independent worlds; each becomes >= 1 factor-graph component.
+    n_shards: int = 4
+    #: OKB triples contributed per shard (before the test/val split).
+    triples_per_shard: int = 100
+    entities_per_shard: int = 30
+    facts_per_shard: int = 65
+    #: Relations per shard; shards draw disjoint catalog slices, so
+    #: ``n_shards * relations_per_shard`` must fit the catalog.
+    relations_per_shard: int = 3
+    validation_fraction: float = 0.2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.triples_per_shard < 1:
+            raise ValueError(
+                f"triples_per_shard must be >= 1, got {self.triples_per_shard}"
+            )
+        if self.n_shards * self.relations_per_shard > len(RELATION_SEEDS):
+            raise ValueError(
+                f"{self.n_shards} shards x {self.relations_per_shard} relations "
+                f"exceed the {len(RELATION_SEEDS)}-relation catalog; overlapping "
+                "slices would reconnect the shards"
+            )
+
+    def shard_config(self, shard: int) -> ReVerb45KConfig:
+        """The per-shard generator configuration (oversampled; the
+        merge filters cross-shard surface collisions, then trims)."""
+        oversample = self.triples_per_shard + self.triples_per_shard // 5 + 8
+        return ReVerb45KConfig(
+            n_entities=self.entities_per_shard,
+            n_relations=self.relations_per_shard,
+            n_facts=self.facts_per_shard,
+            n_triples=oversample,
+            validation_fraction=0.0,
+            relation_offset=shard * self.relations_per_shard,
+            seed=self.seed + shard * 1009,
+        )
+
+
+def _namespaced_world(shard: int, world: World) -> tuple[list, list, list[WorldFact]]:
+    """Entities/relations/facts of one shard with shard-unique ids.
+
+    Only *entity ids* need namespacing (worlds mint the same ``e``
+    numbers); relation ids derive from catalog names, which the
+    disjoint slices already keep unique.
+    """
+    prefix = f"s{shard}:"
+    entities = [
+        dataclasses.replace(entity, entity_id=prefix + entity.entity_id)
+        for entity in world.entities
+    ]
+    facts = [
+        WorldFact(
+            subject_id=prefix + fact.subject_id,
+            relation_name=fact.relation_name,
+            object_id=prefix + fact.object_id,
+        )
+        for fact in world.facts
+    ]
+    return entities, list(world.relations), facts
+
+
+def _namespaced_triple(shard: int, triple: OIETriple) -> OIETriple:
+    prefix = f"s{shard}:"
+    gold = triple.gold
+    if gold is not None:
+        gold = TripleGold(
+            subject_entity=(
+                prefix + gold.subject_entity if gold.subject_entity else None
+            ),
+            relation=gold.relation,
+            object_entity=(
+                prefix + gold.object_entity if gold.object_entity else None
+            ),
+        )
+    return OIETriple(
+        triple_id=prefix + triple.triple_id,
+        subject=triple.subject,
+        predicate=triple.predicate,
+        object=triple.object,
+        source_sentence=triple.source_sentence,
+        gold=gold,
+    )
+
+
+def generate_sharded_reverb45k(config: ShardedOKBConfig | None = None) -> Dataset:
+    """Generate a merged multi-shard dataset (see module docstring).
+
+    The result is an ordinary :class:`Dataset` — CKB, anchors, PPDB,
+    validation/test split and gold all span every shard — whose factor
+    graph decomposes into independent per-shard components.
+    """
+    config = config or ShardedOKBConfig()
+    entities, relations, facts = [], [], []
+    triples: list[OIETriple] = []
+    used_surfaces: set[str] = set()
+    for shard in range(config.n_shards):
+        dataset = generate_reverb45k(config.shard_config(shard))
+        shard_entities, shard_relations, shard_facts = _namespaced_world(
+            shard, dataset.world
+        )
+        entities.extend(shard_entities)
+        relations.extend(shard_relations)
+        facts.extend(shard_facts)
+        kept = 0
+        shard_surfaces: set[str] = set()
+        for triple in dataset.triples:
+            forms = {triple.subject_norm, triple.predicate_norm, triple.object_norm}
+            if forms & used_surfaces:
+                # A surface minted by an earlier shard too (e.g. two
+                # worlds producing the acronym "MI"): keeping it would
+                # fuse the shards into one component.
+                continue
+            triples.append(_namespaced_triple(shard, triple))
+            shard_surfaces |= forms
+            kept += 1
+            if kept >= config.triples_per_shard:
+                break
+        used_surfaces |= shard_surfaces
+    merged_config = WorldConfig(
+        n_entities=config.n_shards * config.entities_per_shard,
+        n_relations=len(relations),
+        n_facts=config.n_shards * config.facts_per_shard,
+        seed=config.seed,
+    )
+    merged_world = World(merged_config, entities, relations, facts)
+    return Dataset.assemble(
+        name=f"reverb45k-sharded-{config.n_shards}x{config.triples_per_shard}",
+        world=merged_world,
+        triples=triples,
+        validation_fraction=config.validation_fraction,
+        split_seed=config.seed + 200,
+    )

@@ -72,6 +72,11 @@ class WorldConfig:
         PPDB (real PPDB is incomplete too).
     anchor_scale:
         Mean anchor count per (alias, entity) pair.
+    relation_offset:
+        Where in the (circular) relation catalog the ``n_relations``
+        draw starts.  Lets independent worlds use *disjoint* relation
+        vocabularies — the knob behind the sharded multi-world
+        workloads of :mod:`repro.datasets.sharded`.
     seed:
         Master seed; every export derives from it.
     """
@@ -85,6 +90,7 @@ class WorldConfig:
     kb_lexicalizations_per_relation: int = 2
     ppdb_coverage: float = 0.7
     anchor_scale: int = 20
+    relation_offset: int = 0
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -94,6 +100,10 @@ class WorldConfig:
             raise ValueError("shared_alias_fraction must be in [0,1]")
         if not 0.0 <= self.ppdb_coverage <= 1.0:
             raise ValueError("ppdb_coverage must be in [0,1]")
+        if self.relation_offset < 0:
+            raise ValueError(
+                f"relation_offset must be >= 0, got {self.relation_offset}"
+            )
 
 
 @dataclass
@@ -152,7 +162,9 @@ class World:
         config = config or WorldConfig()
         rng = random.Random(config.seed)
         entities = _generate_entities(config, rng)
-        relations = list(RELATION_SEEDS[: min(config.n_relations, len(RELATION_SEEDS))])
+        offset = config.relation_offset % len(RELATION_SEEDS)
+        rotated = RELATION_SEEDS[offset:] + RELATION_SEEDS[:offset]
+        relations = list(rotated[: min(config.n_relations, len(RELATION_SEEDS))])
         facts = _generate_facts(config, rng, entities, relations)
         _share_aliases(config, rng, entities)
         return cls(config, entities, relations, facts)

@@ -16,6 +16,12 @@ until the largest factor->variable message change drops below ``tol``
 Evidence (the labeled configuration ``Y^L`` used for the clamped
 learning pass) is supported by masking variable states: a clamped
 variable sends a delta message.
+
+For execution runtimes (:mod:`repro.runtime`) the run parameters are
+factored out into the frozen :class:`LBPSettings`, and
+:func:`merge_results` recombines per-component :class:`LBPResult` parts
+(from :func:`repro.factorgraph.partition.partition_graph` subgraphs)
+into one whole-graph result with a deterministic merge order.
 """
 
 from __future__ import annotations
@@ -85,6 +91,28 @@ class Schedule:
         return cls(steps=tuple(steps))
 
 
+@dataclass(frozen=True)
+class LBPSettings:
+    """Run parameters of one LBP execution, separated from the graph.
+
+    The plan/execute split of :mod:`repro.runtime` ships these to
+    workers alongside each component subgraph; :class:`LoopyBP` itself
+    accepts them via :meth:`LoopyBP.from_settings`.
+    """
+
+    max_iterations: int = 50
+    tolerance: float = 1e-4
+    damping: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.damping < 1.0:
+            raise ValueError(f"damping must be in [0, 1), got {self.damping}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+
+
 @dataclass
 class LBPResult:
     """Outcome of one LBP run: marginals, factor beliefs, diagnostics."""
@@ -150,15 +178,36 @@ class LoopyBP:
         tolerance: float = 1e-4,
         damping: float = 0.0,
     ) -> None:
-        if not 0.0 <= damping < 1.0:
-            raise ValueError(f"damping must be in [0, 1), got {damping}")
-        if max_iterations < 1:
-            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        # LBPSettings.__post_init__ is the single validation point.
         self._graph = graph
         self._schedule = schedule or Schedule.flooding()
-        self._max_iterations = max_iterations
-        self._tolerance = tolerance
-        self._damping = damping
+        self._settings = LBPSettings(
+            max_iterations=max_iterations, tolerance=tolerance, damping=damping
+        )
+
+    @classmethod
+    def from_settings(
+        cls,
+        graph: FactorGraph,
+        schedule: Schedule | None = None,
+        settings: LBPSettings | None = None,
+    ) -> "LoopyBP":
+        """Construct a runner from an :class:`LBPSettings` bundle."""
+        runner = cls(graph, schedule=schedule)
+        runner._settings = settings or LBPSettings()
+        return runner
+
+    @property
+    def _max_iterations(self) -> int:
+        return self._settings.max_iterations
+
+    @property
+    def _tolerance(self) -> float:
+        return self._settings.tolerance
+
+    @property
+    def _damping(self) -> float:
+        return self._settings.damping
 
     # ------------------------------------------------------------------
     # Public API
@@ -358,3 +407,48 @@ class LoopyBP:
         if total <= _EPSILON:
             return np.full(message.shape, 1.0 / message.size)
         return clipped / total
+
+
+def merge_results(
+    parts: Sequence[LBPResult], graph: FactorGraph
+) -> LBPResult:
+    """Recombine per-component LBP results into one whole-graph result.
+
+    ``parts`` are results over disjoint subgraphs of ``graph`` (from
+    :func:`repro.factorgraph.partition.partition_graph`).  The merge is
+    deterministic regardless of which worker finished first: marginals
+    and factor beliefs are emitted in ``graph``'s variable/factor
+    registration order, ``iterations`` is the slowest component's count,
+    ``converged`` requires every component to have converged, and
+    ``residuals[k]`` is the max residual across the components still
+    running at iteration ``k``.
+    """
+    if not parts:
+        raise ValueError("merge_results needs at least one part")
+    by_variable: dict[str, np.ndarray] = {}
+    by_factor: dict[str, np.ndarray] = {}
+    for part in parts:
+        by_variable.update(part.marginals)
+        by_factor.update(part.factor_beliefs)
+    missing = [name for name in graph.variables if name not in by_variable]
+    if missing:
+        raise ValueError(
+            f"merged parts cover {len(by_variable)} variables but the graph "
+            f"has {len(graph.variables)}; missing e.g. {missing[:3]}"
+        )
+    iterations = max(part.iterations for part in parts)
+    residuals = [
+        max(
+            (part.residuals[k] for part in parts if k < len(part.residuals)),
+            default=0.0,
+        )
+        for k in range(iterations)
+    ]
+    return LBPResult(
+        marginals={name: by_variable[name] for name in graph.variables},
+        factor_beliefs={name: by_factor[name] for name in graph.factors},
+        iterations=iterations,
+        converged=all(part.converged for part in parts),
+        residuals=residuals,
+        _graph=graph,
+    )

@@ -9,12 +9,16 @@ component equal the marginals of the whole graph, so components can be
 processed on separate workers.
 
 :func:`connected_components` finds the components;
-:func:`component_subgraph` materializes one as a stand-alone
+:func:`assign_factors` maps every factor onto its component in one pass;
+:func:`partition_graph` materializes each component as a stand-alone
 :class:`~repro.factorgraph.graph.FactorGraph` (templates are *shared*,
-not copied, so learned weights stay tied across workers).
+not copied, so learned weights stay tied across workers).  This is the
+planning substrate of :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 from repro.clustering.unionfind import UnionFind
 from repro.factorgraph.graph import FactorGraph, Variable
@@ -36,40 +40,101 @@ def connected_components(graph: FactorGraph) -> list[frozenset[str]]:
     return components
 
 
-def component_subgraph(graph: FactorGraph, component: frozenset[str]) -> FactorGraph:
-    """Stand-alone factor graph over one component's variables.
+def assign_factors(
+    graph: FactorGraph, components: Sequence[frozenset[str]]
+) -> list[list[str]]:
+    """Factor names per component, in one pass over the factors.
 
-    Factors are re-registered against the *same* template objects, so a
-    weight update on any subgraph is visible to all (the tied-weights
+    Every factor lives entirely inside one true component (a factor's
+    scope is connected by definition).  Returns one name list per entry
+    of ``components``, each in the graph's factor insertion order.
+
+    Raises ``ValueError`` when ``components`` does not cover the graph's
+    variables (e.g. components of a different graph) or cuts through a
+    factor scope (i.e. an entry is not a union of true components).
+    """
+    component_of: dict[str, int] = {}
+    for position, component in enumerate(components):
+        for name in component:
+            component_of[name] = position
+    factors_by_component: list[list[str]] = [[] for _ in components]
+    for factor in graph.factors.values():
+        positions = set()
+        for variable in factor.variables:
+            try:
+                positions.add(component_of[variable.name])
+            except KeyError:
+                raise ValueError(
+                    f"factor {factor.name!r} scopes variable "
+                    f"{variable.name!r} which is in no component; "
+                    "components must cover the graph"
+                ) from None
+        if len(positions) > 1:
+            raise ValueError(
+                f"factor {factor.name!r} straddles the component boundary"
+            )
+        factors_by_component[positions.pop()].append(factor.name)
+    return factors_by_component
+
+
+def _materialize(
+    graph: FactorGraph, component: frozenset[str], factor_names: Sequence[str]
+) -> FactorGraph:
+    """Stand-alone subgraph over ``component`` with the given factors.
+
+    Templates are re-registered as the *same* objects, so a weight
+    update on any subgraph is visible to all (the tied-weights
     requirement of distributed template learning).
-
-    Raises ``ValueError`` if ``component`` cuts through a factor scope
-    (i.e. it is not a union of true components).
     """
     subgraph = FactorGraph()
     for name in sorted(component):
         variable = graph.variables[name]
         subgraph.add_variable(Variable(variable.name, variable.domain, variable.group))
+    for factor_name in factor_names:
+        factor = graph.factors[factor_name]
+        if factor.template.name not in subgraph.templates:
+            subgraph.add_template(factor.template)
+        subgraph.add_factor(
+            factor.name,
+            factor.template,
+            [variable.name for variable in factor.variables],
+            factor.feature_table,
+        )
+    return subgraph
+
+
+def component_subgraph(graph: FactorGraph, component: frozenset[str]) -> FactorGraph:
+    """Stand-alone factor graph over one component's variables.
+
+    Scans every factor of ``graph`` (one component at a time — batch
+    callers should prefer :func:`partition_graph`, which assigns all
+    factors in a single pass).  Raises ``ValueError`` if ``component``
+    cuts through a factor scope (i.e. it is not a union of true
+    components).
+    """
+    factor_names: list[str] = []
     for factor in graph.factors.values():
-        scope_names = [variable.name for variable in factor.variables]
-        inside = [name in component for name in scope_names]
+        inside = [variable.name in component for variable in factor.variables]
         if not any(inside):
             continue
         if not all(inside):
             raise ValueError(
                 f"factor {factor.name!r} straddles the component boundary"
             )
-        if factor.template.name not in subgraph.templates:
-            subgraph.add_template(factor.template)
-        subgraph.add_factor(
-            factor.name, factor.template, scope_names, factor.feature_table
-        )
-    return subgraph
+        factor_names.append(factor.name)
+    return _materialize(graph, component, factor_names)
 
 
 def partition_graph(graph: FactorGraph) -> list[FactorGraph]:
-    """Split a factor graph into independent per-component subgraphs."""
+    """Split a factor graph into independent per-component subgraphs.
+
+    Components are ordered largest-first (ties broken by smallest
+    member), and every factor is assigned to its component in a single
+    pass — O(V + F), not O(components × F).
+    """
+    components = connected_components(graph)
+    factors_by_component = assign_factors(graph, components)
     return [
-        component_subgraph(graph, component)
-        for component in connected_components(graph)
+        _materialize(graph, component, factor_names)
+        for component, factor_names in zip(components, factors_by_component)
     ]

@@ -28,6 +28,7 @@ from repro.core.side_info import SideInformation
 from repro.datasets.base import Dataset
 from repro.metrics.canonicalization import CanonicalizationReport, evaluate_clustering
 from repro.metrics.linking import linking_accuracy
+from repro.runtime.base import InferenceRuntime
 
 
 @dataclass
@@ -64,6 +65,9 @@ class JOCLPipeline:
     #: Train on the validation split before inferring.
     train: bool = True
     embedding: str = "hashed"
+    #: Execution runtime for inference (``None`` = the engine default,
+    #: whole-graph serial LBP).
+    runtime: InferenceRuntime | None = None
 
     @classmethod
     def from_dataset(
@@ -72,6 +76,7 @@ class JOCLPipeline:
         config: JOCLConfig | None = None,
         train: bool = True,
         embedding: str = "hashed",
+        runtime: InferenceRuntime | None = None,
     ) -> "JOCLPipeline":
         """Standard construction used by examples and benchmarks."""
         return cls(
@@ -79,6 +84,7 @@ class JOCLPipeline:
             config=config or JOCLConfig(),
             train=train,
             embedding=embedding,
+            runtime=runtime,
         )
 
     def _ensure_sides(self) -> tuple[SideInformation, SideInformation | None]:
@@ -104,6 +110,8 @@ class JOCLPipeline:
             builder = builder.with_model(model)
         else:
             builder = builder.with_config(self.config)
+        if self.runtime is not None:
+            builder = builder.with_runtime(self.runtime)
         engine = builder.build()
         trained = False
         if self.train and validation_side is not None:

@@ -1,0 +1,51 @@
+"""Pluggable execution runtimes for JOCL inference.
+
+The paper closes Section 3.4 noting inference "can be extended to a
+distributed version with a graph segmentation algorithm"; this package
+is that seam.  An :class:`InferenceRuntime` turns an
+:class:`InferenceTask` (factor graph + schedule + LBP settings) into a
+merged :class:`~repro.factorgraph.lbp.LBPResult` plus an
+:class:`~repro.api.results.ExecutionProfile`, via three overridable
+phases — **plan** (decompose), **execute** (run LBP per unit), and
+**merge** (deterministic recombination).
+
+Shipped runtimes:
+
+* :class:`SerialRuntime` — whole-graph LBP, the historical behavior
+  and the default everywhere;
+* :class:`PartitionedRuntime` — per-connected-component LBP (the
+  segmentation primitive of :mod:`repro.factorgraph.partition`),
+  decision-for-decision equivalent to whole-graph LBP and usually
+  faster: each component stops at its own convergence;
+* :class:`ParallelRuntime` — the partitioned plan on a
+  ``concurrent.futures`` pool (thread or process backend) with a
+  worker-count knob and a deterministic merge order.
+
+Select one per engine via
+``JOCLEngine.builder().with_runtime(ParallelRuntime(max_workers=4))``,
+or pass it straight to :meth:`repro.core.model.JOCL.infer`.
+"""
+
+from repro.runtime.base import (
+    ComponentPlan,
+    InferencePlan,
+    InferenceRuntime,
+    InferenceTask,
+    RuntimeResult,
+    run_component,
+)
+from repro.runtime.parallel import ParallelRuntime
+from repro.runtime.partitioned import PartitionedRuntime
+from repro.runtime.serial import SerialRuntime
+
+__all__ = [
+    "ComponentPlan",
+    "InferencePlan",
+    "InferenceRuntime",
+    "InferenceTask",
+    "ParallelRuntime",
+    "PartitionedRuntime",
+    "RuntimeResult",
+    "SerialRuntime",
+    "run_component",
+]

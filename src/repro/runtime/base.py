@@ -1,0 +1,178 @@
+"""The :class:`InferenceRuntime` contract: plan → execute → merge.
+
+A runtime turns one :class:`InferenceTask` (graph + schedule + LBP
+settings + optional evidence) into one merged
+:class:`~repro.factorgraph.lbp.LBPResult` plus an
+:class:`~repro.api.results.ExecutionProfile` describing how the work
+was executed (how many components, iterations per component, wall
+time, workers).  The three phases are separately overridable:
+
+``plan``
+    Decompose the task into independent :class:`ComponentPlan` units
+    (the whole graph for :class:`~repro.runtime.serial.SerialRuntime`,
+    connected components for the partitioned runtimes).
+``execute``
+    Run LBP for every unit, returning results in plan order — however
+    the work was scheduled underneath.
+``merge``
+    Deterministically recombine the per-unit results
+    (:func:`repro.factorgraph.lbp.merge_results`) and build the profile.
+
+Runtimes hold no per-task state, so one instance can be shared across
+engines and calls.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.lbp import (
+    LBPResult,
+    LBPSettings,
+    LoopyBP,
+    Schedule,
+    merge_results,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api is upstream)
+    from repro.api.results import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class InferenceTask:
+    """Everything one inference execution needs, independent of *how*.
+
+    Produced by the planning side (e.g. :meth:`repro.core.model.JOCL`
+    building a graph) and consumed by :meth:`InferenceRuntime.run`.
+    """
+
+    graph: FactorGraph
+    schedule: Schedule | None = None
+    settings: LBPSettings = field(default_factory=LBPSettings)
+    #: Variable name -> clamped state (the ``Y^L`` evidence pass).
+    evidence: Mapping[str, Hashable] | None = None
+
+
+@dataclass(frozen=True)
+class ComponentPlan:
+    """One independent unit of work inside an :class:`InferencePlan`.
+
+    The tuple order inside :class:`InferencePlan.components` *is* the
+    merge order; executors must return results in that same order.
+    """
+
+    #: The stand-alone subgraph (the whole graph for serial plans).
+    graph: FactorGraph
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.graph.variables)
+
+
+@dataclass(frozen=True)
+class InferencePlan:
+    """The decomposition of one task into independent units."""
+
+    task: InferenceTask
+    components: tuple[ComponentPlan, ...]
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """What a runtime hands back: the merged result plus its profile."""
+
+    result: LBPResult
+    profile: "ExecutionProfile"
+
+
+def run_component(
+    graph: FactorGraph,
+    schedule: Schedule | None,
+    settings: LBPSettings,
+    evidence: Mapping[str, Hashable] | None,
+) -> LBPResult:
+    """Run LBP over one plan unit (the shared worker body).
+
+    Evidence is filtered down to the unit's own variables, and the
+    result's graph back-reference is dropped so the payload stays small
+    when it crosses a process boundary; :func:`merge_results` restores
+    the whole-graph reference on the merged result.
+    """
+    local_evidence = None
+    if evidence:
+        local_evidence = {
+            name: state for name, state in evidence.items() if name in graph.variables
+        }
+    runner = LoopyBP.from_settings(graph, schedule=schedule, settings=settings)
+    result = runner.run(local_evidence)
+    result._graph = None
+    return result
+
+
+class InferenceRuntime(ABC):
+    """Abstract execution runtime; see the module docstring."""
+
+    #: Stable identifier recorded in :class:`ExecutionProfile.runtime`.
+    name = "abstract"
+
+    #: Worker count recorded in the profile (1 unless the runtime
+    #: actually fans out).
+    @property
+    def max_workers(self) -> int:
+        return 1
+
+    #: Pool backend recorded in the profile (None for in-thread
+    #: runtimes; pool-backed runtimes report the backend they actually
+    #: execute on, including any degradation).
+    @property
+    def effective_backend(self) -> str | None:
+        return None
+
+    @abstractmethod
+    def plan(self, task: InferenceTask) -> InferencePlan:
+        """Decompose the task into independent units."""
+
+    def execute(self, plan: InferencePlan) -> list[LBPResult]:
+        """Run every unit; results must come back in plan order.
+
+        The default runs units sequentially in the calling thread;
+        pool-backed runtimes override this.
+        """
+        task = plan.task
+        return [
+            run_component(unit.graph, task.schedule, task.settings, task.evidence)
+            for unit in plan.components
+        ]
+
+    def merge(
+        self, plan: InferencePlan, parts: list[LBPResult], wall_time_s: float
+    ) -> RuntimeResult:
+        """Deterministically recombine per-unit results + build profile."""
+        from repro.api.results import ExecutionProfile
+
+        merged = merge_results(parts, plan.task.graph)
+        profile = ExecutionProfile(
+            runtime=self.name,
+            n_components=len(plan.components),
+            component_sizes=tuple(unit.n_variables for unit in plan.components),
+            component_iterations=tuple(part.iterations for part in parts),
+            iterations=merged.iterations,
+            converged=merged.converged,
+            wall_time_s=wall_time_s,
+            max_workers=self.max_workers,
+            backend=self.effective_backend,
+        )
+        return RuntimeResult(result=merged, profile=profile)
+
+    def run(self, task: InferenceTask) -> RuntimeResult:
+        """The template method: plan, execute, merge — and time it."""
+        start = time.perf_counter()
+        plan = self.plan(task)
+        parts = self.execute(plan)
+        wall_time_s = time.perf_counter() - start
+        return self.merge(plan, parts, wall_time_s)

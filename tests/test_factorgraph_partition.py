@@ -6,6 +6,7 @@ import pytest
 from repro.factorgraph.graph import FactorGraph, FactorTemplate, Variable
 from repro.factorgraph.lbp import LoopyBP
 from repro.factorgraph.partition import (
+    assign_factors,
     component_subgraph,
     connected_components,
     partition_graph,
@@ -76,3 +77,54 @@ class TestSubgraphs:
         factors = {name for sub in subs for name in sub.factors}
         assert variables == set(two_island_graph.variables)
         assert factors == set(two_island_graph.factors)
+
+
+class TestAssignFactors:
+    """The single-pass component -> factor assignment behind
+    :func:`partition_graph` (no per-component graph rescan)."""
+
+    def test_assignment_matches_rescan(self, two_island_graph):
+        components = connected_components(two_island_graph)
+        assigned = assign_factors(two_island_graph, components)
+        assert len(assigned) == len(components)
+        for component, factor_names in zip(components, assigned):
+            rescan = set(component_subgraph(two_island_graph, component).factors)
+            assert set(factor_names) == rescan
+
+    def test_every_factor_assigned_exactly_once(self, tiny_side):
+        from repro.core import GraphBuilder, JOCLConfig
+
+        graph, _index = GraphBuilder(tiny_side, JOCLConfig()).build()
+        components = connected_components(graph)
+        assigned = assign_factors(graph, components)
+        flattened = [name for names in assigned for name in names]
+        assert sorted(flattened) == sorted(graph.factors)
+
+    def test_foreign_components_rejected(self, two_island_graph):
+        with pytest.raises(ValueError):
+            assign_factors(two_island_graph, [frozenset({"lonely"})])
+
+    def test_straddling_components_rejected(self, two_island_graph):
+        split = [
+            frozenset({"a1", "b1", "lonely"}),
+            frozenset({"a2", "b2"}),
+        ]
+        with pytest.raises(ValueError, match="straddles"):
+            assign_factors(two_island_graph, split)
+
+    def test_partition_equals_per_component_subgraphs(self, tiny_side):
+        from repro.core import GraphBuilder, JOCLConfig
+
+        graph, _index = GraphBuilder(tiny_side, JOCLConfig()).build()
+        components = connected_components(graph)
+        fast = partition_graph(graph)
+        slow = [component_subgraph(graph, component) for component in components]
+        assert len(fast) == len(slow)
+        for fast_sub, slow_sub in zip(fast, slow):
+            assert set(fast_sub.variables) == set(slow_sub.variables)
+            assert list(fast_sub.factors) == list(slow_sub.factors)
+            for name in fast_sub.factors:
+                assert np.array_equal(
+                    fast_sub.factors[name].feature_table,
+                    slow_sub.factors[name].feature_table,
+                )
