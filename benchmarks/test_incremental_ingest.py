@@ -1,0 +1,213 @@
+"""Incremental-ingest bench: warm ingest-then-infer vs cold re-inference.
+
+The ISSUE 3 acceptance gate: on the streaming-ingest workload at the
+400-triple scale, a warm engine absorbing a 10% arrival batch must be
+>= 3x faster than re-running the whole batch job from scratch (side-info
+build + graph build + full LBP over the union), with *identical*
+decisions and observable component reuse
+(``ExecutionProfile.reused_components > 0``).
+
+Results land in ``benchmarks/BENCH_incremental.json`` (machine-readable,
+tracked across PRs and uploaded as a CI artifact) alongside the
+human-readable ``results.txt``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import record_result
+
+from repro.api import JOCLEngine
+from repro.core import JOCLConfig
+from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
+from repro.runtime import IncrementalRuntime
+
+BENCH_JSON_PATH = Path(__file__).parent / "BENCH_incremental.json"
+
+CONFIG = JOCLConfig(lbp_iterations=20)
+
+#: (shards, triples per shard) — 8 x 50 = the 400-triple scale.
+SCALE = (8, 50)
+
+#: Fraction of the stream arriving as the ingest batch.
+INGEST_FRACTION = 0.1
+
+#: Best-of-N wall times to shave scheduler noise.
+REPEATS = 3
+
+#: The acceptance floor: warm ingest-then-infer vs cold re-inference.
+MIN_SPEEDUP = 3.0
+
+
+def _decisions(report):
+    return json.dumps(
+        {
+            "canonicalization": report.canonicalization.to_dict(),
+            "linking": report.linking.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+def _cold_batch_job(workload):
+    """One cold re-inference over the union: what CESI/COMBO-style batch
+    canonicalization pays on every refresh."""
+    start = time.perf_counter()
+    side = workload.side_information(workload.all_triples)
+    report = (
+        JOCLEngine.builder()
+        .with_side_information(side)
+        .with_config(CONFIG)
+        .build()
+        .run_joint()
+    )
+    return time.perf_counter() - start, report
+
+
+def _warm_ingest(workload, runtime_factory):
+    """One warmed engine absorbing the arrival batch (the timed part is
+    ingest + re-inference; the warm-up inference is the steady state a
+    serving engine is already in)."""
+    engine = workload.engine(CONFIG, runtime_factory())
+    engine.run_joint()  # steady state
+    start = time.perf_counter()
+    for batch in workload.batches:
+        engine.ingest(batch)
+    report = engine.run_joint()
+    return time.perf_counter() - start, report, engine.last_profile()
+
+
+def test_incremental_ingest_speedup_and_equivalence(benchmark):
+    n_shards, per_shard = SCALE
+    workload = generate_streaming_ingest(
+        StreamingIngestConfig(
+            n_shards=n_shards,
+            triples_per_shard=per_shard,
+            ingest_fraction=INGEST_FRACTION,
+            seed=7,
+        )
+    )
+    payload = {
+        "schema_version": 1,
+        "workload": "streaming-ingest over reverb45k-sharded "
+        "(repeat-mention arrivals, shard-major stream)",
+        "generated_by": "benchmarks/test_incremental_ingest.py",
+        "scale": {
+            "n_shards": n_shards,
+            "n_triples": len(workload.all_triples),
+            "seed_triples": len(workload.seed_triples),
+            "ingest_batch": sum(len(batch) for batch in workload.batches),
+        },
+        "lbp": {
+            "iterations_cap": CONFIG.lbp_iterations,
+            "tolerance": CONFIG.lbp_tolerance,
+            "repeats_best_of": REPEATS,
+        },
+        "runs": [],
+    }
+
+    results = {}
+
+    def _sweep():
+        cold_walls, cold_report = [], None
+        for _ in range(REPEATS):
+            wall, cold_report = _cold_batch_job(workload)
+            cold_walls.append(wall)
+        results["cold"] = (min(cold_walls), cold_report, None)
+        for label, factory in (
+            ("incremental", IncrementalRuntime),
+            ("incremental-warm", lambda: IncrementalRuntime(warm_start=True)),
+        ):
+            walls, report, profile = [], None, None
+            for _ in range(REPEATS):
+                wall, report, profile = _warm_ingest(workload, factory)
+                walls.append(wall)
+            results[label] = (min(walls), report, profile)
+        return results
+
+    benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    cold_wall, cold_report, _ = results["cold"]
+    lines = [
+        f"Incremental ingest — {payload['scale']['ingest_batch']}-triple "
+        f"(10%) batch at {payload['scale']['n_triples']} triples "
+        f"(best of {REPEATS}):",
+        f"  cold re-inference        {cold_wall * 1e3:7.1f} ms  x1.00",
+    ]
+    payload["runs"].append(
+        {"mode": "cold", "wall_time_s": round(cold_wall, 6), "speedup": 1.0}
+    )
+    for label in ("incremental", "incremental-warm"):
+        wall, report, profile = results[label]
+        speedup = cold_wall / wall
+        payload["runs"].append(
+            {
+                "mode": label,
+                "wall_time_s": round(wall, 6),
+                "speedup": round(speedup, 3),
+                "n_components": profile.n_components,
+                "reused_components": profile.reused_components,
+                "recomputed_components": profile.recomputed_components,
+                "decisions_identical_to_cold": _decisions(report)
+                == _decisions(cold_report),
+            }
+        )
+        lines.append(
+            f"  {label:<24} {wall * 1e3:7.1f} ms  x{speedup:.2f}  "
+            f"(reused {profile.reused_components}/{profile.n_components} "
+            f"components)"
+        )
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    record_result("\n".join(lines))
+
+    # --- the hard gates -------------------------------------------------
+    wall, report, profile = results["incremental"]
+    assert _decisions(report) == _decisions(cold_report), (
+        "incremental ingest-then-infer decisions diverge from the cold "
+        "batch run"
+    )
+    assert profile.reused_components > 0, (
+        "incremental run reused no components; the workload should leave "
+        "most shards untouched"
+    )
+    assert cold_wall >= MIN_SPEEDUP * wall, (
+        f"incremental ingest-then-infer only {cold_wall / wall:.2f}x faster "
+        f"than cold re-inference ({wall:.3f}s vs {cold_wall:.3f}s); "
+        f"the acceptance floor is {MIN_SPEEDUP}x"
+    )
+
+
+def test_multi_batch_incremental_equivalence():
+    """Two arrival batches with an inference between each: decisions at
+    every stage match the cold batch run (the CI smoke gate)."""
+    workload = generate_streaming_ingest(
+        StreamingIngestConfig(
+            n_shards=4, triples_per_shard=25, n_batches=2, seed=11
+        )
+    )
+    engine = workload.engine(CONFIG, IncrementalRuntime())
+    engine.run_joint()
+    triples = list(workload.seed_triples)
+    reused_total = 0
+    for batch in workload.batches:
+        engine.ingest(batch)
+        report = engine.run_joint()
+        triples += list(batch)
+        side = workload.side_information(triples)
+        cold = (
+            JOCLEngine.builder()
+            .with_side_information(side)
+            .with_config(CONFIG)
+            .build()
+            .run_joint()
+        )
+        assert _decisions(report) == _decisions(cold)
+        reused_total += engine.last_profile().reused_components
+    assert reused_total > 0
+    record_result(
+        "Incremental equivalence — 2-batch streaming ingest matches cold "
+        f"batch decisions at every stage ({reused_total} components reused)"
+    )

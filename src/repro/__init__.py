@@ -66,12 +66,15 @@ from repro.datasets import (
     NYTimes2018Config,
     ReVerb45KConfig,
     ShardedOKBConfig,
+    StreamingIngestConfig,
     generate_nytimes2018,
     generate_reverb45k,
     generate_sharded_reverb45k,
+    generate_streaming_ingest,
 )
 from repro.pipeline import JOCLPipeline, PipelineResult
 from repro.runtime import (
+    IncrementalRuntime,
     InferenceRuntime,
     ParallelRuntime,
     PartitionedRuntime,
@@ -86,6 +89,7 @@ __all__ = [
     "EngineReport",
     "EngineStats",
     "ExecutionProfile",
+    "IncrementalRuntime",
     "InferenceRuntime",
     "JOCL",
     "JOCLConfig",
@@ -101,8 +105,10 @@ __all__ = [
     "ResolveResult",
     "SerialRuntime",
     "ShardedOKBConfig",
+    "StreamingIngestConfig",
     "__version__",
     "generate_nytimes2018",
     "generate_reverb45k",
     "generate_sharded_reverb45k",
+    "generate_streaming_ingest",
 ]

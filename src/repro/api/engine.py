@@ -6,10 +6,13 @@ a benchmark dataset, the engine is the deployment surface: it *owns*
 the curated KB, the configuration, the learned template weights and all
 cached side information across calls, and exposes
 
-* :meth:`JOCLEngine.ingest` — incremental OKB growth that invalidates
-  only OKB-derived state (AMIE rules, KBP supervision, the inference
-  cache) while keeping every CKB-derived resource (candidate indexes,
-  anchors, embeddings, paraphrases) warm;
+* :meth:`JOCLEngine.ingest` — incremental OKB growth: the typed
+  :class:`~repro.okb.store.IngestDelta` drives in-place extension of
+  the OKB-derived state (AMIE rules, KBP supervision), targeted
+  feature-table invalidation, and — with
+  :class:`~repro.runtime.IncrementalRuntime` — re-inference of only
+  the dirty factor-graph components, while every CKB-derived resource
+  (candidate indexes, anchors, embeddings, paraphrases) stays warm;
 * :meth:`JOCLEngine.run_joint` / :meth:`JOCLEngine.canonicalize` /
   :meth:`JOCLEngine.link` — batch inference returning the typed,
   JSON-serializable results of :mod:`repro.api.results`, executed on
@@ -60,6 +63,7 @@ from repro.api.results import (
 from repro.ckb.anchors import AnchorStatistics
 from repro.ckb.candidates import CandidateGenerator
 from repro.ckb.kb import CuratedKB
+from repro.core.builder import BuildCache
 from repro.core.config import JOCLConfig
 from repro.core.inference import JOCLOutput
 from repro.core.learning import GoldAnnotations
@@ -67,13 +71,14 @@ from repro.core.model import JOCL
 from repro.core.side_info import SideInformation
 from repro.embeddings.base import WordEmbedding
 from repro.kbp.categorizer import RelationCategorizer
-from repro.okb.store import OpenKB
+from repro.okb.normalize import morph_normalize
+from repro.okb.store import IngestDelta, OpenKB
 from repro.okb.triples import OIETriple
 from repro.paraphrase.ppdb import ParaphraseDB
 from repro.rules.amie import AmieMiner
 from repro.runtime.base import InferenceRuntime
 from repro.runtime.serial import SerialRuntime
-from repro.strings.tokenize import normalize_text
+from repro.strings.tokenize import normalize_text, word_set
 
 #: Friendly aliases accepted wherever a slot kind is expected.  Each
 #: maps to the tuple of slots it covers: noun-phrase-flavored aliases
@@ -166,7 +171,11 @@ class EngineBuilder:
         Defaults to :class:`~repro.runtime.SerialRuntime` (whole-graph
         LBP); pass :class:`~repro.runtime.PartitionedRuntime` or
         :class:`~repro.runtime.ParallelRuntime` to exploit the factor
-        graph's connected components.  All shipped runtimes share the
+        graph's connected components, or
+        :class:`~repro.runtime.IncrementalRuntime` (stateful — one
+        engine per instance) to additionally reuse converged components
+        across :meth:`JOCLEngine.ingest` cycles.  All shipped runtimes
+        share the
         same fixed points; per-component early stopping can shift
         marginals only below the LBP convergence tolerance (see
         :class:`~repro.runtime.PartitionedRuntime`), which the seeded
@@ -347,13 +356,27 @@ class JOCLEngine:
         self._candidates: CandidateGenerator | None = (
             side.candidates if side is not None else None
         )
-        # OKB-derived resources: rebuilt on ingest unless user-pinned.
+        # OKB-derived resources: extended in place on ingest unless
+        # user-pinned (pinned resources are kept verbatim).
         self._custom_amie = amie
         self._custom_kbp = kbp
         self._side = side
-        self._okb_derived_stale = False
         self._output: JOCLOutput | None = None
         self._n_ingests = 0
+        # Incremental-ingest bookkeeping.  Triples not yet folded into
+        # the side-info bundle's AMIE/KBP state, and the merged typed
+        # delta not yet turned into invalidations — both flushed lazily
+        # so N ingest batches before the next inference cost one pass.
+        self._pending_side_triples: list[OIETriple] = []
+        self._pending_delta: IngestDelta | None = None
+        # Feature tables memoized across graph rebuilds; sound only for
+        # the default signal registry (see BuildCache), whose per-table
+        # inputs the delta-to-dirty-phrase mapping covers exactly.
+        self._build_cache: BuildCache | None = (
+            BuildCache() if model.uses_default_signals else None
+        )
+        # Morph-normalization memo for the AMIE dirty-key computation.
+        self._morph_keys: dict[str, str] = {}
 
     @classmethod
     def builder(cls) -> EngineBuilder:
@@ -437,13 +460,23 @@ class JOCLEngine:
     def ingest(self, triples: Iterable[OIETriple]) -> int:
         """Add OIE triples to the engine's OKB incrementally.
 
-        The OKB indexes grow in place; of the cached side information,
-        only the OKB-derived pieces (AMIE rules, KBP distant
-        supervision) and the inference cache are invalidated —
-        candidate-generation indexes, anchors, embeddings and the PPDB
-        stay warm.  The batch is validated as a whole: on
-        :class:`IngestError` (duplicate triple id, non-triple input) no
-        state changes.
+        Truly incremental end to end: the OKB indexes grow in place and
+        return a typed :class:`~repro.okb.store.IngestDelta`; the
+        OKB-derived side information (AMIE rules, KBP distant
+        supervision) is *extended* with the batch instead of re-derived
+        from the full OKB; the feature-table build cache drops exactly
+        the tables whose signal inputs the delta touched; and a
+        delta-aware runtime (:class:`repro.runtime.IncrementalRuntime`)
+        is told which phrases went dirty so the next inference re-runs
+        LBP only on the touched factor-graph components.  Everything
+        CKB-derived (candidate indexes, anchors, embeddings, PPDB)
+        stays warm.  All of it is decision-identical to rebuilding from
+        the union — only the decoding cache is unconditionally dropped.
+
+        The flush is lazy: N ingest batches before the next inference
+        cost one invalidation/extension pass, not N.  The batch is
+        validated as a whole: on :class:`IngestError` (duplicate triple
+        id, non-triple input) no state changes.
 
         Returns the number of triples added.
         """
@@ -451,14 +484,17 @@ class JOCLEngine:
         if not batch:
             return 0
         try:
-            self._okb.extend(batch)
+            delta = self._okb.extend(batch)
         except ValueError as error:
             raise IngestError(str(error)) from error
         self._n_ingests += 1
         self._output = None
-        # Lazy invalidation: N ingest batches before the next inference
-        # cost one AMIE/KBP rebuild, not N.
-        self._okb_derived_stale = self._side is not None
+        if self._side is not None:
+            # A not-yet-built bundle derives from the full OKB anyway.
+            self._pending_side_triples.extend(batch)
+        self._pending_delta = (
+            delta if self._pending_delta is None else self._pending_delta.merge(delta)
+        )
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -481,15 +517,78 @@ class JOCLEngine:
             # Candidate indexes are CKB-derived: keep them for the
             # engine's lifetime even if the bundle is rebuilt.
             self._candidates = self._side.candidates
-        elif self._okb_derived_stale:
-            # Pinned resources are kept verbatim — and their rebuild is
-            # skipped, not computed-and-discarded.
-            self._side.refresh_okb_derived(
+            # A fresh bundle already derives from the full OKB.
+            self._pending_side_triples.clear()
+        elif self._pending_side_triples:
+            # Pinned resources are kept verbatim — and skipped entirely,
+            # not extended-and-discarded.  Extension is provably
+            # equivalent to a rebuild from the union (additive stats).
+            self._side.extend_okb_derived(
+                self._pending_side_triples,
                 amie=self._custom_amie is None,
                 kbp=self._custom_kbp is None,
             )
-        self._okb_derived_stale = False
+            self._pending_side_triples.clear()
         return self._side
+
+    def _dirty_phrases(self, delta: IngestDelta) -> dict[str, set[str]]:
+        """Per-kind phrases whose factor-table inputs the delta changed.
+
+        Covers every OKB-derived input of the default signal set:
+
+        * phrases the batch mentions (their mention lists, AMIE/KBP
+          evidence, and pair/link feature rows all may change);
+        * IDF drift — phrases sharing a token with a *new* vocabulary
+          entry, whose ``f_idf`` scores (and pair admission) may shift
+          because the token's corpus frequency grew;
+        * AMIE key drift — RPs that morph-normalize onto the same
+          mining key as a touched predicate, whose rule evidence grew
+          even though their own surface never occurs in the batch.
+
+        Everything else feeding the default signals (CKB, anchors,
+        embedding, PPDB, config) is engine-lifetime constant.
+        """
+        np_dirty = set(delta.touched_noun_phrases)
+        rp_dirty = set(delta.touched_relation_phrases)
+        new_np_tokens: set[str] = set()
+        for phrase in delta.new_noun_phrases:
+            new_np_tokens |= word_set(phrase)
+        if new_np_tokens:
+            for phrase in self._okb.noun_phrases:
+                if phrase not in np_dirty and word_set(phrase) & new_np_tokens:
+                    np_dirty.add(phrase)
+        new_rp_tokens: set[str] = set()
+        for phrase in delta.new_relation_phrases:
+            new_rp_tokens |= word_set(phrase)
+        touched_keys = {
+            morph_normalize(phrase) for phrase in delta.touched_relation_phrases
+        }
+        for phrase in self._okb.relation_phrases:
+            if phrase in rp_dirty:
+                continue
+            if new_rp_tokens and word_set(phrase) & new_rp_tokens:
+                rp_dirty.add(phrase)
+                continue
+            key = self._morph_keys.get(phrase)
+            if key is None:
+                key = morph_normalize(phrase)
+                self._morph_keys[phrase] = key
+            if key in touched_keys:
+                rp_dirty.add(phrase)
+        return {"S": np_dirty, "P": rp_dirty, "O": set(np_dirty)}
+
+    def _flush_delta(self) -> None:
+        """Turn accumulated ingest deltas into targeted invalidations."""
+        delta = self._pending_delta
+        if delta is None:
+            return
+        self._pending_delta = None
+        dirty = self._dirty_phrases(delta)
+        if self._build_cache is not None:
+            self._build_cache.invalidate(dirty)
+        mark_dirty = getattr(self._runtime, "mark_dirty", None)
+        if mark_dirty is not None:
+            mark_dirty(dirty)
 
     def _decoded(self) -> JOCLOutput:
         if len(self._okb) == 0:
@@ -499,8 +598,11 @@ class JOCLEngine:
             )
         if self._output is None:
             side = self.side_information()
+            self._flush_delta()
             try:
-                graph, index, builder = self._model.build_graph(side)
+                graph, index, builder = self._model.build_graph(
+                    side, cache=self._build_cache
+                )
             except ValueError as error:
                 if self._model.weights:
                     # Typically a weight snapshot whose vectors do not

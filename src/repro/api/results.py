@@ -269,6 +269,15 @@ class ExecutionProfile:
     #: single-unit plans execute inline whatever this says — check
     #: ``n_components`` for that.
     backend: str | None = None
+    #: Components spliced from a previous run's converged state without
+    #: re-running LBP (always 0 for the stateless runtimes; > 0 is the
+    #: observable win of :class:`repro.runtime.IncrementalRuntime`).
+    #: Reused entries in ``component_iterations`` report the iteration
+    #: count of the run that originally computed them.
+    reused_components: int = 0
+    #: Components that actually ran LBP in this call
+    #: (``reused_components + recomputed_components == n_components``).
+    recomputed_components: int = 0
 
     def to_dict(self) -> dict:
         payload = _envelope(self.TYPE)
@@ -282,6 +291,8 @@ class ExecutionProfile:
             wall_time_s=self.wall_time_s,
             max_workers=self.max_workers,
             backend=self.backend,
+            reused_components=self.reused_components,
+            recomputed_components=self.recomputed_components,
         )
         return payload
 
@@ -306,6 +317,16 @@ class ExecutionProfile:
                     str(payload["backend"])
                     if payload.get("backend") is not None
                     else None
+                ),
+                reused_components=int(payload.get("reused_components", 0)),
+                # Payloads written before the incremental runtime carry
+                # no split; back-fill "everything was recomputed".
+                recomputed_components=int(
+                    payload.get(
+                        "recomputed_components",
+                        int(payload.get("n_components", 1))
+                        - int(payload.get("reused_components", 0)),
+                    )
                 ),
             )
 

@@ -14,6 +14,7 @@ those candidate lists from the CKB:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.ckb.anchors import AnchorStatistics
@@ -26,6 +27,27 @@ from repro.strings.similarity import (
     normalized_levenshtein_similarity,
 )
 from repro.strings.tokenize import normalize_text, word_set
+
+
+def _levenshtein_similarity_bound(
+    query_counts: Counter[str], query_length: int, form: str
+) -> float:
+    """Cheap upper bound on ``normalized_levenshtein_similarity``.
+
+    Edit distance is at least ``max(len) - common`` where ``common`` is
+    the character-multiset overlap, so the normalized similarity is at
+    most ``common / max(len)``.  Computing the bound is O(len), letting
+    the candidate generator skip the O(len^2) dynamic program for forms
+    that provably cannot reach the fuzzy floor or beat the best score
+    seen so far.
+    """
+    longest = max(query_length, len(form))
+    if longest == 0:
+        return 1.0
+    common = sum(
+        min(count, query_counts[char]) for char, count in Counter(form).items()
+    )
+    return common / longest
 
 
 @dataclass(frozen=True)
@@ -86,12 +108,29 @@ class CandidateGenerator:
                 self._alias_token_index.setdefault(token, set()).add(alias)
             for gram in ngram_set(alias, 3):
                 self._alias_ngram_index.setdefault(gram, set()).add(alias)
-        # Relation surface-form table (normalized and morph-normalized).
+        # Relation surface-form table (normalized and morph-normalized)
+        # plus a character-trigram index over the forms, mirroring the
+        # alias trigram index: fuzzy retrieval touches only relations
+        # sharing at least one trigram with the query instead of
+        # linearly scanning every relation x form.
         self._relation_forms: dict[str, set[str]] = {}
+        self._relation_ngram_index: dict[str, set[tuple[str, str]]] = {}
         for relation_id, relation in kb.relations.items():
             forms = set(relation.all_surface_forms())
             forms.update(morph_normalize(form) for form in set(forms))
             self._relation_forms[relation_id] = forms
+            for form in forms:
+                for gram in ngram_set(form, 3):
+                    self._relation_ngram_index.setdefault(gram, set()).add(
+                        (relation_id, form)
+                    )
+        # Memoized candidate lists.  Candidate retrieval depends only on
+        # the CKB and the anchor statistics — both fixed for the
+        # generator's lifetime — so results are cached per normalized
+        # phrase; repeated graph builds and serving-time resolve() calls
+        # pay the retrieval once per distinct phrase.
+        self._entity_cache: dict[str, tuple[EntityCandidate, ...]] = {}
+        self._relation_cache: dict[str, tuple[RelationCandidate, ...]] = {}
 
     # ------------------------------------------------------------------
     # Entities
@@ -101,8 +140,17 @@ class CandidateGenerator:
 
         Scoring: exact alias match and anchor popularity dominate; fuzzy
         token-overlap matches fill the remainder of the candidate list.
+        Results are memoized per normalized phrase (the CKB and anchors
+        are fixed for the generator's lifetime).
         """
         phrase = normalize_text(noun_phrase)
+        cached = self._entity_cache.get(phrase)
+        if cached is None:
+            cached = tuple(self._compute_entity_candidates(phrase))
+            self._entity_cache[phrase] = cached
+        return list(cached)
+
+    def _compute_entity_candidates(self, phrase: str) -> list[EntityCandidate]:
         scores: dict[str, float] = {}
 
         for entity_id in self._kb.entities_with_alias(phrase):
@@ -160,32 +208,73 @@ class CandidateGenerator:
         """Ranked candidate relations for ``relation_phrase``.
 
         Scoring: exact lexicalization match dominates; otherwise the
-        best n-gram Jaccard against any known surface form of the
-        relation (computed on the morph-normalized phrase, which strips
-        tense/auxiliaries as in "be an early member of" -> "early member
-        of").
+        best n-gram Jaccard or normalized Levenshtein similarity against
+        any known surface form of the relation (computed on the
+        morph-normalized phrase, which strips tense/auxiliaries as in
+        "be an early member of" -> "early member of").
+
+        Retrieval is index-backed and provably rank-identical to the
+        exhaustive scan: n-gram Jaccard is non-zero only for forms
+        sharing a trigram (served by the trigram index), relations
+        already at an exact 1.0 hit skip fuzzy scoring entirely, and the
+        Levenshtein dynamic program runs only where its O(len) upper
+        bound could still reach the fuzzy floor or beat the best score
+        found so far.  Results are memoized per normalized phrase.
         """
         phrase = normalize_text(relation_phrase)
+        cached = self._relation_cache.get(phrase)
+        if cached is None:
+            cached = tuple(self._compute_relation_candidates(phrase))
+            self._relation_cache[phrase] = cached
+        return list(cached)
+
+    def _compute_relation_candidates(self, phrase: str) -> list[RelationCandidate]:
         normalized = morph_normalize(phrase)
         scores: dict[str, float] = {}
 
         for relation_id in self._kb.relations_with_lexicalization(phrase):
-            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+            scores[relation_id] = 1.0
         for relation_id in self._kb.relations_with_lexicalization(normalized):
-            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+            scores[relation_id] = 1.0
 
+        # N-gram Jaccard over index-retrieved forms only (disjoint
+        # trigram sets have Jaccard 0 and cannot contribute).
+        best: dict[str, float] = {}
+        seen_forms: set[tuple[str, str]] = set()
+        for gram in ngram_set(normalized, 3):
+            for entry in self._relation_ngram_index.get(gram, ()):
+                relation_id, form = entry
+                if scores.get(relation_id) == 1.0 or entry in seen_forms:
+                    continue  # early exit: an exact hit cannot improve
+                seen_forms.add(entry)
+                value = ngram_jaccard(normalized, form)
+                if value > best.get(relation_id, 0.0):
+                    best[relation_id] = value
+
+        # Levenshtein pass with the cheap upper-bound prune.
+        query_counts = Counter(normalized)
+        query_length = len(normalized)
         for relation_id, forms in self._relation_forms.items():
-            best = 0.0
+            if scores.get(relation_id) == 1.0:
+                continue
+            current = best.get(relation_id, 0.0)
             for form in forms:
-                best = max(
-                    best,
-                    ngram_jaccard(normalized, form),
-                    normalized_levenshtein_similarity(normalized, form),
-                )
-                if best == 1.0:
+                if current == 1.0:
                     break
-            if best >= self._min_fuzzy:
-                scores[relation_id] = max(scores.get(relation_id, 0.0), best)
+                bound = _levenshtein_similarity_bound(
+                    query_counts, query_length, form
+                )
+                if bound <= current or bound < self._min_fuzzy:
+                    continue
+                value = normalized_levenshtein_similarity(normalized, form)
+                if value > current:
+                    current = value
+            if current > 0.0:
+                best[relation_id] = current
+
+        for relation_id, value in best.items():
+            if value >= self._min_fuzzy:
+                scores[relation_id] = max(scores.get(relation_id, 0.0), value)
 
         ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
         return [

@@ -8,9 +8,12 @@ This implementation:
 * supports single / complete / average linkage,
 * merges greedily while the best pair similarity >= ``threshold``.
 
-Complexity is O(n^2 log n) with a lazily-invalidated heap, which is fine
-for the phrase-set sizes the benchmarks use (hundreds to a few thousand
-items).
+Complexity is O(n^2 log n) with a lazily-invalidated heap.  Cluster-pair
+linkage scores are maintained as O(1)-combinable aggregates (count, sum,
+min, max over the member-pair similarities), so re-checking a popped
+candidate and re-scoring after a merge never re-enumerates member pairs
+— without the aggregates, average linkage degenerated to ~O(n^3) because
+every heap pop recomputed ``cluster_sim`` over all member pairs.
 """
 
 from __future__ import annotations
@@ -59,32 +62,35 @@ def hac_cluster(
     if n <= 1:
         return Clustering([unique_items] if unique_items else [])
 
-    # Pairwise similarities between original items, computed once.
-    sim = {}
-    for i, j in itertools.combinations(range(n), 2):
-        sim[(i, j)] = similarity(unique_items[i], unique_items[j])
-
-    def item_sim(i: int, j: int) -> float:
-        if i == j:
-            raise ValueError("self-similarity requested")
-        return sim[(i, j)] if i < j else sim[(j, i)]
-
     clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
     next_id = n
 
-    def cluster_sim(members_a: list[int], members_b: list[int]) -> float:
-        scores = [item_sim(i, j) for i in members_a for j in members_b]
+    # Cluster-pair aggregates over the member-pair similarities, keyed
+    # by the (unordered) cluster-id pair.  Merging clusters a and b
+    # combines the (a, o) and (b, o) aggregates in O(1) per surviving
+    # cluster o; every linkage score reads off the aggregate.
+    def pair_key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    # aggregate = (count, total, minimum, maximum) of member-pair sims.
+    aggregates: dict[tuple[int, int], tuple[int, float, float, float]] = {}
+    for i, j in itertools.combinations(range(n), 2):
+        score = similarity(unique_items[i], unique_items[j])
+        aggregates[(i, j)] = (1, score, score, score)
+
+    def linkage_score(aggregate: tuple[int, float, float, float]) -> float:
+        count, total, minimum, maximum = aggregate
         if linkage is Linkage.SINGLE:
-            return max(scores)
+            return maximum
         if linkage is Linkage.COMPLETE:
-            return min(scores)
-        return sum(scores) / len(scores)
+            return minimum
+        return total / count
 
     # Max-heap of candidate merges; entries go stale when a cluster id
     # disappears, so validity is re-checked on pop.
     heap: list[tuple[float, int, int]] = []
     for a, b in itertools.combinations(range(n), 2):
-        score = cluster_sim(clusters[a], clusters[b])
+        score = linkage_score(aggregates[(a, b)])
         if score >= threshold:
             heapq.heappush(heap, (-score, a, b))
 
@@ -92,15 +98,25 @@ def hac_cluster(
         neg_score, a, b = heapq.heappop(heap)
         if a not in clusters or b not in clusters:
             continue  # stale entry
-        score = cluster_sim(clusters[a], clusters[b])
+        score = linkage_score(aggregates[pair_key(a, b)])
         if score < threshold:
             continue  # stale score (cluster grew, linkage dropped)
         merged = clusters.pop(a) + clusters.pop(b)
+        aggregates.pop(pair_key(a, b))
         clusters[next_id] = merged
-        for other_id, other_members in clusters.items():
+        for other_id in clusters:
             if other_id == next_id:
                 continue
-            pair_score = cluster_sim(merged, other_members)
+            count_a, total_a, min_a, max_a = aggregates.pop(pair_key(a, other_id))
+            count_b, total_b, min_b, max_b = aggregates.pop(pair_key(b, other_id))
+            combined = (
+                count_a + count_b,
+                total_a + total_b,
+                min(min_a, min_b),
+                max(max_a, max_b),
+            )
+            aggregates[pair_key(next_id, other_id)] = combined
+            pair_score = linkage_score(combined)
             if pair_score >= threshold:
                 heapq.heappush(
                     heap, (-pair_score, min(next_id, other_id), max(next_id, other_id))

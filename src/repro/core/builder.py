@@ -18,8 +18,10 @@ canonicalization variable would be trivially 1); see DESIGN.md §3.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Collection, Mapping, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.config import JOCLConfig
 from repro.core.side_info import SideInformation
@@ -80,6 +82,76 @@ class GraphIndex:
         return self.nodes.get(kind, [])
 
 
+class BuildCache:
+    """Memoized factor feature tables across successive graph builds.
+
+    Rebuilding the factor graph after an ingest recomputes every signal
+    for every factor — O(whole KB) work even when the batch touched a
+    handful of phrases.  A :class:`BuildCache` (owned by a long-lived
+    caller such as :class:`repro.api.JOCLEngine`) memoizes the computed
+    tables keyed by the phrases they were computed from, so an unchanged
+    factor costs a dictionary hit and hands back the *same* array object
+    (which also makes downstream identity checks, e.g.
+    :func:`repro.runtime.incremental.component_unchanged`, O(1)).
+
+    Correct use requires the owner to call :meth:`invalidate` with every
+    phrase whose signal inputs may have changed before the next build —
+    any cached table naming a dirty phrase is dropped.  The cache is
+    only sound for the default signal registry, whose per-table inputs
+    are exactly the phrases in the key plus engine-lifetime-constant
+    resources (CKB, anchors, embedding, PPDB, config); custom registries
+    may close over arbitrary state and must build uncached.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get_or_compute(
+        self, key: tuple, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """The cached table for ``key``, computing and storing on miss."""
+        table = self._tables.get(key)
+        if table is None:
+            table = compute()
+            self._tables[key] = table
+        return table
+
+    def invalidate(self, dirty: Mapping[str, Collection[str]]) -> int:
+        """Drop every cached table that names a dirty phrase.
+
+        ``dirty`` maps slot kinds (``"S"``/``"P"``/``"O"``) to the
+        phrases whose signal inputs changed.  Returns the number of
+        tables dropped.
+        """
+        dirty_sets = {kind: set(phrases) for kind, phrases in dirty.items() if phrases}
+        if not dirty_sets:
+            return 0
+        empty: frozenset[str] = frozenset()
+
+        def stale(key: tuple) -> bool:
+            family = key[0]
+            if family == "link":
+                return key[2] in dirty_sets.get(key[1], empty)
+            if family in ("pair", "consistency"):
+                kind_dirty = dirty_sets.get(key[1], empty)
+                return key[2] in kind_dirty or key[3] in kind_dirty
+            if family == "fact":
+                _family, _triple_id, subject, predicate, obj = key
+                return (
+                    subject in dirty_sets.get("S", empty)
+                    or predicate in dirty_sets.get("P", empty)
+                    or obj in dirty_sets.get("O", empty)
+                )
+            return True  # unknown family: never keep stale state
+        stale_keys = [key for key in self._tables if stale(key)]
+        for key in stale_keys:
+            del self._tables[key]
+        return len(stale_keys)
+
+
 class GraphBuilder:
     """Builds the JOCL factor graph for one OKB.
 
@@ -93,6 +165,10 @@ class GraphBuilder:
     registry:
         Signal registry; defaults to the paper's signals filtered by
         ``config.variant``.
+    cache:
+        Optional :class:`BuildCache` memoizing feature tables across
+        builds (the incremental-ingest fast path).  The caller owns
+        invalidation; pass ``None`` (default) for a fully cold build.
     """
 
     def __init__(
@@ -100,10 +176,17 @@ class GraphBuilder:
         side: SideInformation,
         config: JOCLConfig | None = None,
         registry: SignalRegistry | None = None,
+        cache: BuildCache | None = None,
     ) -> None:
         self._side = side
         self._config = config or JOCLConfig()
         self._registry = registry or default_registry(side, self._config.variant)
+        self._cache = cache
+
+    def _table(self, key: tuple, compute: Callable[[], np.ndarray]) -> np.ndarray:
+        if self._cache is None:
+            return compute()
+        return self._cache.get_or_compute(key, compute)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -216,8 +299,10 @@ class GraphBuilder:
                 graph.add_variable(
                     Variable(link_var(kind, phrase), domain, group=LINK_GROUP)
                 )
-                table = registry.link_feature_table(
-                    signals_of_kind[kind], phrase, domain
+                signals = signals_of_kind[kind]
+                table = self._table(
+                    ("link", kind, phrase, domain),
+                    lambda: registry.link_feature_table(signals, phrase, domain),
                 )
                 graph.add_factor(
                     f"{factor_of_kind[kind]}:{phrase}",
@@ -242,13 +327,16 @@ class GraphBuilder:
             ]
             if len(set(scope)) != 3:
                 continue  # degenerate triple (subject == object string)
-            table = fact_inclusion_table(
-                self._config,
-                index.candidates[("S", subject)],
-                index.candidates[("P", predicate)],
-                index.candidates[("O", obj)],
-                kb.has_fact,
-                kb.relations_between,
+            table = self._table(
+                ("fact", triple.triple_id, subject, predicate, obj),
+                lambda: fact_inclusion_table(
+                    self._config,
+                    index.candidates[("S", subject)],
+                    index.candidates[("P", predicate)],
+                    index.candidates[("O", obj)],
+                    kb.has_fact,
+                    kb.relations_between,
+                ),
             )
             graph.add_factor(
                 f"U4:{triple.triple_id}", templates["U4"], scope, table
@@ -283,8 +371,10 @@ class GraphBuilder:
             for first, second in pairs:
                 name = canon_var(kind, first, second)
                 graph.add_variable(Variable(name, (0, 1), group=CANON_GROUP))
-                table = registry.pair_feature_table(
-                    signals_of_kind[kind], first, second
+                signals = signals_of_kind[kind]
+                table = self._table(
+                    ("pair", kind, first, second),
+                    lambda: registry.pair_feature_table(signals, first, second),
                 )
                 graph.add_factor(
                     f"{factor_of_kind[kind]}:{first}||{second}",
@@ -332,11 +422,14 @@ class GraphBuilder:
         nil_labels = frozenset((NIL,))
         for kind in KINDS:
             for first, second in index.pairs.get(kind, []):
-                table = consistency_table(
-                    self._config,
-                    index.candidates[(kind, first)],
-                    index.candidates[(kind, second)],
-                    nil_labels,
+                table = self._table(
+                    ("consistency", kind, first, second),
+                    lambda: consistency_table(
+                        self._config,
+                        index.candidates[(kind, first)],
+                        index.candidates[(kind, second)],
+                        nil_labels,
+                    ),
                 )
                 scope = [
                     link_var(kind, first),

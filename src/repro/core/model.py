@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.builder import GraphBuilder, GraphIndex
+from repro.core.builder import BuildCache, GraphBuilder, GraphIndex
 from repro.core.config import JOCLConfig
 from repro.core.inference import JOCLOutput, decode
 from repro.core.learning import GoldAnnotations, build_evidence
@@ -66,11 +66,28 @@ class JOCL:
             return None
         return self._registry_factory(side, self.config.variant)
 
+    @property
+    def uses_default_signals(self) -> bool:
+        """Whether the model runs on the paper's default signal set.
+
+        The engine's incremental build cache is only sound for the
+        default registry (whose table inputs are known exactly); custom
+        registries force cold builds.
+        """
+        return self._registry_factory is None
+
     def build_graph(
-        self, side: SideInformation
+        self,
+        side: SideInformation,
+        cache: BuildCache | None = None,
     ) -> tuple[FactorGraph, GraphIndex, GraphBuilder]:
-        """Build the factor graph for an OKB, installing learned weights."""
-        builder = GraphBuilder(side, self.config, self._registry(side))
+        """Build the factor graph for an OKB, installing learned weights.
+
+        ``cache`` optionally memoizes feature tables across builds (see
+        :class:`repro.core.builder.BuildCache`); the caller owns its
+        invalidation.
+        """
+        builder = GraphBuilder(side, self.config, self._registry(side), cache=cache)
         graph, index = builder.build()
         if self.weights is not None:
             for name, weights in self.weights.items():

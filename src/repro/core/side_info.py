@@ -9,8 +9,11 @@ not supplied, mirroring how the paper assembles its signals.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import cached_property
+
+from repro.okb.triples import OIETriple
 
 from repro.ckb.anchors import AnchorStatistics
 from repro.ckb.candidates import CandidateGenerator
@@ -73,6 +76,31 @@ class SideInformation:
             amie=amie,
             kbp=kbp,
         )
+
+    def extend_okb_derived(
+        self,
+        new_triples: Iterable[OIETriple],
+        amie: bool = True,
+        kbp: bool = True,
+    ) -> None:
+        """Incrementally absorb freshly ingested triples.
+
+        The cheap sibling of :meth:`refresh_okb_derived`: instead of
+        re-deriving the AMIE miner and the KBP categorizer from the full
+        OKB, both update their evidence in place via their ``extend``
+        hooks — provably equivalent to a rebuild from the union (their
+        statistics are additive per triple) at O(batch) cost.  Pass
+        ``amie=False`` / ``kbp=False`` to keep a user-pinned resource
+        untouched.  ``new_triples`` must be exactly the triples that
+        were appended to :attr:`okb` since the resources last saw it.
+        """
+        batch = list(new_triples)
+        if not batch:
+            return
+        if amie:
+            self.amie.extend(batch)
+        if kbp:
+            self.kbp.extend(batch)
 
     def refresh_okb_derived(self, amie: bool = True, kbp: bool = True) -> None:
         """Re-derive OKB-dependent resources after in-place OKB growth.

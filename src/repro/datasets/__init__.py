@@ -16,6 +16,9 @@ statistically similar worlds from a seed:
 * :func:`generate_sharded_reverb45k` — several independent worlds with
   disjoint relation slices merged into one OKB: the naturally
   decomposable workload the :mod:`repro.runtime` benchmarks exercise.
+* :func:`generate_streaming_ingest` — the sharded stream split into a
+  warm seed OKB plus arrival batches: the incremental-ingest serving
+  workload behind ``benchmarks/test_incremental_ingest.py``.
 * :class:`~repro.datasets.base.Dataset` — the container benchmarks
   consume: OKB, CKB, side-information resources, validation/test split
   (by gold entity, 20% validation as in Section 4.1) and evaluation
@@ -28,6 +31,11 @@ from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
 from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
 from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
 from repro.datasets.sharded import ShardedOKBConfig, generate_sharded_reverb45k
+from repro.datasets.streaming import (
+    StreamingIngestConfig,
+    StreamingIngestWorkload,
+    generate_streaming_ingest,
+)
 from repro.datasets.world import World, WorldConfig
 
 __all__ = [
@@ -36,12 +44,15 @@ __all__ = [
     "NYTimes2018Config",
     "ReVerb45KConfig",
     "ShardedOKBConfig",
+    "StreamingIngestConfig",
+    "StreamingIngestWorkload",
     "TripleNoiseConfig",
     "World",
     "WorldConfig",
     "generate_nytimes2018",
     "generate_reverb45k",
     "generate_sharded_reverb45k",
+    "generate_streaming_ingest",
     "load_triples_jsonl",
     "save_triples_jsonl",
 ]

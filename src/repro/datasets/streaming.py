@@ -1,0 +1,216 @@
+"""Streaming-ingest workload: a warm OKB plus arrival batches.
+
+Production OKBs are not built once — extractions arrive continuously,
+and the serving question is "how cheaply can the joint decisions be
+refreshed after a batch lands?".  This module renders that workload from
+the sharded multi-world generator of :mod:`repro.datasets.sharded`: the
+merged shard-major triple stream is split into a *seed* OKB (what the
+engine was built with) and a tail of *arrival batches* (what it
+ingests).
+
+Two arrival regimes:
+
+* ``"repeat"`` (default) — arrival triples are re-extractions whose
+  surface forms all remain covered by the seed OKB, the Zipf-dominant
+  case of streaming traffic (new facts about already-seen entities and
+  relations).  No vocabulary enters, so the corpus-level IDF tables are
+  untouched and the batch dirties *only* the phrases it mentions —
+  because the stream is shard-major and shards have disjoint surface
+  vocabularies, that is the final shard's factor-graph components,
+  exactly the regime where dirty-component incremental inference
+  (:class:`repro.runtime.IncrementalRuntime`) reuses every clean
+  shard's component verbatim.
+* ``"raw"`` — the plain tail of the stream, vocabulary growth and all:
+  new phrases shift global IDF weights, so their shared tokens ripple
+  into other shards' pair signals.  This exercises the conservative
+  drift-invalidation paths (fewer components reusable, still
+  decision-identical to a cold batch run).
+
+This is the fixture behind ``benchmarks/test_incremental_ingest.py`` and
+the ingest-then-infer equivalence matrix in
+``tests/test_runtime_incremental.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.side_info import SideInformation
+from repro.datasets.base import Dataset
+from repro.datasets.sharded import ShardedOKBConfig, generate_sharded_reverb45k
+from repro.embeddings.base import WordEmbedding
+from repro.embeddings.hashed import HashedCharNgramEmbedding
+from repro.okb.store import OpenKB
+from repro.okb.triples import OIETriple
+
+
+@dataclass(frozen=True)
+class StreamingIngestConfig:
+    """Scale knobs of the streaming-ingest workload."""
+
+    #: Independent worlds; each becomes >= 1 factor-graph component.
+    n_shards: int = 8
+    #: OKB triples contributed per shard.
+    triples_per_shard: int = 50
+    entities_per_shard: int = 16
+    facts_per_shard: int = 33
+    relations_per_shard: int = 3
+    #: Fraction of the stream that arrives as ingest batches (the tail
+    #: of the shard-major order, so batches concentrate in few shards).
+    ingest_fraction: float = 0.1
+    #: How many arrival batches the tail is split into.
+    n_batches: int = 1
+    #: Arrival regime: ``"repeat"`` (vocabulary-covered re-extractions)
+    #: or ``"raw"`` (the literal stream tail); see the module docstring.
+    arrivals: str = "repeat"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ingest_fraction < 1.0:
+            raise ValueError(
+                f"ingest_fraction must be in (0, 1), got {self.ingest_fraction}"
+            )
+        if self.n_batches < 1:
+            raise ValueError(f"n_batches must be >= 1, got {self.n_batches}")
+        if self.arrivals not in ("repeat", "raw"):
+            raise ValueError(
+                f"arrivals must be 'repeat' or 'raw', got {self.arrivals!r}"
+            )
+
+    @property
+    def sharded_config(self) -> ShardedOKBConfig:
+        return ShardedOKBConfig(
+            n_shards=self.n_shards,
+            triples_per_shard=self.triples_per_shard,
+            entities_per_shard=self.entities_per_shard,
+            facts_per_shard=self.facts_per_shard,
+            relations_per_shard=self.relations_per_shard,
+            validation_fraction=0.0,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class StreamingIngestWorkload:
+    """A seeded OKB and the arrival batches that stream into it."""
+
+    dataset: Dataset
+    #: Triples the engine is built with (the warm OKB).
+    seed_triples: list[OIETriple]
+    #: Arrival batches, in stream order.  Seed plus batches cover the
+    #: full stream as a *set*; only the ``"raw"`` regime preserves the
+    #: original shard-major order under concatenation (``"repeat"``
+    #: pulls vocabulary-covered positions out of the stream's interior).
+    batches: list[list[OIETriple]] = field(default_factory=list)
+
+    @property
+    def all_triples(self) -> list[OIETriple]:
+        """The full stream's triples: seed plus every batch."""
+        combined = list(self.seed_triples)
+        for batch in self.batches:
+            combined.extend(batch)
+        return combined
+
+    def side_information(
+        self,
+        triples: list[OIETriple] | None = None,
+        embedding: WordEmbedding | None = None,
+        max_candidates: int = 8,
+    ) -> SideInformation:
+        """A side-info bundle over ``triples`` (default: the seed OKB).
+
+        Shares the workload's CKB, anchors and PPDB; pass
+        :attr:`all_triples` to get the cold batch-job bundle over the
+        full stream (the baseline incremental ingest is measured
+        against).
+        """
+        return SideInformation.build(
+            okb=OpenKB(self.seed_triples if triples is None else triples),
+            kb=self.dataset.kb,
+            anchors=self.dataset.anchors,
+            ppdb=self.dataset.ppdb,
+            embedding=embedding or HashedCharNgramEmbedding(dimension=64),
+            max_candidates=max_candidates,
+        )
+
+    def engine(self, config=None, runtime=None):
+        """A :class:`repro.api.JOCLEngine` seeded with the warm OKB.
+
+        Stream the batches in with ``engine.ingest(batch)``.
+        """
+        from repro.api.engine import JOCLEngine
+        from repro.core.config import JOCLConfig
+
+        max_candidates = (config or JOCLConfig()).max_candidates
+        builder = JOCLEngine.builder().with_side_information(
+            self.side_information(max_candidates=max_candidates)
+        )
+        if config is not None:
+            builder = builder.with_config(config)
+        if runtime is not None:
+            builder = builder.with_runtime(runtime)
+        return builder.build()
+
+
+def _covered_tail(stream: list[OIETriple], tail_size: int) -> list[int]:
+    """Positions (from the stream's end) forming a vocabulary-covered tail.
+
+    Greedy reverse scan: a triple joins the tail only if each of its
+    three phrases still occurs in a triple *not* moved to the tail, so
+    removing the tail from the OKB removes no vocabulary entry — the
+    ``"repeat"`` arrival regime.  Returns at most ``tail_size`` stream
+    positions, latest first.
+    """
+    phrase_counts: dict[str, int] = {}
+    for triple in stream:
+        for phrase in triple.as_tuple():
+            phrase_counts[phrase] = phrase_counts.get(phrase, 0) + 1
+    positions: list[int] = []
+    for position in range(len(stream) - 1, -1, -1):
+        if len(positions) == tail_size:
+            break
+        triple = stream[position]
+        phrases = triple.as_tuple()
+        # A phrase survives removal when some mention outside this
+        # triple remains (degenerate (x, p, x) triples mention x twice).
+        if all(phrase_counts[phrase] > phrases.count(phrase) for phrase in phrases):
+            positions.append(position)
+            for phrase in phrases:
+                phrase_counts[phrase] -= 1
+    return positions
+
+
+def generate_streaming_ingest(
+    config: StreamingIngestConfig | None = None,
+) -> StreamingIngestWorkload:
+    """Generate the streaming-ingest workload (see module docstring)."""
+    config = config or StreamingIngestConfig()
+    dataset = generate_sharded_reverb45k(config.sharded_config)
+    stream = list(dataset.triples)
+    tail_size = max(config.n_batches, int(len(stream) * config.ingest_fraction))
+    tail_size = min(tail_size, len(stream) - 1)
+    if config.arrivals == "repeat":
+        tail_positions = set(_covered_tail(stream, tail_size))
+        seed_triples = [
+            triple
+            for position, triple in enumerate(stream)
+            if position not in tail_positions
+        ]
+        tail = [
+            triple
+            for position, triple in enumerate(stream)
+            if position in tail_positions
+        ]
+    else:
+        seed_triples = stream[:-tail_size]
+        tail = stream[-tail_size:]
+    base, remainder = divmod(len(tail), config.n_batches)
+    batches: list[list[OIETriple]] = []
+    start = 0
+    for position in range(config.n_batches):
+        size = base + (1 if position < remainder else 0)
+        batches.append(tail[start : start + size])
+        start += size
+    return StreamingIngestWorkload(
+        dataset=dataset, seed_triples=seed_triples, batches=batches
+    )

@@ -21,11 +21,12 @@ identical and halves the node count.
 """
 
 from repro.factorgraph.graph import Factor, FactorGraph, FactorTemplate, Variable
-from repro.factorgraph.lbp import LBPResult, LoopyBP, Schedule, ScheduleStep
+from repro.factorgraph.lbp import LBPMessages, LBPResult, LoopyBP, Schedule, ScheduleStep
 from repro.factorgraph.learner import LearningHistory, TemplateLearner
 from repro.factorgraph.partition import (
     component_subgraph,
     connected_components,
+    dirty_components,
     partition_graph,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "Factor",
     "FactorGraph",
     "FactorTemplate",
+    "LBPMessages",
     "LBPResult",
     "LearningHistory",
     "LoopyBP",
@@ -42,5 +44,6 @@ __all__ = [
     "Variable",
     "component_subgraph",
     "connected_components",
+    "dirty_components",
     "partition_graph",
 ]

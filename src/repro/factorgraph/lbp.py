@@ -114,6 +114,21 @@ class LBPSettings:
 
 
 @dataclass
+class LBPMessages:
+    """The message state of an LBP run, keyed like the runner's tables.
+
+    ``f2v`` maps ``(factor name, variable name)`` to the factor->variable
+    message, ``v2f`` maps ``(variable name, factor name)`` to the
+    variable->factor message.  Captured on request (``keep_messages``)
+    so a later run over an overlapping graph can warm-start from the
+    previous converged state (see :class:`repro.runtime.IncrementalRuntime`).
+    """
+
+    f2v: dict[tuple[str, str], np.ndarray] = field(default_factory=dict)
+    v2f: dict[tuple[str, str], np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
 class LBPResult:
     """Outcome of one LBP run: marginals, factor beliefs, diagnostics."""
 
@@ -123,6 +138,9 @@ class LBPResult:
     converged: bool
     residuals: list[float] = field(default_factory=list)
     _graph: FactorGraph | None = None
+    #: Final message state; populated only when the run was asked to
+    #: keep it (never part of equality or decisions).
+    messages: LBPMessages | None = field(default=None, compare=False)
 
     def marginal(self, variable_name: str) -> np.ndarray:
         """Marginal distribution over the variable's domain."""
@@ -212,7 +230,12 @@ class LoopyBP:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, evidence: Mapping[str, Hashable] | None = None) -> LBPResult:
+    def run(
+        self,
+        evidence: Mapping[str, Hashable] | None = None,
+        warm_start: LBPMessages | None = None,
+        keep_messages: bool = False,
+    ) -> LBPResult:
         """Run LBP to convergence and return marginals and beliefs.
 
         Parameters
@@ -220,6 +243,17 @@ class LoopyBP:
         evidence:
             Variable name -> clamped state label (the labeled
             configuration ``Y^L`` for the clamped learning pass).
+        warm_start:
+            Message state from a previous run to seed from.  Entries
+            whose key does not exist in this graph or whose shape does
+            not match the variable's cardinality are ignored — callers
+            are responsible for only passing messages of variables whose
+            *domain* is unchanged (a same-size but relabeled domain
+            would silently mis-seed).  Warm starting changes where the
+            fixed-point search begins, not which fixed points exist.
+        keep_messages:
+            Attach the final message state to the result (for future
+            warm starts).
         """
         masks = self._build_masks(evidence or {})
         f2v: dict[tuple[str, str], np.ndarray] = {}
@@ -230,6 +264,8 @@ class LoopyBP:
                 v2f[(variable.name, factor.name)] = self._masked_uniform(
                     variable, masks
                 )
+        if warm_start is not None:
+            self._seed_messages(f2v, v2f, warm_start, masks)
 
         residuals: list[float] = []
         converged = False
@@ -257,7 +293,31 @@ class LoopyBP:
             converged=converged,
             residuals=residuals,
             _graph=self._graph,
+            messages=LBPMessages(f2v=f2v, v2f=v2f) if keep_messages else None,
         )
+
+    def _seed_messages(
+        self,
+        f2v: dict[tuple[str, str], np.ndarray],
+        v2f: dict[tuple[str, str], np.ndarray],
+        warm_start: LBPMessages,
+        masks: dict[str, np.ndarray],
+    ) -> None:
+        """Overwrite initial messages with matching warm-start entries.
+
+        Seeded variable->factor messages are re-masked so evidence
+        clamps always win over the previous run's state.  The seeded
+        arrays are never mutated afterwards (updates replace table
+        entries wholesale), so sharing them with the caller is safe.
+        """
+        for key, message in warm_start.f2v.items():
+            existing = f2v.get(key)
+            if existing is not None and existing.shape == message.shape:
+                f2v[key] = message
+        for key, message in warm_start.v2f.items():
+            existing = v2f.get(key)
+            if existing is not None and existing.shape == message.shape:
+                v2f[key] = self._normalize(message * masks[key[0]])
 
     # ------------------------------------------------------------------
     # Message updates

@@ -18,7 +18,7 @@ planning substrate of :mod:`repro.runtime`.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Sequence
 
 from repro.clustering.unionfind import UnionFind
 from repro.factorgraph.graph import FactorGraph, Variable
@@ -38,6 +38,30 @@ def connected_components(graph: FactorGraph) -> list[frozenset[str]]:
     components = [frozenset(group) for group in finder.groups()]
     components.sort(key=lambda group: (-len(group), min(group)))
     return components
+
+
+def dirty_components(
+    components: Sequence[Collection[str]], dirty_variables: Collection[str]
+) -> frozenset[int]:
+    """Indices of the components containing at least one dirty variable.
+
+    The delta-to-dirty-set mapping of incremental inference: an ingest
+    batch perturbs only the variables derived from the phrases it
+    touches, and LBP messages never cross component boundaries, so a
+    component without a dirty variable is unaffected by the batch.
+    ``components`` is any per-component collection of variable names
+    (e.g. from :func:`connected_components`, or the variable key sets of
+    :func:`partition_graph` subgraphs); the returned indices are
+    positions into it.
+    """
+    dirty = set(dirty_variables)
+    if not dirty:
+        return frozenset()
+    return frozenset(
+        position
+        for position, component in enumerate(components)
+        if not dirty.isdisjoint(component)
+    )
 
 
 def assign_factors(

@@ -50,14 +50,33 @@ class RelationCategorizer:
     ) -> None:
         self._kb = kb
         self._min_votes = min_votes
+        #: Per-predicate distant-supervision vote counters; kept for the
+        #: categorizer's lifetime so ingested triples update them in
+        #: place instead of forcing a rebuild.
+        self._votes: dict[str, Counter[str]] = {}
         self._mapping: dict[str, str] = {}
-        self._build(list(triples))
+        self._ingest(triples)
 
-    def _build(self, triples: list[OIETriple]) -> None:
-        votes: dict[str, Counter[str]] = {}
+    def extend(self, triples: Iterable[OIETriple]) -> frozenset[str]:
+        """Incrementally absorb new distant-supervision evidence.
+
+        Votes are strictly additive per triple, so updating the counters
+        in place and re-deciding only the predicates the batch mentions
+        leaves the categorizer *exactly* as if it had been rebuilt from
+        the union — the ingest-equals-batch guarantee — at O(batch)
+        instead of O(whole OKB) cost.
+
+        Returns the predicates whose *mapping* actually changed (vote
+        updates that do not flip the winning relation report nothing).
+        """
+        return self._ingest(triples)
+
+    def _ingest(self, triples: Iterable[OIETriple]) -> frozenset[str]:
+        affected: set[str] = set()
         for triple in triples:
             predicate = triple.predicate_norm
-            counter = votes.setdefault(predicate, Counter())
+            affected.add(predicate)
+            counter = self._votes.setdefault(predicate, Counter())
             # Lexicalization evidence: RP literally matches the relation.
             for relation_id in self._kb.relations_with_lexicalization(predicate):
                 counter[relation_id] += 1
@@ -74,14 +93,23 @@ class RelationCategorizer:
                         subject_id, object_id
                     ):
                         counter[relation_id] += 1
-        for predicate, counter in votes.items():
-            if not counter:
-                continue
-            relation_id, count = max(
-                counter.items(), key=lambda item: (item[1], item[0])
-            )
-            if count >= self._min_votes:
-                self._mapping[predicate] = relation_id
+        changed: set[str] = set()
+        for predicate in affected:
+            counter = self._votes[predicate]
+            winner: str | None = None
+            if counter:
+                relation_id, count = max(
+                    counter.items(), key=lambda item: (item[1], item[0])
+                )
+                if count >= self._min_votes:
+                    winner = relation_id
+            if winner != self._mapping.get(predicate):
+                changed.add(predicate)
+                if winner is None:
+                    self._mapping.pop(predicate, None)
+                else:
+                    self._mapping[predicate] = winner
+        return frozenset(changed)
 
     # ------------------------------------------------------------------
     # Queries

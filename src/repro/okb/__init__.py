@@ -13,10 +13,11 @@ noun phrase>`` (Section 2 of the paper).  This package provides:
 """
 
 from repro.okb.normalize import morph_normalize, morph_normalize_tokens
-from repro.okb.store import OpenKB, PhraseRole
+from repro.okb.store import IngestDelta, OpenKB, PhraseRole
 from repro.okb.triples import OIETriple, TripleGold
 
 __all__ = [
+    "IngestDelta",
     "OIETriple",
     "OpenKB",
     "PhraseRole",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.okb.triples import OIETriple
 from repro.strings.idf import IdfStatistics
@@ -26,6 +27,65 @@ class PhraseRole(enum.Enum):
     SUBJECT = "subject"
     PREDICATE = "predicate"
     OBJECT = "object"
+
+
+@dataclass(frozen=True)
+class IngestDelta:
+    """What one :meth:`OpenKB.extend` batch changed, in typed form.
+
+    The substrate of incremental inference: downstream consumers
+    (:class:`repro.api.JOCLEngine`, :class:`repro.runtime.IncrementalRuntime`)
+    use the delta to invalidate exactly the state the batch touched
+    instead of the whole KB.
+
+    ``touched_*`` phrases are every distinct surface form the batch
+    mentions (pre-existing or new); ``new_*`` phrases are the subset
+    that entered the vocabulary with this batch.  All tuples preserve
+    first-seen order and are deduplicated.
+    """
+
+    #: The triples added, in insertion order.
+    triples: tuple[OIETriple, ...] = ()
+    #: NP surface forms that entered the vocabulary with this batch.
+    new_noun_phrases: tuple[str, ...] = ()
+    #: RP surface forms that entered the vocabulary with this batch.
+    new_relation_phrases: tuple[str, ...] = ()
+    #: Every distinct NP the batch mentions (includes ``new_noun_phrases``).
+    touched_noun_phrases: tuple[str, ...] = ()
+    #: Every distinct RP the batch mentions (includes ``new_relation_phrases``).
+    touched_relation_phrases: tuple[str, ...] = ()
+
+    @property
+    def triple_ids(self) -> tuple[str, ...]:
+        """Ids of the triples added."""
+        return tuple(triple.triple_id for triple in self.triples)
+
+    def __bool__(self) -> bool:
+        return bool(self.triples)
+
+    def merge(self, other: "IngestDelta") -> "IngestDelta":
+        """Combine two consecutive deltas into one (order-preserving).
+
+        Lets N ingest batches between inferences cost one invalidation
+        pass, not N.
+        """
+
+        def union(first: tuple[str, ...], second: tuple[str, ...]) -> tuple[str, ...]:
+            return tuple(dict.fromkeys(first + second))
+
+        return IngestDelta(
+            triples=self.triples + other.triples,
+            new_noun_phrases=union(self.new_noun_phrases, other.new_noun_phrases),
+            new_relation_phrases=union(
+                self.new_relation_phrases, other.new_relation_phrases
+            ),
+            touched_noun_phrases=union(
+                self.touched_noun_phrases, other.touched_noun_phrases
+            ),
+            touched_relation_phrases=union(
+                self.touched_relation_phrases, other.touched_relation_phrases
+            ),
+        )
 
 
 class OpenKB:
@@ -47,7 +107,7 @@ class OpenKB:
         self._rp_idf = IdfStatistics()
         self.extend(triples)
 
-    def extend(self, triples: Iterable[OIETriple]) -> list[OIETriple]:
+    def extend(self, triples: Iterable[OIETriple]) -> IngestDelta:
         """Incrementally index additional triples.
 
         Only state touched by the new triples is updated: mention lists
@@ -58,7 +118,8 @@ class OpenKB:
         any of it is indexed, so a duplicate id leaves the store
         untouched.
 
-        Returns the list of triples actually added.
+        Returns the typed :class:`IngestDelta` describing exactly what
+        the batch changed (triples added, new vs. touched vocabulary).
         """
         batch = list(triples)
         seen: set[str] = set()
@@ -68,10 +129,15 @@ class OpenKB:
             seen.add(triple.triple_id)
         new_nps: list[str] = []
         new_rps: list[str] = []
+        touched_nps: dict[str, None] = {}
+        touched_rps: dict[str, None] = {}
         for triple in batch:
             self._by_id[triple.triple_id] = triple
             self._triples.append(triple)
             subject, predicate, obj = triple.as_tuple()
+            touched_nps[subject] = None
+            touched_nps[obj] = None
+            touched_rps[predicate] = None
             if subject not in self._np_mentions:
                 new_nps.append(subject)
             self._np_mentions.setdefault(subject, []).append(
@@ -89,7 +155,13 @@ class OpenKB:
             self._attributes.setdefault(obj, set()).add((predicate, subject))
         self._np_idf.update(new_nps)
         self._rp_idf.update(new_rps)
-        return batch
+        return IngestDelta(
+            triples=tuple(batch),
+            new_noun_phrases=tuple(new_nps),
+            new_relation_phrases=tuple(new_rps),
+            touched_noun_phrases=tuple(touched_nps),
+            touched_relation_phrases=tuple(touched_rps),
+        )
 
     # ------------------------------------------------------------------
     # Triples

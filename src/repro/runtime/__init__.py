@@ -19,10 +19,18 @@ Shipped runtimes:
   faster: each component stops at its own convergence;
 * :class:`ParallelRuntime` — the partitioned plan on a
   ``concurrent.futures`` pool (thread or process backend) with a
-  worker-count knob and a deterministic merge order.
+  worker-count knob and a deterministic merge order;
+* :class:`IncrementalRuntime` — the partitioned plan with cross-call
+  state: components untouched since the previous run are spliced from
+  the cached converged result (with a structural identity check as the
+  correctness backstop), dirty components re-run LBP — cold by default
+  (keeping the merged output bit-identical to a cold batch run), or
+  seeded from the previous messages via ``warm_start=True``.  Stateful
+  — one engine per instance; the natural pairing for
+  :meth:`repro.api.JOCLEngine.ingest`.
 
 Select one per engine via
-``JOCLEngine.builder().with_runtime(ParallelRuntime(max_workers=4))``,
+``JOCLEngine.builder().with_runtime(IncrementalRuntime())``,
 or pass it straight to :meth:`repro.core.model.JOCL.infer`.
 """
 
@@ -34,12 +42,14 @@ from repro.runtime.base import (
     RuntimeResult,
     run_component,
 )
+from repro.runtime.incremental import IncrementalRuntime
 from repro.runtime.parallel import ParallelRuntime
 from repro.runtime.partitioned import PartitionedRuntime
 from repro.runtime.serial import SerialRuntime
 
 __all__ = [
     "ComponentPlan",
+    "IncrementalRuntime",
     "InferencePlan",
     "InferenceRuntime",
     "InferenceTask",

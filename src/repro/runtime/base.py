@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.lbp import (
+    LBPMessages,
     LBPResult,
     LBPSettings,
     LoopyBP,
@@ -68,6 +69,12 @@ class ComponentPlan:
 
     #: The stand-alone subgraph (the whole graph for serial plans).
     graph: FactorGraph
+    #: A previous run's result to splice instead of running LBP — set by
+    #: :meth:`InferenceRuntime.warm_start` for provably clean units.
+    reused: LBPResult | None = None
+    #: Converged message state to seed LBP from (dirty units whose
+    #: variables partially survive from a previous run).
+    warm_messages: LBPMessages | None = None
 
     @property
     def n_variables(self) -> int:
@@ -95,13 +102,16 @@ def run_component(
     schedule: Schedule | None,
     settings: LBPSettings,
     evidence: Mapping[str, Hashable] | None,
+    warm_start: LBPMessages | None = None,
+    keep_messages: bool = False,
 ) -> LBPResult:
     """Run LBP over one plan unit (the shared worker body).
 
     Evidence is filtered down to the unit's own variables, and the
     result's graph back-reference is dropped so the payload stays small
     when it crosses a process boundary; :func:`merge_results` restores
-    the whole-graph reference on the merged result.
+    the whole-graph reference on the merged result.  ``warm_start`` and
+    ``keep_messages`` pass straight through to :meth:`LoopyBP.run`.
     """
     local_evidence = None
     if evidence:
@@ -109,7 +119,9 @@ def run_component(
             name: state for name, state in evidence.items() if name in graph.variables
         }
     runner = LoopyBP.from_settings(graph, schedule=schedule, settings=settings)
-    result = runner.run(local_evidence)
+    result = runner.run(
+        local_evidence, warm_start=warm_start, keep_messages=keep_messages
+    )
     result._graph = None
     return result
 
@@ -119,6 +131,11 @@ class InferenceRuntime(ABC):
 
     #: Stable identifier recorded in :class:`ExecutionProfile.runtime`.
     name = "abstract"
+
+    #: Whether executors should retain converged message state on their
+    #: results.  Off by default (messages are pure warm-start fuel);
+    #: state-carrying runtimes like IncrementalRuntime enable it.
+    keep_messages = False
 
     #: Worker count recorded in the profile (1 unless the runtime
     #: actually fans out).
@@ -137,15 +154,36 @@ class InferenceRuntime(ABC):
     def plan(self, task: InferenceTask) -> InferencePlan:
         """Decompose the task into independent units."""
 
+    def warm_start(self, plan: InferencePlan) -> InferencePlan:
+        """Hook: rewrite the plan with state reusable from prior runs.
+
+        Called between :meth:`plan` and :meth:`execute`.  A runtime that
+        caches converged state may mark provably clean units as
+        ``reused`` (spliced instead of re-run) and attach
+        ``warm_messages`` to dirty ones.  The default is a stateless
+        no-op — the plan executes cold.
+        """
+        return plan
+
     def execute(self, plan: InferencePlan) -> list[LBPResult]:
         """Run every unit; results must come back in plan order.
 
-        The default runs units sequentially in the calling thread;
-        pool-backed runtimes override this.
+        Units carrying a ``reused`` result are spliced without running
+        LBP.  The default runs the rest sequentially in the calling
+        thread; pool-backed runtimes override this.
         """
         task = plan.task
         return [
-            run_component(unit.graph, task.schedule, task.settings, task.evidence)
+            unit.reused
+            if unit.reused is not None
+            else run_component(
+                unit.graph,
+                task.schedule,
+                task.settings,
+                task.evidence,
+                warm_start=unit.warm_messages,
+                keep_messages=self.keep_messages,
+            )
             for unit in plan.components
         ]
 
@@ -156,6 +194,7 @@ class InferenceRuntime(ABC):
         from repro.api.results import ExecutionProfile
 
         merged = merge_results(parts, plan.task.graph)
+        reused = sum(1 for unit in plan.components if unit.reused is not None)
         profile = ExecutionProfile(
             runtime=self.name,
             n_components=len(plan.components),
@@ -166,13 +205,23 @@ class InferenceRuntime(ABC):
             wall_time_s=wall_time_s,
             max_workers=self.max_workers,
             backend=self.effective_backend,
+            reused_components=reused,
+            recomputed_components=len(plan.components) - reused,
         )
         return RuntimeResult(result=merged, profile=profile)
 
+    def after_run(
+        self, task: InferenceTask, plan: InferencePlan, parts: list[LBPResult]
+    ) -> None:
+        """Hook: observe a completed run (state-carrying runtimes cache
+        the per-unit results here).  The default is a no-op."""
+
     def run(self, task: InferenceTask) -> RuntimeResult:
-        """The template method: plan, execute, merge — and time it."""
+        """The template method: plan, warm-start, execute, merge — timed."""
         start = time.perf_counter()
-        plan = self.plan(task)
+        plan = self.warm_start(self.plan(task))
         parts = self.execute(plan)
         wall_time_s = time.perf_counter() - start
-        return self.merge(plan, parts, wall_time_s)
+        outcome = self.merge(plan, parts, wall_time_s)
+        self.after_run(task, plan, parts)
+        return outcome

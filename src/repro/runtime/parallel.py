@@ -36,8 +36,15 @@ _BACKENDS = ("thread", "process")
 
 def _run_unit(payload) -> LBPResult:
     """Module-level worker body, picklable for the process backend."""
-    graph, schedule, settings, evidence = payload
-    return run_component(graph, schedule, settings, evidence)
+    graph, schedule, settings, evidence, warm_start, keep_messages = payload
+    return run_component(
+        graph,
+        schedule,
+        settings,
+        evidence,
+        warm_start=warm_start,
+        keep_messages=keep_messages,
+    )
 
 
 class ParallelRuntime(PartitionedRuntime):
@@ -113,14 +120,34 @@ class ParallelRuntime(PartitionedRuntime):
 
     def execute(self, plan: InferencePlan) -> list[LBPResult]:
         task = plan.task
+        # Reused units are spliced in place; only the rest hit the pool.
+        results: list[LBPResult | None] = [
+            unit.reused for unit in plan.components
+        ]
+        pending = [
+            (position, unit)
+            for position, unit in enumerate(plan.components)
+            if unit.reused is None
+        ]
         payloads = [
-            (unit.graph, task.schedule, task.settings, task.evidence)
-            for unit in plan.components
+            (
+                unit.graph,
+                task.schedule,
+                task.settings,
+                task.evidence,
+                unit.warm_messages,
+                self.keep_messages,
+            )
+            for _position, unit in pending
         ]
         pool_size = min(self._max_workers, len(payloads))
         if pool_size <= 1 or len(payloads) == 1:
-            return [_run_unit(payload) for payload in payloads]
-        with self._make_executor(pool_size) as executor:
-            # executor.map preserves input order: merge order == plan
-            # order, whatever the completion order was.
-            return list(executor.map(_run_unit, payloads))
+            computed = [_run_unit(payload) for payload in payloads]
+        else:
+            with self._make_executor(pool_size) as executor:
+                # executor.map preserves input order: merge order == plan
+                # order, whatever the completion order was.
+                computed = list(executor.map(_run_unit, payloads))
+        for (position, _unit), part in zip(pending, computed):
+            results[position] = part
+        return results

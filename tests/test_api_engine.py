@@ -232,8 +232,10 @@ class TestIngest:
         assert side.amie is pinned_amie  # same object: no rebuild happened
         assert side.kbp is pinned_kbp
 
-    def test_refresh_preserves_custom_amie_and_kbp_configs(self, small_dataset):
-        """Ingest rebuilds keep non-default mining/supervision settings."""
+    def test_ingest_extends_amie_and_kbp_in_place(self, small_dataset):
+        """Ingest extends OKB-derived resources in place, keeping their
+        settings, and lands them exactly where a rebuild from the union
+        would."""
         from repro.core.side_info import SideInformation
         from repro.kbp.categorizer import RelationCategorizer
         from repro.okb.store import OpenKB
@@ -241,40 +243,49 @@ class TestIngest:
 
         triples = small_dataset.test_triples
         okb = OpenKB(triples[:10])
-        custom_amie = AmieMiner(okb.triples, AmieConfig(min_support=5))
-        custom_kbp = RelationCategorizer(small_dataset.kb, okb.triples, min_votes=3)
+        bundled_amie = AmieMiner(okb.triples, AmieConfig(min_support=5))
+        bundled_kbp = RelationCategorizer(small_dataset.kb, okb.triples, min_votes=3)
         side = SideInformation.build(
-            okb=okb, kb=small_dataset.kb, amie=custom_amie, kbp=custom_kbp
+            okb=okb, kb=small_dataset.kb, amie=bundled_amie, kbp=bundled_kbp
         )
         engine = (
             JOCLEngine.builder().with_side_information(side).with_config(FAST).build()
         )
         engine.ingest(triples[10:20])
-        side = engine.side_information()  # post-ingest refresh point
-        assert side.amie is not custom_amie  # rebuilt over the grown OKB...
-        assert side.amie.config == AmieConfig(min_support=5)  # ...same settings
+        side = engine.side_information()  # post-ingest extension point
+        assert side.amie is bundled_amie  # extended in place, not rebuilt
+        assert side.amie.config == AmieConfig(min_support=5)  # same settings
+        assert side.kbp is bundled_kbp
         assert side.kbp.min_votes == 3
+        # Ingest-equals-batch: the extended state matches a fresh build
+        # over the union under the same settings.
+        union = OpenKB(triples[:20])
+        fresh_amie = AmieMiner(union.triples, AmieConfig(min_support=5))
+        assert side.amie.rules == fresh_amie.rules
+        fresh_kbp = RelationCategorizer(small_dataset.kb, union.triples, min_votes=3)
+        assert side.kbp.mapped_phrases == fresh_kbp.mapped_phrases
 
-    def test_many_ingests_cost_one_rebuild(self, small_dataset, monkeypatch):
-        """OKB-derived refresh is lazy: N batches, one rebuild."""
+    def test_many_ingests_cost_one_extension(self, small_dataset, monkeypatch):
+        """OKB-derived extension is lazy: N batches, one extend pass."""
         from repro.core.side_info import SideInformation
 
         calls = []
-        original = SideInformation.refresh_okb_derived
+        original = SideInformation.extend_okb_derived
 
-        def counting(self, **kwargs):
-            calls.append(kwargs)
-            return original(self, **kwargs)
+        def counting(self, new_triples, **kwargs):
+            calls.append(list(new_triples))
+            return original(self, new_triples, **kwargs)
 
-        monkeypatch.setattr(SideInformation, "refresh_okb_derived", counting)
+        monkeypatch.setattr(SideInformation, "extend_okb_derived", counting)
         triples = small_dataset.test_triples
         engine = build_engine(small_dataset, triples[:10])
         engine.run_joint()  # materialize side info
         for start in range(10, 40, 10):
             engine.ingest(triples[start : start + 10])
-        assert calls == []  # nothing rebuilt while only ingesting
+        assert calls == []  # nothing touched while only ingesting
         engine.run_joint()
-        assert len(calls) == 1  # one refresh served all three batches
+        assert len(calls) == 1  # one extension served all three batches
+        assert calls[0] == triples[10:40]  # ...covering every batch
 
     def test_empty_ingest_is_noop(self, small_dataset):
         engine = build_engine(small_dataset, small_dataset.test_triples[:5])

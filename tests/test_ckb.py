@@ -130,3 +130,96 @@ class TestCandidateGenerator:
     def test_invalid_max_candidates(self, tiny_kb):
         with pytest.raises(ValueError):
             CandidateGenerator(tiny_kb, max_candidates=0)
+
+
+class TestRelationCandidateEquivalence:
+    """The trigram-index + bounded-Levenshtein retrieval must stay
+    rank-identical to the exhaustive relation x form scan it replaced."""
+
+    @staticmethod
+    def _reference_relation_candidates(generator, relation_phrase):
+        """The pre-index exhaustive algorithm, verbatim."""
+        from repro.okb.normalize import morph_normalize
+        from repro.strings.similarity import (
+            ngram_jaccard,
+            normalized_levenshtein_similarity,
+        )
+        from repro.strings.tokenize import normalize_text
+
+        phrase = normalize_text(relation_phrase)
+        normalized = morph_normalize(phrase)
+        scores = {}
+        for relation_id in generator._kb.relations_with_lexicalization(phrase):
+            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+        for relation_id in generator._kb.relations_with_lexicalization(normalized):
+            scores[relation_id] = max(scores.get(relation_id, 0.0), 1.0)
+        for relation_id, forms in generator._relation_forms.items():
+            best = 0.0
+            for form in forms:
+                best = max(
+                    best,
+                    ngram_jaccard(normalized, form),
+                    normalized_levenshtein_similarity(normalized, form),
+                )
+                if best == 1.0:
+                    break
+            if best >= generator._min_fuzzy:
+                scores[relation_id] = max(scores.get(relation_id, 0.0), best)
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [
+            (relation_id, score)
+            for relation_id, score in ranked[: generator._max_candidates]
+        ]
+
+    def _assert_identical(self, generator, phrases):
+        for phrase in phrases:
+            produced = [
+                (c.relation_id, c.score)
+                for c in generator.relation_candidates(phrase)
+            ]
+            assert produced == self._reference_relation_candidates(
+                generator, phrase
+            ), f"ranking diverged for {phrase!r}"
+
+    def test_identical_on_generated_world(self):
+        from repro.datasets import ReVerb45KConfig, generate_reverb45k
+
+        dataset = generate_reverb45k(
+            ReVerb45KConfig(n_entities=40, n_facts=90, n_triples=120, seed=5)
+        )
+        generator = CandidateGenerator(dataset.kb, dataset.anchors)
+        phrases = sorted({t.predicate_norm for t in dataset.triples})
+        assert len(phrases) > 10
+        self._assert_identical(generator, phrases)
+
+    def test_identical_on_adversarial_phrases(self, tiny_kb, tiny_anchors):
+        generator = CandidateGenerator(tiny_kb, tiny_anchors, max_candidates=5)
+        self._assert_identical(
+            generator,
+            [
+                "locate in",          # exact lexicalization
+                "is located in",      # inflected form of a lexicalization
+                "be a member of",     # exact on the other relation
+                "member",             # short phrase (sub-trigram behavior)
+                "lo",                 # shorter than a trigram
+                "",                   # empty after normalization
+                "located",            # partial overlap
+                "organization founded",  # matches the relation *name* form
+                "zzzz qqqq xxxx",     # no overlap at all
+            ],
+        )
+
+    def test_results_memoized_per_phrase(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        first = generator.relation_candidates("locate in")
+        second = generator.relation_candidates("Locate In")  # same normalized
+        assert first == second
+        entity_first = generator.entity_candidates("umd")
+        entity_second = generator.entity_candidates(" UMD ")
+        assert entity_first == entity_second
+
+    def test_memo_returns_fresh_lists(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        first = generator.relation_candidates("locate in")
+        first.append("sentinel")
+        assert "sentinel" not in generator.relation_candidates("locate in")

@@ -196,3 +196,101 @@ class TestHAC:
             for i, a in enumerate(members):
                 for b in members[i + 1 :]:
                     assert sim(a, b) >= 0.6 or len(members) > 2
+
+
+class TestHACAggregateParity:
+    """The O(1) pair-aggregate implementation must reproduce the
+    recompute-on-every-pop implementation it replaced, exactly."""
+
+    @staticmethod
+    def _reference_hac(items, similarity, threshold, linkage):
+        """The pre-aggregate implementation, verbatim."""
+        import heapq as _heapq
+        import itertools as _itertools
+
+        unique_items = list(dict.fromkeys(items))
+        n = len(unique_items)
+        if n <= 1:
+            return Clustering([unique_items] if unique_items else [])
+        sim = {}
+        for i, j in _itertools.combinations(range(n), 2):
+            sim[(i, j)] = similarity(unique_items[i], unique_items[j])
+
+        def item_sim(i, j):
+            return sim[(i, j)] if i < j else sim[(j, i)]
+
+        clusters = {i: [i] for i in range(n)}
+        next_id = n
+
+        def cluster_sim(members_a, members_b):
+            scores = [item_sim(i, j) for i in members_a for j in members_b]
+            if linkage is Linkage.SINGLE:
+                return max(scores)
+            if linkage is Linkage.COMPLETE:
+                return min(scores)
+            return sum(scores) / len(scores)
+
+        heap = []
+        for a, b in _itertools.combinations(range(n), 2):
+            score = cluster_sim(clusters[a], clusters[b])
+            if score >= threshold:
+                _heapq.heappush(heap, (-score, a, b))
+        while heap:
+            _neg, a, b = _heapq.heappop(heap)
+            if a not in clusters or b not in clusters:
+                continue
+            score = cluster_sim(clusters[a], clusters[b])
+            if score < threshold:
+                continue
+            merged = clusters.pop(a) + clusters.pop(b)
+            clusters[next_id] = merged
+            for other_id, other_members in clusters.items():
+                if other_id == next_id:
+                    continue
+                pair_score = cluster_sim(merged, other_members)
+                if pair_score >= threshold:
+                    _heapq.heappush(
+                        heap,
+                        (-pair_score, min(next_id, other_id), max(next_id, other_id)),
+                    )
+            next_id += 1
+        return Clustering(
+            [unique_items[i] for i in members] for members in clusters.values()
+        )
+
+    @pytest.mark.parametrize("linkage", list(Linkage))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.7])
+    def test_parity_on_seeded_random_similarities(self, linkage, seed, threshold):
+        import random
+
+        rng = random.Random(seed)
+        items = [f"item{i}" for i in range(24)]
+        table = {}
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                table[frozenset((a, b))] = round(rng.random(), 3)
+
+        def similarity(a, b):
+            return table[frozenset((a, b))]
+
+        assert hac_cluster(items, similarity, threshold, linkage) == (
+            self._reference_hac(items, similarity, threshold, linkage)
+        )
+
+    @pytest.mark.parametrize("linkage", list(Linkage))
+    def test_parity_on_string_overlap(self, linkage):
+        items = [
+            "university of maryland", "maryland university", "umd",
+            "university of virginia", "uva", "virginia tech",
+            "paris", "paris france", "france",
+        ]
+
+        def overlap(a, b):
+            first, second = set(a.split()), set(b.split())
+            union = first | second
+            return len(first & second) / len(union) if union else 0.0
+
+        assert hac_cluster(items, overlap, 0.25, linkage) == (
+            self._reference_hac(items, overlap, 0.25, linkage)
+        )

@@ -48,3 +48,48 @@ class TestRelationCategorizer:
     def test_mapped_phrases(self, tiny_kb, tiny_triples):
         categorizer = RelationCategorizer(tiny_kb, tiny_triples)
         assert "locate in" in categorizer.mapped_phrases
+
+
+class TestCategorizerExtend:
+    """`extend` must leave the categorizer as a rebuild from the union."""
+
+    def _assert_equal(self, kb, extended, fresh, phrases):
+        assert extended.mapped_phrases == fresh.mapped_phrases
+        for phrase in phrases:
+            assert extended.relation_of(phrase) == fresh.relation_of(phrase)
+            assert extended.category_of(phrase) == fresh.category_of(phrase)
+
+    def test_extend_equals_union_rebuild(self, tiny_kb, tiny_triples):
+        phrases = [t.predicate_norm for t in tiny_triples]
+        for split in range(1, len(tiny_triples)):
+            extended = RelationCategorizer(tiny_kb, tiny_triples[:split])
+            extended.extend(tiny_triples[split:])
+            fresh = RelationCategorizer(tiny_kb, tiny_triples)
+            self._assert_equal(tiny_kb, extended, fresh, phrases)
+
+    def test_extend_respects_min_votes(self, tiny_kb, tiny_triples):
+        extended = RelationCategorizer(tiny_kb, tiny_triples[:1], min_votes=2)
+        extended.extend(tiny_triples[1:])
+        fresh = RelationCategorizer(tiny_kb, tiny_triples, min_votes=2)
+        assert extended.mapped_phrases == fresh.mapped_phrases
+
+    def test_extend_reports_mapping_changes_only(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, tiny_triples)
+        # More votes for an already-winning relation: mapping unchanged.
+        changed = categorizer.extend(
+            [OIETriple("x1", "university of maryland", "locate in", "maryland")]
+        )
+        assert changed == frozenset()
+        # A vote crossing the threshold for a fresh predicate: reported.
+        changed = categorizer.extend(
+            [OIETriple("x2", "umd", "be located in", "maryland")]
+        )
+        assert "be located in" in changed
+        assert categorizer.relation_of("be located in") == "r:contained_by"
+
+    def test_extend_from_empty(self, tiny_kb, tiny_triples):
+        categorizer = RelationCategorizer(tiny_kb, [])
+        assert categorizer.mapped_phrases == frozenset()
+        categorizer.extend(tiny_triples)
+        fresh = RelationCategorizer(tiny_kb, tiny_triples)
+        assert categorizer.mapped_phrases == fresh.mapped_phrases

@@ -107,3 +107,112 @@ class TestOpenKB:
 
     def test_iteration_order(self, tiny_okb):
         assert [t.triple_id for t in tiny_okb] == ["t1", "t2", "t3"]
+
+
+class TestIngestDelta:
+    def _delta_triples(self):
+        return [
+            OIETriple("t1", "university of maryland", "locate in", "maryland"),
+            OIETriple("t2", "umd", "be a member of", "universitas 21"),
+        ]
+
+    def test_extend_returns_typed_delta(self):
+        okb = OpenKB(self._delta_triples())
+        batch = [
+            OIETriple("t3", "umd", "locate in", "college park"),
+            OIETriple("t4", "college park", "be part of", "maryland"),
+        ]
+        delta = okb.extend(batch)
+        assert delta
+        assert delta.triples == tuple(batch)
+        assert delta.triple_ids == ("t3", "t4")
+        # touched = every distinct mention; new = vocabulary entrants.
+        assert delta.touched_noun_phrases == (
+            "umd",
+            "college park",
+            "maryland",
+        )
+        assert delta.new_noun_phrases == ("college park",)
+        assert delta.touched_relation_phrases == ("locate in", "be part of")
+        assert delta.new_relation_phrases == ("be part of",)
+
+    def test_empty_extend_is_falsy(self):
+        okb = OpenKB(self._delta_triples())
+        delta = okb.extend([])
+        assert not delta
+        assert delta.triples == ()
+
+    def test_merge_deduplicates_preserving_order(self):
+        okb = OpenKB(self._delta_triples())
+        first = okb.extend([OIETriple("t3", "umd", "locate in", "college park")])
+        second = okb.extend(
+            [OIETriple("t4", "college park", "be part of", "maryland")]
+        )
+        merged = first.merge(second)
+        assert merged.triple_ids == ("t3", "t4")
+        assert merged.touched_noun_phrases == (
+            "umd",
+            "college park",
+            "maryland",
+        )
+        assert merged.new_noun_phrases == ("college park",)
+        assert merged.new_relation_phrases == ("be part of",)
+
+    def test_failed_extend_leaves_store_untouched(self):
+        okb = OpenKB(self._delta_triples())
+        before = len(okb)
+        with pytest.raises(ValueError):
+            okb.extend(
+                [
+                    OIETriple("t9", "a", "b", "c"),
+                    OIETriple("t1", "dup", "dup", "dup"),
+                ]
+            )
+        assert len(okb) == before
+        assert "a" not in okb.noun_phrases
+
+
+class TestIdfIncrementalParity:
+    """Regression: `np_idf` / `rp_idf` must track `OpenKB.extend`.
+
+    Ingest-then-score must equal batch-build scores for the `f_idf`
+    signal (ISSUE 3, satellite 3)."""
+
+    def _stream(self):
+        return [
+            OIETriple("s1", "university of maryland", "locate in", "maryland"),
+            OIETriple("s2", "umd", "be a member of", "universitas 21"),
+            OIETriple("s3", "university of virginia", "locate in", "virginia"),
+            OIETriple("s4", "maryland university", "be adjacent to", "virginia"),
+            OIETriple("s5", "virginia tech", "be a member of", "acc"),
+        ]
+
+    def test_ingest_then_score_equals_batch_build(self):
+        from repro.strings.idf import idf_token_overlap
+
+        stream = self._stream()
+        incremental = OpenKB(stream[:2])
+        incremental.extend(stream[2:4])
+        incremental.extend(stream[4:])
+        batch = OpenKB(stream)
+
+        for word in ("university", "of", "maryland", "virginia", "member"):
+            assert incremental.np_idf.frequency(word) == batch.np_idf.frequency(word)
+            assert incremental.rp_idf.frequency(word) == batch.rp_idf.frequency(word)
+            assert incremental.np_idf.weight(word) == batch.np_idf.weight(word)
+        assert incremental.np_idf.total_tokens == batch.np_idf.total_tokens
+        assert incremental.rp_idf.total_tokens == batch.rp_idf.total_tokens
+
+        phrases = batch.noun_phrases
+        for i, first in enumerate(phrases):
+            for second in phrases[i + 1 :]:
+                assert idf_token_overlap(
+                    first, second, incremental.np_idf
+                ) == idf_token_overlap(first, second, batch.np_idf)
+
+    def test_repeat_mentions_leave_idf_untouched(self):
+        stream = self._stream()
+        okb = OpenKB(stream)
+        before = okb.np_idf.frequency("maryland")
+        okb.extend([OIETriple("s6", "umd", "locate in", "maryland")])
+        assert okb.np_idf.frequency("maryland") == before  # distinct-phrase stats

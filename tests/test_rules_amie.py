@@ -92,3 +92,57 @@ class TestAmieMiner:
         miner = AmieMiner([])
         assert miner.rules == []
         assert not miner.equivalent("a", "b")
+
+
+class TestAmieExtend:
+    """`extend` must leave the miner exactly as a rebuild from the union."""
+
+    def _assert_equal_miners(self, extended, fresh):
+        assert extended.rules == fresh.rules
+        assert extended.covered_phrases() == fresh.covered_phrases()
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            AmieConfig(),
+            AmieConfig(min_support=1, min_confidence=0.2),
+            AmieConfig(min_support=3, use_pca=False),
+        ],
+    )
+    def test_extend_equals_union_rebuild(self, capital_triples, config):
+        for split in (1, 3, len(capital_triples) - 1):
+            miner = AmieMiner(capital_triples[:split], config)
+            changed = miner.extend(capital_triples[split:])
+            assert isinstance(changed, frozenset)
+            self._assert_equal_miners(miner, AmieMiner(capital_triples, config))
+
+    def test_multi_batch_extend(self, capital_triples):
+        miner = AmieMiner(capital_triples[:2])
+        miner.extend(capital_triples[2:4])
+        miner.extend(capital_triples[4:])
+        self._assert_equal_miners(miner, AmieMiner(capital_triples))
+
+    def test_extend_reports_changed_keys_only(self, capital_triples):
+        miner = AmieMiner(capital_triples)
+        # Re-indexing an already-known extraction changes no evidence.
+        changed = miner.extend(
+            [OIETriple("dup", "paris", "is the capital of", "france")]
+        )
+        assert changed == frozenset()
+        # Genuinely new evidence reports its normalized mining key.
+        changed = miner.extend(
+            [OIETriple("new", "madrid", "is the capital of", "spain")]
+        )
+        assert changed  # the touched key, morphologically normalized
+        assert all("capital" in key for key in changed)
+
+    def test_extend_from_empty(self, capital_triples):
+        miner = AmieMiner([])
+        miner.extend(capital_triples)
+        self._assert_equal_miners(miner, AmieMiner(capital_triples))
+
+    def test_extend_queries_new_surfaces(self, capital_triples):
+        miner = AmieMiner(capital_triples[:-1])
+        miner.extend(capital_triples[-1:])
+        assert not miner.equivalent("is the capital of", "works for")
+        assert miner.equivalent("is the capital of", "is the capital city of")
