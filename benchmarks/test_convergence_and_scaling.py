@@ -8,7 +8,6 @@
 
 import dataclasses
 
-import pytest
 from conftest import BENCH_CONFIG, record_result
 
 from repro.core import GraphBuilder, JOCL, JOCLConfig

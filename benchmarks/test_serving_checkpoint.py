@@ -1,0 +1,276 @@
+"""Checkpoint/serving bench: restore vs cold rebuild, batched serving.
+
+The ISSUE 4 acceptance gate: at the 400-triple scale, restoring an
+engine from a :class:`repro.persist.FileStateStore` checkpoint
+(``JOCLEngine.load`` + first joint inference, which splices the
+restored runtime's converged components) must be >= 3x faster than the
+cold rebuild every process restart used to pay (side-info build — AMIE
+mining, KBP categorization — graph build, full LBP), with *identical*
+decisions on both store backends.
+
+Also measured: checkpoint save cost per backend, and micro-batched
+:class:`repro.serving.JOCLService` resolve throughput under 8 threads
+vs the naive single-threaded per-call loop (recorded, not gated — the
+GIL bounds pure-Python gains; the win is shared decodes under
+contention).
+
+Results land in ``benchmarks/BENCH_serving.json`` (machine-readable,
+tracked across PRs and uploaded as a CI artifact) alongside the
+human-readable ``results.txt``.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import record_result
+
+from repro.api import JOCLEngine
+from repro.core import JOCLConfig
+from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
+from repro.persist import FileStateStore, SQLiteStateStore
+from repro.runtime import IncrementalRuntime
+from repro.serving import JOCLService
+
+BENCH_JSON_PATH = Path(__file__).parent / "BENCH_serving.json"
+
+CONFIG = JOCLConfig(lbp_iterations=20)
+
+#: (n_shards, triples per shard) — the 100- and 400-triple scales.
+SCALES = ((2, 50), (8, 50))
+
+#: Best-of-N wall times to shave scheduler noise.
+REPEATS = 3
+
+#: The acceptance floor at the largest scale: restore vs cold rebuild.
+MIN_RESTORE_SPEEDUP = 3.0
+
+N_RESOLVER_THREADS = 8
+
+
+def _decisions(report):
+    return json.dumps(
+        {
+            "canonicalization": report.canonicalization.to_dict(),
+            "linking": report.linking.to_dict(),
+        },
+        sort_keys=True,
+    )
+
+
+def _cold_rebuild(workload):
+    """What a restart without checkpoints pays: rebuild side info (AMIE,
+    KBP, candidate indexes), build the graph, run full LBP."""
+    start = time.perf_counter()
+    side = workload.side_information()
+    report = (
+        JOCLEngine.builder()
+        .with_side_information(side)
+        .with_config(CONFIG)
+        .build()
+        .run_joint()
+    )
+    return time.perf_counter() - start, report
+
+
+def _restore(store):
+    """What a restart with checkpoints pays: load + first inference
+    (which splices the restored converged components)."""
+    start = time.perf_counter()
+    engine = JOCLEngine.load(store)
+    report = engine.run_joint()
+    return time.perf_counter() - start, report, engine.last_profile()
+
+
+def _throughput_suite(workload):
+    """Naive serial resolve loop vs micro-batched threaded service."""
+    mentions = []
+    for triple in workload.seed_triples:
+        mentions.append((triple.subject, "np"))
+        mentions.append((triple.predicate, "relation"))
+    naive_engine = workload.engine(CONFIG, IncrementalRuntime())
+    start = time.perf_counter()
+    naive = [naive_engine.resolve(m, k).to_dict() for m, k in mentions]
+    naive_wall = time.perf_counter() - start
+
+    service = JOCLService(
+        workload.engine(CONFIG, IncrementalRuntime()), max_batch_size=32
+    )
+    answers = [None] * len(mentions)
+    errors = []
+
+    def worker(offset):
+        try:
+            for index in range(offset, len(mentions), N_RESOLVER_THREADS):
+                mention, kind = mentions[index]
+                answers[index] = service.resolve(mention, kind).to_dict()
+        except BaseException as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,))
+        for offset in range(N_RESOLVER_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    service_wall = time.perf_counter() - start
+    assert not errors, errors
+    assert answers == naive, (
+        "threaded JOCLService answers diverge from the serial resolve loop"
+    )
+    stats = service.serving_stats()
+    return {
+        "n_requests": len(mentions),
+        "naive_wall_s": round(naive_wall, 6),
+        "naive_req_per_s": round(len(mentions) / naive_wall, 1),
+        "service_wall_s": round(service_wall, 6),
+        "service_req_per_s": round(len(mentions) / service_wall, 1),
+        "threads": N_RESOLVER_THREADS,
+        "decode_batches": stats.batches,
+        "coalesced_requests": stats.coalesced_requests,
+        "max_batch": stats.max_batch,
+        "answers_identical": True,
+    }
+
+
+def test_checkpoint_restore_vs_cold_rebuild(benchmark, tmp_path):
+    payload = {
+        "schema_version": 1,
+        "workload": "streaming-ingest seed OKB over reverb45k-sharded",
+        "generated_by": "benchmarks/test_serving_checkpoint.py",
+        "lbp": {
+            "iterations_cap": CONFIG.lbp_iterations,
+            "tolerance": CONFIG.lbp_tolerance,
+            "repeats_best_of": REPEATS,
+        },
+        "checkpoint": [],
+        "serving": None,
+    }
+    results = {}
+
+    def _sweep():
+        for n_shards, per_shard in SCALES:
+            workload = generate_streaming_ingest(
+                StreamingIngestConfig(
+                    n_shards=n_shards, triples_per_shard=per_shard, seed=7
+                )
+            )
+            n_triples = len(workload.seed_triples)
+            # The engine being checkpointed: serving steady state.
+            engine = workload.engine(CONFIG, IncrementalRuntime())
+            original = engine.run_joint()
+
+            cold_walls = []
+            for _ in range(REPEATS):
+                cold_wall, cold_report = _cold_rebuild(workload)
+                cold_walls.append(cold_wall)
+
+            stores = {
+                "file": FileStateStore(
+                    tmp_path / f"ckpt-{n_triples}", history=REPEATS + 1
+                ),
+                "sqlite": SQLiteStateStore(
+                    tmp_path / f"ckpt-{n_triples}.db", history=REPEATS + 1
+                ),
+            }
+            per_backend = {}
+            for backend, store in stores.items():
+                save_walls, restore_walls = [], []
+                report = profile = None
+                for _ in range(REPEATS):
+                    start = time.perf_counter()
+                    engine.save(store)
+                    save_walls.append(time.perf_counter() - start)
+                    wall, report, profile = _restore(store)
+                    restore_walls.append(wall)
+                assert _decisions(report) == _decisions(original), (
+                    f"{backend} restore decisions diverge from the "
+                    f"original engine"
+                )
+                per_backend[backend] = {
+                    "save_wall_s": min(save_walls),
+                    "restore_wall_s": min(restore_walls),
+                    "reused_components": profile.reused_components,
+                    "n_components": profile.n_components,
+                }
+            results[n_triples] = {
+                "cold_wall_s": min(cold_walls),
+                "cold_report": cold_report,
+                "original": original,
+                "backends": per_backend,
+            }
+        results["serving"] = _throughput_suite(
+            generate_streaming_ingest(
+                StreamingIngestConfig(
+                    n_shards=SCALES[-1][0],
+                    triples_per_shard=SCALES[-1][1],
+                    seed=7,
+                )
+            )
+        )
+        return results
+
+    benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"Durable engines — checkpoint restore vs cold rebuild "
+        f"(best of {REPEATS}):"
+    ]
+    largest = None
+    for n_triples, entry in sorted(
+        (k, v) for k, v in results.items() if isinstance(k, int)
+    ):
+        cold_wall = entry["cold_wall_s"]
+        row = {"n_triples": n_triples, "cold_wall_s": round(cold_wall, 6)}
+        for backend, stats in entry["backends"].items():
+            speedup = cold_wall / stats["restore_wall_s"]
+            row[backend] = {
+                "save_wall_s": round(stats["save_wall_s"], 6),
+                "restore_wall_s": round(stats["restore_wall_s"], 6),
+                "restore_speedup_vs_cold": round(speedup, 3),
+                "reused_components": stats["reused_components"],
+                "n_components": stats["n_components"],
+            }
+            lines.append(
+                f"  {n_triples:>4} triples  {backend:<6} "
+                f"save {stats['save_wall_s'] * 1e3:7.1f} ms   "
+                f"restore {stats['restore_wall_s'] * 1e3:7.1f} ms  "
+                f"x{speedup:5.2f} vs cold {cold_wall * 1e3:7.1f} ms  "
+                f"(spliced {stats['reused_components']}"
+                f"/{stats['n_components']})"
+            )
+        payload["checkpoint"].append(row)
+        largest = entry
+    serving = results["serving"]
+    payload["serving"] = serving
+    lines.append(
+        f"  serving: naive loop {serving['naive_req_per_s']:8.1f} req/s   "
+        f"threaded service {serving['service_req_per_s']:8.1f} req/s  "
+        f"({serving['n_requests']} requests, "
+        f"{serving['decode_batches']} decode batches, "
+        f"max batch {serving['max_batch']})"
+    )
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    record_result("\n".join(lines))
+
+    # --- the hard gates -------------------------------------------------
+    for backend, stats in largest["backends"].items():
+        assert stats["reused_components"] == stats["n_components"], (
+            f"{backend} restore re-ran LBP on "
+            f"{stats['n_components'] - stats['reused_components']} "
+            f"components; restored runtime state should splice all of them"
+        )
+    file_stats = largest["backends"]["file"]
+    speedup = largest["cold_wall_s"] / file_stats["restore_wall_s"]
+    assert speedup >= MIN_RESTORE_SPEEDUP, (
+        f"checkpoint restore only {speedup:.2f}x faster than cold rebuild "
+        f"({file_stats['restore_wall_s']:.3f}s vs "
+        f"{largest['cold_wall_s']:.3f}s); the acceptance floor is "
+        f"{MIN_RESTORE_SPEEDUP}x"
+    )

@@ -1,0 +1,105 @@
+"""Durable serving: checkpoint, restart, warm ingest, concurrent resolve.
+
+Walks the full production lifecycle the :mod:`repro.persist` and
+:mod:`repro.serving` subsystems exist for:
+
+1. build an engine on the streaming-ingest workload and bring it to
+   serving steady state (one joint inference, incremental runtime warm);
+2. ``save()`` it into a :class:`repro.persist.FileStateStore` — a
+   schema-versioned snapshot of the OKB, all side information, config,
+   weights, the feature-table cache and the runtime's converged
+   components;
+3. "kill the process" (drop the engine) and ``load()`` a fresh one from
+   the store: decisions are byte-identical and the first inference
+   *splices* every cached component instead of re-running LBP;
+4. ingest an arrival batch into the restored engine — only the dirty
+   components recompute (``reused_components > 0``: the restored
+   incremental state is live, not cosmetic);
+5. wrap the engine in a :class:`repro.serving.JOCLService` and hammer
+   ``resolve`` from several threads — answers are byte-identical to a
+   serial loop, with concurrent requests coalesced into shared decode
+   batches; finally ``checkpoint()``/``rollback()`` swap state with
+   zero downtime.
+
+Run:  python examples/checkpoint_serving.py
+"""
+
+import tempfile
+import threading
+
+from repro.api import JOCLEngine
+from repro.core import JOCLConfig
+from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
+from repro.persist import FileStateStore
+from repro.runtime import IncrementalRuntime
+from repro.serving import JOCLService
+
+
+def main() -> None:
+    workload = generate_streaming_ingest(
+        StreamingIngestConfig(n_shards=4, triples_per_shard=25, seed=11)
+    )
+    config = JOCLConfig(lbp_iterations=20)
+
+    # 1. Serving steady state.
+    engine = workload.engine(config, IncrementalRuntime())
+    report = engine.run_joint()
+    print(f"engine: {engine.stats().n_triples} triples, "
+          f"{engine.last_profile().n_components} components")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2. Checkpoint.
+        store = FileStateStore(f"{tmp}/checkpoints")
+        snapshot = engine.save(store)
+        print(f"saved {snapshot} -> {store.root}")
+
+        # 3. "Process restart": the engine is gone; load a new one.
+        del engine
+        restored = JOCLEngine.load(store)
+        restored_report = restored.run_joint()
+        profile = restored.last_profile()
+        print(f"restored: decisions identical = "
+              f"{restored_report.canonicalization == report.canonicalization}"
+              f", spliced {profile.reused_components}/{profile.n_components} "
+              f"components (no LBP re-run)")
+
+        # 4. Warm ingest: only dirty components recompute.
+        for batch in workload.batches:
+            restored.ingest(batch)
+        restored.run_joint()
+        profile = restored.last_profile()
+        print(f"post-restore ingest: reused {profile.reused_components}"
+              f"/{profile.n_components} components")
+
+        # 5. Concurrent serving with micro-batching.
+        service = JOCLService(restored, store=store)
+        mentions = [t.subject for t in workload.seed_triples[:40]]
+        serial = [service.resolve(m).target for m in mentions]
+        answers = [None] * len(mentions)
+
+        def worker(offset: int) -> None:
+            for index in range(offset, len(mentions), 8):
+                answers[index] = service.resolve(mentions[index]).target
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.serving_stats()
+        print(f"threaded resolve: identical to serial loop = "
+              f"{answers == serial} "
+              f"({stats.requests} requests in {stats.batches} decode batches)")
+
+        # Checkpoint the grown state, roll back, roll forward.
+        grown = service.checkpoint()
+        service.rollback(snapshot)
+        print(f"rolled back to {snapshot}: "
+              f"{service.stats().n_triples} triples")
+        service.rollback(grown)
+        print(f"rolled forward to {grown}: "
+              f"{service.stats().n_triples} triples")
+
+
+if __name__ == "__main__":
+    main()

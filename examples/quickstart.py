@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 
 import json
 
-from repro.api import EngineReport, JOCLEngine
+from repro.api import EngineReport
 from repro.core import JOCLConfig
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
 from repro.metrics import evaluate_clustering, linking_accuracy

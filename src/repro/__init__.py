@@ -11,6 +11,13 @@ Wang, Wang, Yang, Yuan).  It contains:
 * pluggable execution runtimes (:mod:`repro.runtime`) — serial,
   partitioned and pool-parallel LBP behind one plan/execute/merge
   contract, selected per engine via ``with_runtime(...)``,
+* durable checkpoints (:mod:`repro.persist`) — schema-versioned
+  :class:`EngineState` snapshots in file-directory or SQLite
+  :class:`StateStore` backends, restored warm via
+  :meth:`JOCLEngine.load`,
+* concurrent serving sessions (:mod:`repro.serving`) —
+  :class:`JOCLService` with thread-safe micro-batched ``resolve``,
+  serialized writes and ``checkpoint()``/``rollback()``,
 * the JOCL factor-graph framework itself (:mod:`repro.core`),
 * every substrate the paper depends on (curated KB, OKB triple store,
   embeddings, paraphrase DB, AMIE rule mining, KBP-style relation
@@ -72,6 +79,12 @@ from repro.datasets import (
     generate_sharded_reverb45k,
     generate_streaming_ingest,
 )
+from repro.persist import (
+    EngineState,
+    FileStateStore,
+    SQLiteStateStore,
+    StateStore,
+)
 from repro.pipeline import JOCLPipeline, PipelineResult
 from repro.runtime import (
     IncrementalRuntime,
@@ -80,6 +93,7 @@ from repro.runtime import (
     PartitionedRuntime,
     SerialRuntime,
 )
+from repro.serving import JOCLService, ServingStats
 from repro.version import __version__
 
 __all__ = [
@@ -87,8 +101,10 @@ __all__ = [
     "Dataset",
     "EngineBuilder",
     "EngineReport",
+    "EngineState",
     "EngineStats",
     "ExecutionProfile",
+    "FileStateStore",
     "IncrementalRuntime",
     "InferenceRuntime",
     "JOCL",
@@ -96,6 +112,7 @@ __all__ = [
     "JOCLEngine",
     "JOCLOutput",
     "JOCLPipeline",
+    "JOCLService",
     "LinkingResult",
     "NYTimes2018Config",
     "ParallelRuntime",
@@ -103,8 +120,11 @@ __all__ = [
     "PipelineResult",
     "ReVerb45KConfig",
     "ResolveResult",
+    "SQLiteStateStore",
     "SerialRuntime",
+    "ServingStats",
     "ShardedOKBConfig",
+    "StateStore",
     "StreamingIngestConfig",
     "__version__",
     "generate_nytimes2018",

@@ -23,6 +23,7 @@ benchmark-oriented adapter over the engine.
 from repro.api import errors
 from repro.api.engine import EngineBuilder, JOCLEngine
 from repro.api.errors import (
+    CheckpointError,
     EngineBuildError,
     EngineStateError,
     IngestError,
@@ -46,6 +47,7 @@ from repro.api.results import (
 __all__ = [
     "SCHEMA_VERSION",
     "CanonicalizationResult",
+    "CheckpointError",
     "EngineBuildError",
     "EngineBuilder",
     "EngineReport",

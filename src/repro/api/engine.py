@@ -40,11 +40,14 @@ Engines are assembled through the fluent builder::
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.api.errors import (
+    CheckpointError,
     EngineBuildError,
     EngineStateError,
     IngestError,
@@ -52,6 +55,9 @@ from repro.api.errors import (
     TrainingError,
     UnknownMentionError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (persist is downstream)
+    from repro.persist.store import StateStore
 from repro.api.results import (
     CanonicalizationResult,
     EngineReport,
@@ -377,6 +383,15 @@ class JOCLEngine:
         )
         # Morph-normalization memo for the AMIE dirty-key computation.
         self._morph_keys: dict[str, str] = {}
+        # Guards every lazy mutation reads can trigger (bundle assembly,
+        # delta flushes, the memoized decoding), making concurrent
+        # resolve/run_joint calls safe: exactly one thread runs the
+        # inference, the rest reuse its decoding.  Reentrant because
+        # _decoded -> side_information nests.  Writes (ingest/fit) also
+        # take it, but a write concurrent with reads still needs an
+        # external session discipline (repro.serving.JOCLService) for
+        # coherent before/after semantics.
+        self._state_lock = threading.RLock()
 
     @classmethod
     def builder(cls) -> EngineBuilder:
@@ -417,7 +432,11 @@ class JOCLEngine:
         ``None`` until the first (non-cached) inference ran; invalidated
         together with the decoding cache on :meth:`ingest` / :meth:`fit`.
         """
-        return self._output.profile if self._output is not None else None
+        # Snapshot the reference once: a concurrent ingest may null the
+        # cache between the check and the attribute access (the torn
+        # read this method used to race on).
+        output = self._output
+        return output.profile if output is not None else None
 
     def stats(self) -> EngineStats:
         """Current OKB size and run provenance."""
@@ -483,53 +502,58 @@ class JOCLEngine:
         batch = self._validated_batch(triples)
         if not batch:
             return 0
-        try:
-            delta = self._okb.extend(batch)
-        except ValueError as error:
-            raise IngestError(str(error)) from error
-        self._n_ingests += 1
-        self._output = None
-        if self._side is not None:
-            # A not-yet-built bundle derives from the full OKB anyway.
-            self._pending_side_triples.extend(batch)
-        self._pending_delta = (
-            delta if self._pending_delta is None else self._pending_delta.merge(delta)
-        )
-        return len(batch)
+        with self._state_lock:
+            try:
+                delta = self._okb.extend(batch)
+            except ValueError as error:
+                raise IngestError(str(error)) from error
+            self._n_ingests += 1
+            self._output = None
+            if self._side is not None:
+                # A not-yet-built bundle derives from the full OKB anyway.
+                self._pending_side_triples.extend(batch)
+            self._pending_delta = (
+                delta
+                if self._pending_delta is None
+                else self._pending_delta.merge(delta)
+            )
+            return len(batch)
 
     # ------------------------------------------------------------------
     # Side information / inference plumbing
     # ------------------------------------------------------------------
     def side_information(self) -> SideInformation:
         """The engine's (lazily assembled, cached) side-info bundle."""
-        if self._side is None:
-            self._side = SideInformation.build(
-                okb=self._okb,
-                kb=self._kb,
-                anchors=self._anchors,
-                candidates=self._candidates,
-                embedding=self._embedding,
-                ppdb=self._ppdb,
-                amie=self._custom_amie,
-                kbp=self._custom_kbp,
-                max_candidates=self._config.max_candidates,
-            )
-            # Candidate indexes are CKB-derived: keep them for the
-            # engine's lifetime even if the bundle is rebuilt.
-            self._candidates = self._side.candidates
-            # A fresh bundle already derives from the full OKB.
-            self._pending_side_triples.clear()
-        elif self._pending_side_triples:
-            # Pinned resources are kept verbatim — and skipped entirely,
-            # not extended-and-discarded.  Extension is provably
-            # equivalent to a rebuild from the union (additive stats).
-            self._side.extend_okb_derived(
-                self._pending_side_triples,
-                amie=self._custom_amie is None,
-                kbp=self._custom_kbp is None,
-            )
-            self._pending_side_triples.clear()
-        return self._side
+        with self._state_lock:
+            if self._side is None:
+                self._side = SideInformation.build(
+                    okb=self._okb,
+                    kb=self._kb,
+                    anchors=self._anchors,
+                    candidates=self._candidates,
+                    embedding=self._embedding,
+                    ppdb=self._ppdb,
+                    amie=self._custom_amie,
+                    kbp=self._custom_kbp,
+                    max_candidates=self._config.max_candidates,
+                )
+                # Candidate indexes are CKB-derived: keep them for the
+                # engine's lifetime even if the bundle is rebuilt.
+                self._candidates = self._side.candidates
+                # A fresh bundle already derives from the full OKB.
+                self._pending_side_triples.clear()
+            elif self._pending_side_triples:
+                # Pinned resources are kept verbatim — and skipped
+                # entirely, not extended-and-discarded.  Extension is
+                # provably equivalent to a rebuild from the union
+                # (additive stats).
+                self._side.extend_okb_derived(
+                    self._pending_side_triples,
+                    amie=self._custom_amie is None,
+                    kbp=self._custom_kbp is None,
+                )
+                self._pending_side_triples.clear()
+            return self._side
 
     def _dirty_phrases(self, delta: IngestDelta) -> dict[str, set[str]]:
         """Per-kind phrases whose factor-table inputs the delta changed.
@@ -596,39 +620,51 @@ class JOCLEngine:
                 "the engine's OKB is empty; seed triples at build time or "
                 "call ingest before running inference"
             )
-        if self._output is None:
-            side = self.side_information()
-            self._flush_delta()
-            try:
-                graph, index, builder = self._model.build_graph(
-                    side, cache=self._build_cache
-                )
-            except ValueError as error:
+        # Fast path without the lock: once computed, the decoding is
+        # immutable and shared freely.  The lock closes the double-run
+        # race (two concurrent resolves both observing None and both
+        # running inference — corrupting stateful runtimes like
+        # IncrementalRuntime).
+        output = self._output
+        if output is not None:
+            return output
+        with self._state_lock:
+            if self._output is None:
+                side = self.side_information()
+                self._flush_delta()
+                try:
+                    graph, index, builder = self._model.build_graph(
+                        side, cache=self._build_cache
+                    )
+                except ValueError as error:
+                    if self._model.weights:
+                        # Typically a weight snapshot whose vectors do
+                        # not match this engine's feature set (wrong
+                        # variant / signals).
+                        message = (
+                            f"installed template weights do not fit this "
+                            f"engine's factor graph: {error}"
+                        )
+                    else:
+                        message = (
+                            f"failed to build the factor graph for this "
+                            f"engine's OKB: {error}"
+                        )
+                    raise EngineStateError(message) from error
                 if self._model.weights:
-                    # Typically a weight snapshot whose vectors do not
-                    # match this engine's feature set (wrong variant /
-                    # signals).
-                    message = (
-                        f"installed template weights do not fit this "
-                        f"engine's factor graph: {error}"
+                    unknown = sorted(
+                        set(self._model.weights) - set(graph.templates)
                     )
-                else:
-                    message = (
-                        f"failed to build the factor graph for this "
-                        f"engine's OKB: {error}"
-                    )
-                raise EngineStateError(message) from error
-            if self._model.weights:
-                unknown = sorted(set(self._model.weights) - set(graph.templates))
-                if unknown:
-                    raise EngineStateError(
-                        f"trained weights name unknown templates {unknown}; "
-                        f"this graph has {sorted(graph.templates)}"
-                    )
-            self._output = self._model.infer_built(
-                graph, index, builder, runtime=self._runtime
-            )
-        return self._output
+                    if unknown:
+                        raise EngineStateError(
+                            f"trained weights name unknown templates "
+                            f"{unknown}; this graph has "
+                            f"{sorted(graph.templates)}"
+                        )
+                self._output = self._model.infer_built(
+                    graph, index, builder, runtime=self._runtime
+                )
+            return self._output
 
     # ------------------------------------------------------------------
     # Batch inference
@@ -738,10 +774,127 @@ class JOCLEngine:
         """
         if not isinstance(gold, GoldAnnotations):
             gold = GoldAnnotations.from_triples(gold)
-        training_side = side if side is not None else self.side_information()
+        with self._state_lock:
+            training_side = side if side is not None else self.side_information()
+            try:
+                history = self._model.fit(training_side, gold)
+            except ValueError as error:
+                raise TrainingError(str(error)) from error
+            self._output = None
+            return history
+
+    # ------------------------------------------------------------------
+    # Durability (repro.persist)
+    # ------------------------------------------------------------------
+    def save(self, store: "StateStore") -> str:
+        """Checkpoint the engine's full state into ``store``.
+
+        The snapshot covers the OKB, every side-information resource
+        (AMIE rule evidence, KBP votes, anchors, IDF statistics, the
+        CKB, PPDB and embedding spec), the configuration, learned
+        weights, the feature-table build cache and the runtime's state
+        — for an :class:`~repro.runtime.IncrementalRuntime`, its cached
+        converged components travel too, so the restored engine's first
+        inference splices them instead of re-running LBP.  Any ingests
+        pending lazy absorption are folded in first; the engine is left
+        exactly as if an inference were about to run.
+
+        Returns the snapshot id (pass it to :meth:`load` /
+        :meth:`repro.serving.JOCLService.rollback` to pin a version).
+
+        Raises :class:`CheckpointError` when the engine holds state
+        without a serialization hook: a custom signal registry, or an
+        embedding type without ``to_state``.
+        """
+        from repro.persist.state import EngineState, config_to_state
+
+        if not self._model.uses_default_signals:
+            raise CheckpointError(
+                "engines with a custom signal registry cannot be "
+                "checkpointed: the registry closes over arbitrary state "
+                "with no serialization hook"
+            )
+        with self._state_lock:
+            side = self.side_information()
+            self._flush_delta()
+            try:
+                side_payload = side.to_state()
+            except ValueError as error:
+                raise CheckpointError(str(error)) from error
+            state = EngineState(
+                config=config_to_state(self._config),
+                okb=self._okb.to_state(),
+                side=side_payload,
+                runtime=self._runtime.to_state(),
+                weights=(
+                    self.export_weights() if self._model.weights else None
+                ),
+                build_cache=(
+                    self._build_cache.to_state()
+                    if self._build_cache is not None
+                    else None
+                ),
+                n_ingests=self._n_ingests,
+            )
+        return store.save_state(state)
+
+    @classmethod
+    def load(
+        cls,
+        store: "StateStore",
+        snapshot: str | None = None,
+        *,
+        runtime: InferenceRuntime | None = None,
+        embedding: WordEmbedding | None = None,
+    ) -> "JOCLEngine":
+        """Restore an engine from a checkpoint in ``store``.
+
+        The restored engine is decision-identical to the one that called
+        :meth:`save` — same OKB, side information, weights and config —
+        and *warm*: a restored :class:`~repro.runtime.IncrementalRuntime`
+        still holds its converged components, so the first post-restore
+        inference splices everything clean and the first
+        :meth:`ingest` re-runs LBP only on the components the batch
+        dirties.
+
+        ``snapshot`` selects an older snapshot (default: the store's
+        current one).  ``runtime`` overrides the serialized runtime —
+        required when the checkpoint was saved with a custom runtime
+        type this build cannot reconstruct.  ``embedding`` likewise
+        overrides the serialized embedding spec.
+        """
+        from repro.persist.state import config_from_state
+        from repro.runtime import runtime_from_state
+
+        state = store.load_state(snapshot)
         try:
-            history = self._model.fit(training_side, gold)
-        except ValueError as error:
-            raise TrainingError(str(error)) from error
-        self._output = None
-        return history
+            config = config_from_state(state.config)
+            okb = OpenKB.from_state(state.okb)
+            side = SideInformation.from_state(
+                state.side, okb=okb, embedding=embedding
+            )
+            if runtime is None:
+                runtime = runtime_from_state(state.runtime)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint payload could not be restored: {error}"
+            ) from error
+        model = JOCL(config)
+        if state.weights is not None:
+            model.weights = _coerce_weights(state.weights)
+        engine = cls(
+            kb=side.kb,
+            config=config,
+            model=model,
+            side=side,
+            runtime=runtime,
+        )
+        engine._n_ingests = state.n_ingests
+        if state.build_cache is not None and engine._build_cache is not None:
+            try:
+                engine._build_cache = BuildCache.from_state(state.build_cache)
+            except (KeyError, TypeError, ValueError) as error:
+                raise CheckpointError(
+                    f"checkpoint build cache could not be restored: {error}"
+                ) from error
+        return engine

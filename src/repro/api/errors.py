@@ -68,6 +68,19 @@ class UnknownMentionError(JOCLAPIError):
         super().__init__(f"mention {mention!r} does not occur in the OKB{where}")
 
 
+class CheckpointError(JOCLAPIError):
+    """A checkpoint could not be captured, stored, or restored.
+
+    Raised by :mod:`repro.persist` stores (empty store, unknown
+    snapshot, unreadable layout) and by
+    :meth:`~repro.api.engine.JOCLEngine.save` when the engine holds
+    state with no serialization hook (custom signal registries, an
+    embedding type without ``to_state``).  Structural problems in a
+    payload that *was* read raise :class:`SchemaError` /
+    :class:`SchemaVersionError` instead.
+    """
+
+
 class SchemaError(JOCLAPIError):
     """A serialized payload is structurally invalid for its result type."""
 

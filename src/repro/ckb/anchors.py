@@ -81,6 +81,25 @@ class AnchorStatistics:
             stats.record(surface_form, entity_id, count)
         return stats
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: sorted (form, entity, count) rows."""
+        return {
+            "anchors": [
+                [form, entity_id, count]
+                for (form, entity_id), count in sorted(self._pair_counts.items())
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "AnchorStatistics":
+        """Inverse of :meth:`to_state` (forms are already normalized)."""
+        return cls.from_records(
+            (row[0], row[1], row[2]) for row in payload["anchors"]
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AnchorStatistics(surface_forms={len(self._surface_counts)}, "

@@ -132,6 +132,67 @@ class CandidateGenerator:
         self._entity_cache: dict[str, tuple[EntityCandidate, ...]] = {}
         self._relation_cache: dict[str, tuple[RelationCandidate, ...]] = {}
 
+    @property
+    def max_candidates(self) -> int:
+        """Hard cap on candidates per phrase (the linking domain size)."""
+        return self._max_candidates
+
+    @property
+    def min_fuzzy_similarity(self) -> float:
+        """Score floor below which fuzzy matches are discarded."""
+        return self._min_fuzzy
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: the knobs plus the memoized candidate lists.
+
+        The lists are pure derived state (a deterministic function of
+        the CKB, anchors and knobs), but retrieval is the single most
+        expensive part of a cold graph build — shipping the memo with a
+        checkpoint lets a restored engine skip it for every phrase the
+        original engine had already seen.
+        """
+        return {
+            "max_candidates": self._max_candidates,
+            "min_fuzzy_similarity": self._min_fuzzy,
+            "entity_candidates": {
+                phrase: [[c.entity_id, c.score] for c in candidates]
+                for phrase, candidates in sorted(self._entity_cache.items())
+            },
+            "relation_candidates": {
+                phrase: [[c.relation_id, c.score] for c in candidates]
+                for phrase, candidates in sorted(self._relation_cache.items())
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, kb: CuratedKB, anchors: AnchorStatistics, payload: dict
+    ) -> "CandidateGenerator":
+        """Inverse of :meth:`to_state`; CKB and anchors come from the
+        caller (they are checkpoint sections of their own)."""
+        generator = cls(
+            kb,
+            anchors=anchors,
+            max_candidates=int(payload["max_candidates"]),
+            min_fuzzy_similarity=float(payload["min_fuzzy_similarity"]),
+        )
+        generator._entity_cache = {
+            phrase: tuple(
+                EntityCandidate(row[0], float(row[1])) for row in rows
+            )
+            for phrase, rows in payload["entity_candidates"].items()
+        }
+        generator._relation_cache = {
+            phrase: tuple(
+                RelationCandidate(row[0], float(row[1])) for row in rows
+            )
+            for phrase, rows in payload["relation_candidates"].items()
+        }
+        return generator
+
     # ------------------------------------------------------------------
     # Entities
     # ------------------------------------------------------------------

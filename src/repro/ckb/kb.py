@@ -11,7 +11,6 @@ lookups used by JOCL signals are O(1):
 
 from __future__ import annotations
 
-from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.strings.tokenize import normalize_text
@@ -183,6 +182,64 @@ class CuratedKB:
     def alias_vocabulary(self) -> frozenset[str]:
         """All normalized entity surface forms known to the KB."""
         return frozenset(self._alias_index)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: entities, relations and facts, sorted."""
+        return {
+            "entities": [
+                {
+                    "entity_id": entity.entity_id,
+                    "name": entity.name,
+                    "aliases": sorted(entity.aliases),
+                    "types": sorted(entity.types),
+                }
+                for _, entity in sorted(self.entities.items())
+            ],
+            "relations": [
+                {
+                    "relation_id": relation.relation_id,
+                    "name": relation.name,
+                    "lexicalizations": sorted(relation.lexicalizations),
+                    "category": relation.category,
+                }
+                for _, relation in sorted(self.relations.items())
+            ],
+            "facts": sorted(
+                (fact.subject_id, fact.relation_id, fact.object_id)
+                for fact in self.facts
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "CuratedKB":
+        """Inverse of :meth:`to_state` (indexes rebuilt in the constructor)."""
+        return cls(
+            entities={
+                entry["entity_id"]: Entity(
+                    entity_id=entry["entity_id"],
+                    name=entry["name"],
+                    aliases=frozenset(entry["aliases"]),
+                    types=frozenset(entry["types"]),
+                )
+                for entry in payload["entities"]
+            },
+            relations={
+                entry["relation_id"]: Relation(
+                    relation_id=entry["relation_id"],
+                    name=entry["name"],
+                    lexicalizations=frozenset(entry["lexicalizations"]),
+                    category=entry["category"],
+                )
+                for entry in payload["relations"]
+            },
+            facts={
+                Fact(subject_id=row[0], relation_id=row[1], object_id=row[2])
+                for row in payload["facts"]
+            },
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -151,6 +151,47 @@ class BuildCache:
             del self._tables[key]
         return len(stale_keys)
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_to_json(key) -> list:
+        return [
+            BuildCache._key_to_json(part) if isinstance(part, tuple) else part
+            for part in key
+        ]
+
+    @staticmethod
+    def _key_from_json(key) -> tuple:
+        return tuple(
+            BuildCache._key_from_json(part) if isinstance(part, list) else part
+            for part in key
+        )
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: every memoized table with its key.
+
+        Cache keys are (nested) tuples of JSON scalars; tables round-trip
+        exactly, so a restored cache hands the graph builder tables that
+        are ``np.array_equal`` to freshly computed ones — letting a
+        restored engine skip feature computation entirely on its first
+        build.
+        """
+        return {
+            "tables": [
+                [self._key_to_json(key), table.tolist()]
+                for key, table in self._tables.items()
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "BuildCache":
+        """Inverse of :meth:`to_state`."""
+        cache = cls()
+        for key, table in payload["tables"]:
+            cache._tables[cls._key_from_json(key)] = np.asarray(table, dtype=float)
+        return cache
+
 
 class GraphBuilder:
     """Builds the JOCL factor graph for one OKB.

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.clustering.clusters import Clustering
-from repro.clustering.unionfind import UnionFind
 from repro.core.builder import NIL, GraphIndex, canon_var, link_var
 from repro.core.config import JOCLConfig
 from repro.factorgraph.lbp import LBPResult

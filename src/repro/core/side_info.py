@@ -124,6 +124,80 @@ class SideInformation:
                 self.kb, self.okb.triples, min_votes=self.kbp.min_votes
             )
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of every resource *except* the OKB.
+
+        The OKB travels as its own checkpoint section (it is the
+        engine's primary state, not side information); pass the restored
+        store to :meth:`from_state`.  The candidate generator is not
+        serialized — it is a pure function of the CKB, the anchors and
+        its two knobs, and is rebuilt on restore.
+
+        Raises :class:`ValueError` for resources that cannot be
+        reconstructed from a payload (an embedding type without a
+        ``to_state`` hook); checkpoint callers translate that into
+        :class:`repro.api.errors.CheckpointError`.
+        """
+        embedding_state = getattr(self.embedding, "to_state", None)
+        if embedding_state is None:
+            raise ValueError(
+                f"embedding {type(self.embedding).__name__} has no "
+                f"to_state hook and cannot be checkpointed; use "
+                f"HashedCharNgramEmbedding or restore with an explicit "
+                f"embedding override"
+            )
+        return {
+            "kb": self.kb.to_state(),
+            "anchors": self.anchors.to_state(),
+            "ppdb": self.ppdb.to_state(),
+            "embedding": embedding_state(),
+            "amie": self.amie.to_state(),
+            "kbp": self.kbp.to_state(),
+            "candidates": self.candidates.to_state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        payload: dict,
+        okb: OpenKB,
+        embedding: WordEmbedding | None = None,
+    ) -> "SideInformation":
+        """Inverse of :meth:`to_state`.
+
+        ``okb`` is the restored triple store the bundle wraps.
+        ``embedding`` overrides the serialized embedding spec (the
+        escape hatch for engines checkpointed before swapping in a
+        custom embedding is *not* supported — specs and overrides must
+        describe the same space for decisions to reproduce).
+        """
+        kb = CuratedKB.from_state(payload["kb"])
+        anchors = AnchorStatistics.from_state(payload["anchors"])
+        if embedding is None:
+            embedding_spec = payload["embedding"]
+            if embedding_spec.get("type") != "hashed_char_ngram":
+                raise ValueError(
+                    f"unknown embedding spec type "
+                    f"{embedding_spec.get('type')!r}; pass an explicit "
+                    f"embedding to restore this checkpoint"
+                )
+            embedding = HashedCharNgramEmbedding.from_state(embedding_spec)
+        return cls(
+            okb=okb,
+            kb=kb,
+            anchors=anchors,
+            candidates=CandidateGenerator.from_state(
+                kb, anchors, payload["candidates"]
+            ),
+            embedding=embedding,
+            ppdb=ParaphraseDB.from_state(payload["ppdb"]),
+            amie=AmieMiner.from_state(payload["amie"]),
+            kbp=RelationCategorizer.from_state(kb, payload["kbp"]),
+        )
+
     @cached_property
     def entity_surface_forms(self) -> dict[str, frozenset[str]]:
         """Entity id -> normalized surface forms (name + aliases)."""

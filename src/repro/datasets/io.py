@@ -2,7 +2,10 @@
 
 Real ReVerb45K ships as flat files; this module provides the same
 affordance: one JSON object per line with the triple's surface strings,
-source sentence and gold annotations.  Round-tripping is exact.
+source sentence and gold annotations.  Round-tripping is exact.  Blank
+lines (including trailing newlines left by editors and ``cat``) are
+tolerated; a malformed record fails with the file and line number that
+produced it, not a bare ``json.loads`` traceback.
 """
 
 from __future__ import annotations
@@ -11,46 +14,28 @@ import json
 from collections.abc import Iterable
 from pathlib import Path
 
-from repro.okb.triples import OIETriple, TripleGold
+from repro.okb.triples import OIETriple
 
 
 def triple_to_record(triple: OIETriple) -> dict:
     """JSON-serializable record of one triple."""
-    record = {
-        "triple_id": triple.triple_id,
-        "subject": triple.subject,
-        "predicate": triple.predicate,
-        "object": triple.object,
-    }
-    if triple.source_sentence is not None:
-        record["source_sentence"] = triple.source_sentence
-    if triple.gold is not None:
-        record["gold"] = {
-            "subject_entity": triple.gold.subject_entity,
-            "relation": triple.gold.relation,
-            "object_entity": triple.gold.object_entity,
-        }
-    return record
+    return triple.to_record()
 
 
 def triple_from_record(record: dict) -> OIETriple:
     """Inverse of :func:`triple_to_record`."""
-    gold = None
-    if "gold" in record:
-        gold_record = record["gold"]
-        gold = TripleGold(
-            subject_entity=gold_record.get("subject_entity"),
-            relation=gold_record.get("relation"),
-            object_entity=gold_record.get("object_entity"),
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"expected a JSON object per line, got {type(record).__name__}"
         )
-    return OIETriple(
-        triple_id=record["triple_id"],
-        subject=record["subject"],
-        predicate=record["predicate"],
-        object=record["object"],
-        source_sentence=record.get("source_sentence"),
-        gold=gold,
-    )
+    missing = [
+        key
+        for key in ("triple_id", "subject", "predicate", "object")
+        if key not in record
+    ]
+    if missing:
+        raise ValueError(f"triple record is missing field(s) {missing}")
+    return OIETriple.from_record(record)
 
 
 def save_triples_jsonl(triples: Iterable[OIETriple], path: str | Path) -> int:
@@ -66,12 +51,32 @@ def save_triples_jsonl(triples: Iterable[OIETriple], path: str | Path) -> int:
 
 
 def load_triples_jsonl(path: str | Path) -> list[OIETriple]:
-    """Read triples written by :func:`save_triples_jsonl`."""
+    """Read triples written by :func:`save_triples_jsonl`.
+
+    Blank lines are skipped.  A line that is not valid JSON, or a record
+    missing required fields, raises :class:`ValueError` carrying
+    ``<path>:<line number>`` so a bad row in a large dump is findable.
+    """
+    path = Path(path)
     triples: list[OIETriple] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            triples.append(triple_from_record(json.loads(line)))
+            try:
+                record = json.loads(line)
+                triples.append(triple_from_record(record))
+            # AttributeError covers malformed nested fields (e.g. a
+            # scalar where the "gold" object belongs).
+            except (
+                json.JSONDecodeError,
+                ValueError,
+                TypeError,
+                KeyError,
+                AttributeError,
+            ) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed triple record: {error}"
+                ) from error
     return triples

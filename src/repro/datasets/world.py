@@ -35,7 +35,6 @@ from repro.datasets.catalog import (
     PLACE_PATTERNS,
     ORGANIZATION,
     RELATION_SEEDS,
-    WORK,
     WORK_PATTERNS,
     RelationSeed,
 )

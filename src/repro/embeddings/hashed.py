@@ -68,6 +68,36 @@ class HashedCharNgramEmbedding(WordEmbedding):
     def dimension(self) -> int:
         return self._dimension
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: the constructor parameters.
+
+        The embedding is a pure function of its parameters (vectors are
+        hash-seeded, no learned weights), so reconstructing from them
+        yields bit-identical vectors.
+        """
+        return {
+            "type": "hashed_char_ngram",
+            "dimension": self._dimension,
+            "min_n": self._min_n,
+            "max_n": self._max_n,
+            "seed": self._seed,
+            "use_word_gram": self._use_word_gram,
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "HashedCharNgramEmbedding":
+        """Inverse of :meth:`to_state`."""
+        return cls(
+            dimension=int(payload["dimension"]),
+            min_n=int(payload["min_n"]),
+            max_n=int(payload["max_n"]),
+            seed=int(payload["seed"]),
+            use_word_gram=bool(payload["use_word_gram"]),
+        )
+
     def _ngrams(self, word: str) -> list[str]:
         padded = f"<{word}>"
         grams: list[str] = []

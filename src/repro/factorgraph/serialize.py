@@ -1,0 +1,209 @@
+"""JSON-safe payloads for factor-graph and LBP state.
+
+The checkpointing subsystem (:mod:`repro.persist`) snapshots a running
+engine, including the :class:`~repro.runtime.IncrementalRuntime`'s
+cached component subgraphs, converged :class:`~repro.factorgraph.lbp.LBPResult`
+parts and message tables.  This module is the factor-graph layer's side
+of that contract: every structure is rendered to plain dicts/lists of
+JSON scalars and reconstructed *exactly* — Python's ``repr``-based JSON
+float round-trip is lossless, so a restored feature table or message
+vector is ``np.array_equal`` to the original, which is precisely what
+:func:`repro.runtime.incremental.component_unchanged` needs to keep
+splicing restored components.
+
+Only the JOCL graph shapes are supported: variable domains must consist
+of JSON scalars (strings, ints, bools, floats, ``None``), which holds
+for every graph :mod:`repro.core.builder` produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.factorgraph.graph import FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.lbp import (
+    LBPMessages,
+    LBPResult,
+    LBPSettings,
+    Schedule,
+    ScheduleStep,
+)
+
+#: Domain labels must round-trip through JSON unchanged.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_domain(name: str, domain: tuple) -> None:
+    for label in domain:
+        if not isinstance(label, _SCALAR_TYPES):
+            raise ValueError(
+                f"variable {name!r} has a non-JSON-scalar domain label "
+                f"{label!r} ({type(label).__name__}); such graphs cannot "
+                f"be checkpointed"
+            )
+
+
+# ----------------------------------------------------------------------
+# FactorGraph
+# ----------------------------------------------------------------------
+def graph_to_state(graph: FactorGraph) -> dict:
+    """Render a factor graph to a JSON-safe payload (exact)."""
+    templates = [
+        {
+            "name": template.name,
+            "features": list(template.feature_names),
+            "weights": [float(w) for w in template.weights],
+        }
+        for template in graph.templates.values()
+    ]
+    variables = []
+    for variable in graph.variables.values():
+        _check_domain(variable.name, variable.domain)
+        variables.append(
+            {
+                "name": variable.name,
+                "domain": list(variable.domain),
+                "group": variable.group,
+            }
+        )
+    factors = [
+        {
+            "name": factor.name,
+            "template": factor.template.name,
+            "scope": [variable.name for variable in factor.variables],
+            "table": factor.feature_table.tolist(),
+        }
+        for factor in graph.factors.values()
+    ]
+    return {"templates": templates, "variables": variables, "factors": factors}
+
+
+def graph_from_state(payload: dict) -> FactorGraph:
+    """Inverse of :func:`graph_to_state`."""
+    graph = FactorGraph()
+    for entry in payload["templates"]:
+        graph.add_template(
+            FactorTemplate(entry["name"], entry["features"], entry["weights"])
+        )
+    for entry in payload["variables"]:
+        graph.add_variable(
+            Variable(entry["name"], tuple(entry["domain"]), group=entry["group"])
+        )
+    for entry in payload["factors"]:
+        graph.add_factor(
+            entry["name"],
+            graph.templates[entry["template"]],
+            entry["scope"],
+            np.asarray(entry["table"], dtype=float),
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Messages and results
+# ----------------------------------------------------------------------
+def messages_to_state(messages: LBPMessages) -> dict:
+    """Render message tables; keys become ``[from, to, values]`` rows."""
+    return {
+        "f2v": [
+            [factor_name, variable_name, message.tolist()]
+            for (factor_name, variable_name), message in messages.f2v.items()
+        ],
+        "v2f": [
+            [variable_name, factor_name, message.tolist()]
+            for (variable_name, factor_name), message in messages.v2f.items()
+        ],
+    }
+
+
+def messages_from_state(payload: dict) -> LBPMessages:
+    """Inverse of :func:`messages_to_state`."""
+    return LBPMessages(
+        f2v={
+            (row[0], row[1]): np.asarray(row[2], dtype=float)
+            for row in payload["f2v"]
+        },
+        v2f={
+            (row[0], row[1]): np.asarray(row[2], dtype=float)
+            for row in payload["v2f"]
+        },
+    )
+
+
+def result_to_state(result: LBPResult) -> dict:
+    """Render an :class:`LBPResult` (graph back-reference excluded)."""
+    payload = {
+        "marginals": {
+            name: marginal.tolist() for name, marginal in result.marginals.items()
+        },
+        "factor_beliefs": {
+            name: belief.tolist() for name, belief in result.factor_beliefs.items()
+        },
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "residuals": [float(residual) for residual in result.residuals],
+        "messages": (
+            messages_to_state(result.messages) if result.messages is not None else None
+        ),
+    }
+    return payload
+
+
+def result_from_state(payload: dict) -> LBPResult:
+    """Inverse of :func:`result_to_state`."""
+    raw_messages = payload.get("messages")
+    return LBPResult(
+        marginals={
+            name: np.asarray(values, dtype=float)
+            for name, values in payload["marginals"].items()
+        },
+        factor_beliefs={
+            name: np.asarray(values, dtype=float)
+            for name, values in payload["factor_beliefs"].items()
+        },
+        iterations=int(payload["iterations"]),
+        converged=bool(payload["converged"]),
+        residuals=[float(residual) for residual in payload.get("residuals", ())],
+        messages=messages_from_state(raw_messages) if raw_messages else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Run parameters
+# ----------------------------------------------------------------------
+def settings_to_state(settings: LBPSettings) -> dict:
+    """Render :class:`LBPSettings`."""
+    return {
+        "max_iterations": settings.max_iterations,
+        "tolerance": settings.tolerance,
+        "damping": settings.damping,
+    }
+
+
+def settings_from_state(payload: dict) -> LBPSettings:
+    """Inverse of :func:`settings_to_state`."""
+    return LBPSettings(
+        max_iterations=int(payload["max_iterations"]),
+        tolerance=float(payload["tolerance"]),
+        damping=float(payload["damping"]),
+    )
+
+
+def schedule_to_state(schedule: Schedule) -> dict:
+    """Render a :class:`Schedule`."""
+    return {
+        "steps": [
+            {"kind": step.kind, "names": list(step.names)}
+            for step in schedule.steps
+        ]
+    }
+
+
+def schedule_from_state(payload: dict) -> Schedule:
+    """Inverse of :func:`schedule_to_state`."""
+    return Schedule(
+        steps=tuple(
+            ScheduleStep(kind=entry["kind"], names=tuple(entry["names"]))
+            for entry in payload["steps"]
+        )
+    )

@@ -145,3 +145,30 @@ class RelationCategorizer:
     def mapped_phrases(self) -> frozenset[str]:
         """RPs with a distant-supervision mapping."""
         return frozenset(self._mapping)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: vote counters and the decided mapping."""
+        return {
+            "min_votes": self._min_votes,
+            "votes": {
+                predicate: dict(sorted(counter.items()))
+                for predicate, counter in sorted(self._votes.items())
+            },
+            "mapping": dict(sorted(self._mapping.items())),
+        }
+
+    @classmethod
+    def from_state(cls, kb: CuratedKB, payload: dict) -> "RelationCategorizer":
+        """Inverse of :meth:`to_state`; the CKB is supplied by the caller."""
+        categorizer = cls(kb, (), min_votes=int(payload["min_votes"]))
+        categorizer._votes = {
+            predicate: Counter(
+                {relation_id: int(count) for relation_id, count in counts.items()}
+            )
+            for predicate, counts in payload["votes"].items()
+        }
+        categorizer._mapping = dict(payload["mapping"])
+        return categorizer

@@ -243,6 +243,24 @@ class OpenKB:
             pairs.add((triple.subject_norm, triple.object_norm))
         return pairs
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: the triples in insertion order.
+
+        Every index (mention lists, attribute sets, IDF tables) is a
+        deterministic function of the insertion-ordered triple stream,
+        so :meth:`from_state` restores an *identical* store by replaying
+        the stream through :meth:`extend` — no derived state travels.
+        """
+        return {"triples": [triple.to_record() for triple in self._triples]}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "OpenKB":
+        """Inverse of :meth:`to_state`."""
+        return cls(OIETriple.from_record(record) for record in payload["triples"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"OpenKB(triples={len(self._triples)}, "

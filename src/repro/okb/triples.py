@@ -74,3 +74,44 @@ class OIETriple:
     def as_tuple(self) -> tuple[str, str, str]:
         """The normalized ``(subject, predicate, object)`` tuple."""
         return (self.subject_norm, self.predicate_norm, self.object_norm)
+
+    # ------------------------------------------------------------------
+    # Persistence (shared by datasets/io JSONL and repro.persist)
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict:
+        """JSON-serializable record; optional fields only when present."""
+        record = {
+            "triple_id": self.triple_id,
+            "subject": self.subject,
+            "predicate": self.predicate,
+            "object": self.object,
+        }
+        if self.source_sentence is not None:
+            record["source_sentence"] = self.source_sentence
+        if self.gold is not None:
+            record["gold"] = {
+                "subject_entity": self.gold.subject_entity,
+                "relation": self.gold.relation,
+                "object_entity": self.gold.object_entity,
+            }
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "OIETriple":
+        """Inverse of :meth:`to_record` (exact round-trip)."""
+        gold = None
+        if "gold" in record:
+            gold_record = record["gold"]
+            gold = TripleGold(
+                subject_entity=gold_record.get("subject_entity"),
+                relation=gold_record.get("relation"),
+                object_entity=gold_record.get("object_entity"),
+            )
+        return cls(
+            triple_id=record["triple_id"],
+            subject=record["subject"],
+            predicate=record["predicate"],
+            object=record["object"],
+            source_sentence=record.get("source_sentence"),
+            gold=gold,
+        )

@@ -91,6 +91,29 @@ class ParaphraseDB:
         return len(self._finder)
 
     # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: seed plus (phrase, representative) pairs.
+
+        Replaying the pairs through :meth:`add_pair` reconstructs the
+        same equivalence classes — which is all :meth:`equivalent` (the
+        only query JOCL's signals consume) depends on.
+        """
+        return {
+            "seed": self._seed,
+            "pairs": sorted(self._ensure_representatives().items()),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ParaphraseDB":
+        """Inverse of :meth:`to_state`."""
+        return cls(
+            ((phrase, representative) for phrase, representative in payload["pairs"]),
+            seed=int(payload["seed"]),
+        )
+
+    # ------------------------------------------------------------------
     # Persistence (PPDB ships as flat files)
     # ------------------------------------------------------------------
     def save_tsv(self, path: str | Path) -> None:

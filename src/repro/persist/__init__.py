@@ -1,0 +1,51 @@
+"""Durable engine state: versioned checkpoints and pluggable stores.
+
+The engine API (:mod:`repro.api`) made JOCL a long-lived service; this
+package makes that service *durable*.  An :class:`EngineState` is a
+schema-versioned snapshot of everything a :class:`repro.api.JOCLEngine`
+accumulates — OKB triples, OKB- and CKB-derived side information (AMIE
+rule evidence, KBP votes, anchors, IDF statistics), learned template
+weights, configuration, the feature-table build cache and the
+:class:`repro.runtime.IncrementalRuntime`'s cached run state — rendered
+to JSON-safe sections whose floats round-trip exactly, so a restored
+engine is decision-identical and resumes incremental serving warm.
+
+A :class:`StateStore` persists snapshots.  Two backends ship:
+
+* :class:`FileStateStore` — one directory per snapshot (a manifest plus
+  one JSON file per section), written to a temporary directory and
+  atomically renamed into place, with an atomically swapped ``CURRENT``
+  pointer file — a crash mid-save never corrupts the last good
+  snapshot;
+* :class:`SQLiteStateStore` — snapshots and sections as rows in a
+  single SQLite database, one transaction per save.
+
+Use through the engine::
+
+    store = FileStateStore("/var/lib/jocl/checkpoints")
+    engine.save(store)                # snapshot id, e.g. "snapshot-000001"
+    ...                               # process restart
+    engine = JOCLEngine.load(store)   # warm: decisions identical,
+                                      # incremental run state live
+
+or through :class:`repro.serving.JOCLService`'s ``checkpoint()`` /
+``rollback()`` session methods.
+"""
+
+from repro.persist.state import (
+    PERSIST_SCHEMA_VERSION,
+    EngineState,
+    config_from_state,
+    config_to_state,
+)
+from repro.persist.store import FileStateStore, SQLiteStateStore, StateStore
+
+__all__ = [
+    "PERSIST_SCHEMA_VERSION",
+    "EngineState",
+    "FileStateStore",
+    "SQLiteStateStore",
+    "StateStore",
+    "config_from_state",
+    "config_to_state",
+]

@@ -1,0 +1,209 @@
+"""The :class:`EngineState` snapshot and its schema-versioned envelope.
+
+An :class:`EngineState` carries the JSON-safe payloads of every durable
+piece of a :class:`repro.api.JOCLEngine` in named *sections*.  Stores
+(:mod:`repro.persist.store`) persist each section separately under a
+manifest, so backends can lay state out naturally (one file per section,
+one row per section) and future schema versions can add sections without
+rewriting readers.
+
+Required sections: ``config``, ``okb``, ``side``, ``runtime``.
+Optional sections (forward-filled with their defaults when absent):
+``weights`` (untrained engines), ``build_cache`` (engines running with
+custom signal registries have none).
+
+The manifest carries :data:`PERSIST_SCHEMA_VERSION`; readers reject
+unknown or missing versions with
+:class:`~repro.api.errors.SchemaVersionError` and structurally invalid
+envelopes with :class:`~repro.api.errors.SchemaError`, mirroring the
+:mod:`repro.api.results` wire-format discipline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.api.errors import SchemaError, SchemaVersionError
+from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
+
+#: Version of the checkpoint layout.  Bump on any change a version-1
+#: reader could not forward-fill.
+PERSIST_SCHEMA_VERSION = 1
+
+#: The manifest's ``type`` discriminator.
+_STATE_TYPE = "engine_state"
+
+#: Sections a valid checkpoint must provide.
+_REQUIRED_SECTIONS = ("config", "okb", "side", "runtime")
+
+
+# ----------------------------------------------------------------------
+# Config payloads
+# ----------------------------------------------------------------------
+def config_to_state(config: JOCLConfig) -> dict:
+    """Render a :class:`JOCLConfig` to a JSON-safe payload (exact)."""
+    return {
+        "pair_threshold": config.pair_threshold,
+        "max_candidates": config.max_candidates,
+        "max_triangles": config.max_triangles,
+        "toggles": {
+            "canonicalization": config.toggles.canonicalization,
+            "transitivity": config.toggles.transitivity,
+            "linking": config.toggles.linking,
+            "fact_inclusion": config.toggles.fact_inclusion,
+            "consistency": config.toggles.consistency,
+        },
+        "variant": config.variant.value,
+        "transitive_high": config.transitive_high,
+        "transitive_middle": config.transitive_middle,
+        "transitive_low": config.transitive_low,
+        "fact_high": config.fact_high,
+        "fact_low": config.fact_low,
+        "consistency_high": config.consistency_high,
+        "consistency_low": config.consistency_low,
+        "learning_rate": config.learning_rate,
+        "learn_iterations": config.learn_iterations,
+        "l2": config.l2,
+        "lbp_iterations": config.lbp_iterations,
+        "lbp_tolerance": config.lbp_tolerance,
+        "lbp_damping": config.lbp_damping,
+        "conflict_resolution": config.conflict_resolution,
+        "conflict_confidence": config.conflict_confidence,
+    }
+
+
+def config_from_state(payload: Mapping) -> JOCLConfig:
+    """Inverse of :func:`config_to_state`."""
+    toggles = payload["toggles"]
+    return JOCLConfig(
+        pair_threshold=float(payload["pair_threshold"]),
+        max_candidates=int(payload["max_candidates"]),
+        max_triangles=int(payload["max_triangles"]),
+        toggles=FactorToggles(
+            canonicalization=bool(toggles["canonicalization"]),
+            transitivity=bool(toggles["transitivity"]),
+            linking=bool(toggles["linking"]),
+            fact_inclusion=bool(toggles["fact_inclusion"]),
+            consistency=bool(toggles["consistency"]),
+        ),
+        variant=FeatureVariant(payload["variant"]),
+        transitive_high=float(payload["transitive_high"]),
+        transitive_middle=float(payload["transitive_middle"]),
+        transitive_low=float(payload["transitive_low"]),
+        fact_high=float(payload["fact_high"]),
+        fact_low=float(payload["fact_low"]),
+        consistency_high=float(payload["consistency_high"]),
+        consistency_low=float(payload["consistency_low"]),
+        learning_rate=float(payload["learning_rate"]),
+        learn_iterations=int(payload["learn_iterations"]),
+        l2=float(payload["l2"]),
+        lbp_iterations=int(payload["lbp_iterations"]),
+        lbp_tolerance=float(payload["lbp_tolerance"]),
+        lbp_damping=float(payload["lbp_damping"]),
+        conflict_resolution=bool(payload["conflict_resolution"]),
+        conflict_confidence=float(payload["conflict_confidence"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The snapshot
+# ----------------------------------------------------------------------
+@dataclass
+class EngineState:
+    """One engine's durable state, as JSON-safe section payloads.
+
+    Produced by :meth:`repro.api.engine.JOCLEngine.save` and consumed by
+    :meth:`repro.api.engine.JOCLEngine.load`; stores shuttle it through
+    :meth:`to_sections` / :meth:`from_sections`.
+    """
+
+    #: :func:`config_to_state` payload.
+    config: dict
+    #: :meth:`repro.okb.store.OpenKB.to_state` payload.
+    okb: dict
+    #: :meth:`repro.core.side_info.SideInformation.to_state` payload.
+    side: dict
+    #: :meth:`repro.runtime.InferenceRuntime.to_state` payload.
+    runtime: dict
+    #: Learned template weights (``export_weights`` shape), or ``None``.
+    weights: dict[str, list[float]] | None = None
+    #: :meth:`repro.core.builder.BuildCache.to_state` payload, or ``None``.
+    build_cache: dict | None = None
+    #: Number of ingest batches the engine had absorbed.
+    n_ingests: int = 0
+
+    def to_sections(self) -> tuple[dict, dict[str, dict]]:
+        """The manifest plus the named section payloads."""
+        sections: dict[str, dict] = {
+            "config": self.config,
+            "okb": self.okb,
+            "side": self.side,
+            "runtime": self.runtime,
+        }
+        if self.weights is not None:
+            sections["weights"] = {"weights": self.weights}
+        if self.build_cache is not None:
+            sections["build_cache"] = self.build_cache
+        manifest = {
+            "schema_version": PERSIST_SCHEMA_VERSION,
+            "type": _STATE_TYPE,
+            "sections": sorted(sections),
+            "n_ingests": self.n_ingests,
+        }
+        return manifest, sections
+
+    @classmethod
+    def from_sections(
+        cls, manifest: object, read_section: Callable[[str], dict]
+    ) -> "EngineState":
+        """Rebuild from a manifest and a section reader.
+
+        ``read_section`` is the store's accessor (file read, row fetch);
+        it is only called for sections the manifest lists.  Raises
+        :class:`SchemaVersionError` / :class:`SchemaError` for invalid
+        envelopes; optional sections absent from the manifest
+        forward-fill to their defaults.
+        """
+        if not isinstance(manifest, Mapping):
+            raise SchemaError(
+                f"checkpoint manifest must be a mapping, got "
+                f"{type(manifest).__name__}"
+            )
+        version = manifest.get("schema_version")
+        if version != PERSIST_SCHEMA_VERSION:
+            raise SchemaVersionError(version, PERSIST_SCHEMA_VERSION)
+        found_type = manifest.get("type")
+        if found_type != _STATE_TYPE:
+            raise SchemaError(
+                f"checkpoint manifest type {found_type!r} does not match "
+                f"expected {_STATE_TYPE!r}"
+            )
+        listed = manifest.get("sections")
+        if not isinstance(listed, (list, tuple)):
+            raise SchemaError("checkpoint manifest is missing its section list")
+        missing = [name for name in _REQUIRED_SECTIONS if name not in listed]
+        if missing:
+            raise SchemaError(
+                f"checkpoint manifest is missing required section(s) {missing}"
+            )
+        weights = None
+        if "weights" in listed:
+            weights_section = read_section("weights")
+            try:
+                weights = weights_section["weights"]
+            except (KeyError, TypeError) as error:
+                raise SchemaError(
+                    f"malformed weights section: {error}"
+                ) from error
+        return cls(
+            config=read_section("config"),
+            okb=read_section("okb"),
+            side=read_section("side"),
+            runtime=read_section("runtime"),
+            weights=weights,
+            build_cache=(
+                read_section("build_cache") if "build_cache" in listed else None
+            ),
+            n_ingests=int(manifest.get("n_ingests", 0)),
+        )

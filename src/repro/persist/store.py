@@ -1,0 +1,371 @@
+"""State stores: where :class:`~repro.persist.state.EngineState` lives.
+
+The :class:`StateStore` contract is append-only snapshots plus a notion
+of "current": every ``save_state`` creates a new immutable snapshot and
+repoints the store at it, ``load_state()`` reads the current one (or any
+older snapshot by id — the substrate of
+:meth:`repro.serving.JOCLService.rollback`), and ``snapshots()`` lists
+what is retained.  An optional ``history`` cap prunes the oldest
+snapshots after each save so a long-running service does not accumulate
+checkpoints without bound.
+
+Both shipped backends guarantee that a crash mid-save never corrupts
+the last good snapshot:
+
+* :class:`FileStateStore` writes the new snapshot directory under a
+  temporary name, fsyncs the section files, atomically renames the
+  directory into place, and atomically replaces the ``CURRENT`` pointer
+  file last;
+* :class:`SQLiteStateStore` writes the snapshot and all sections in one
+  transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sqlite3
+import time
+from abc import ABC, abstractmethod
+from contextlib import closing
+from pathlib import Path
+
+from repro.api.errors import CheckpointError, SchemaError
+from repro.persist.state import EngineState
+
+#: Name of the pointer file of :class:`FileStateStore`.
+_CURRENT = "CURRENT"
+
+_SNAPSHOT_PREFIX = "snapshot-"
+
+
+def _snapshot_name(sequence: int) -> str:
+    return f"{_SNAPSHOT_PREFIX}{sequence:06d}"
+
+
+def _snapshot_sequence(name: str) -> int | None:
+    if not name.startswith(_SNAPSHOT_PREFIX):
+        return None
+    suffix = name[len(_SNAPSHOT_PREFIX) :]
+    return int(suffix) if suffix.isdigit() else None
+
+
+class StateStore(ABC):
+    """The persistence contract engines save to and load from."""
+
+    @abstractmethod
+    def save_state(self, state: EngineState) -> str:
+        """Persist a new snapshot; returns its id (e.g. ``snapshot-000002``).
+
+        The snapshot becomes the store's *current* one.  Must be atomic:
+        a failure mid-save leaves the previously current snapshot intact
+        and current.
+        """
+
+    @abstractmethod
+    def load_state(self, snapshot: str | None = None) -> EngineState:
+        """Read a snapshot (default: the current one).
+
+        Raises :class:`~repro.api.errors.CheckpointError` when the store
+        is empty or the snapshot id is unknown, and
+        :class:`~repro.api.errors.SchemaError` /
+        :class:`~repro.api.errors.SchemaVersionError` when the stored
+        payload is structurally invalid for this build.
+        """
+
+    @abstractmethod
+    def snapshots(self) -> list[str]:
+        """Retained snapshot ids, oldest first."""
+
+    @abstractmethod
+    def current(self) -> str | None:
+        """Id of the snapshot ``load_state(None)`` would read, or
+        ``None`` when the store holds no checkpoint.
+
+        Not necessarily ``snapshots()[-1]``: a save that failed after
+        materializing its snapshot but before committing it as current
+        (e.g. :class:`FileStateStore` crashing between the directory
+        rename and the ``CURRENT`` swap) leaves a newer snapshot on disk
+        that is *not* the current one.
+        """
+
+
+def _prune(store: "StateStore", history: int | None, drop) -> None:
+    """Shared history-cap enforcement: drop oldest beyond ``history``."""
+    if history is None:
+        return
+    names = store.snapshots()
+    for name in names[: max(0, len(names) - history)]:
+        drop(name)
+
+
+class FileStateStore(StateStore):
+    """Snapshot-per-directory layout with an atomic ``CURRENT`` pointer.
+
+    Layout::
+
+        root/
+          CURRENT              # contains e.g. "snapshot-000002"
+          snapshot-000001/
+            manifest.json
+            config.json  okb.json  side.json  runtime.json  [...]
+          snapshot-000002/
+            ...
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) if absent.
+    history:
+        Keep at most this many snapshots, pruning oldest after each
+        save.  ``None`` (default) retains everything.
+    """
+
+    def __init__(self, root: str | Path, history: int | None = None) -> None:
+        if history is not None and history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._history = history
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    def snapshots(self) -> list[str]:
+        found = [
+            (sequence, entry.name)
+            for entry in self._root.iterdir()
+            if entry.is_dir()
+            and (sequence := _snapshot_sequence(entry.name)) is not None
+        ]
+        return [name for _sequence, name in sorted(found)]
+
+    def _write_json(self, path: Path, payload: dict) -> None:
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def save_state(self, state: EngineState) -> str:
+        manifest, sections = state.to_sections()
+        existing = self.snapshots()
+        sequence = (
+            _snapshot_sequence(existing[-1]) + 1 if existing else 1
+        )
+        name = _snapshot_name(sequence)
+        staging = self._root / f".tmp-{name}-{os.getpid()}"
+        if staging.exists():  # a previous crashed attempt; start clean
+            shutil.rmtree(staging)
+        staging.mkdir()
+        try:
+            for section_name, payload in sections.items():
+                self._write_json(staging / f"{section_name}.json", payload)
+            self._write_json(staging / "manifest.json", manifest)
+            os.replace(staging, self._root / name)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        # Repoint CURRENT last, atomically: readers either see the old
+        # snapshot or the new one, never a torn state.
+        pointer = self._root / f".tmp-{_CURRENT}-{os.getpid()}"
+        with pointer.open("w", encoding="utf-8") as handle:
+            handle.write(name + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(pointer, self._root / _CURRENT)
+        _prune(
+            self,
+            self._history,
+            lambda old: shutil.rmtree(self._root / old, ignore_errors=True),
+        )
+        return name
+
+    def current(self) -> str | None:
+        pointer = self._root / _CURRENT
+        if not pointer.exists():
+            return None
+        return pointer.read_text(encoding="utf-8").strip()
+
+    # ------------------------------------------------------------------
+    def _resolve(self, snapshot: str | None) -> Path:
+        if snapshot is None:
+            snapshot = self.current()
+            if snapshot is None:
+                raise CheckpointError(
+                    f"state store {self._root} holds no checkpoint yet"
+                )
+        directory = self._root / snapshot
+        if not directory.is_dir():
+            raise CheckpointError(
+                f"state store {self._root} has no snapshot {snapshot!r}; "
+                f"available: {self.snapshots()}"
+            )
+        return directory
+
+    def _read_json(self, path: Path) -> dict:
+        if not path.exists():
+            raise CheckpointError(f"checkpoint file {path} is missing")
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise SchemaError(
+                f"checkpoint file {path} is not valid JSON: {error}"
+            ) from error
+
+    def load_state(self, snapshot: str | None = None) -> EngineState:
+        directory = self._resolve(snapshot)
+        manifest = self._read_json(directory / "manifest.json")
+        return EngineState.from_sections(
+            manifest,
+            lambda section: self._read_json(directory / f"{section}.json"),
+        )
+
+
+class SQLiteStateStore(StateStore):
+    """Snapshots as rows in one SQLite database (one transaction per save).
+
+    Parameters
+    ----------
+    path:
+        Database file; created (with parent directories) if absent.
+    history:
+        Keep at most this many snapshots; ``None`` retains everything.
+    """
+
+    def __init__(self, path: str | Path, history: int | None = None) -> None:
+        if history is not None and history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._history = history
+        with closing(self._connect()) as connection, connection:
+            connection.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS snapshots (
+                    sequence   INTEGER PRIMARY KEY,
+                    name       TEXT UNIQUE NOT NULL,
+                    created_at REAL NOT NULL,
+                    manifest   TEXT NOT NULL
+                );
+                CREATE TABLE IF NOT EXISTS sections (
+                    sequence INTEGER NOT NULL
+                        REFERENCES snapshots(sequence) ON DELETE CASCADE,
+                    name     TEXT NOT NULL,
+                    payload  TEXT NOT NULL,
+                    PRIMARY KEY (sequence, name)
+                );
+                """
+            )
+
+    @property
+    def path(self) -> Path:
+        """The database file."""
+        return self._path
+
+    def _connect(self) -> sqlite3.Connection:
+        # One short-lived connection per operation: no cross-thread
+        # sharing constraints, which the serving layer relies on.
+        connection = sqlite3.connect(self._path)
+        connection.execute("PRAGMA foreign_keys = ON")
+        return connection
+
+    # ------------------------------------------------------------------
+    def snapshots(self) -> list[str]:
+        with closing(self._connect()) as connection, connection:
+            rows = connection.execute(
+                "SELECT name FROM snapshots ORDER BY sequence"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def save_state(self, state: EngineState) -> str:
+        manifest, sections = state.to_sections()
+        with closing(self._connect()) as connection, connection:
+            row = connection.execute(
+                "SELECT COALESCE(MAX(sequence), 0) + 1 FROM snapshots"
+            ).fetchone()
+            sequence = int(row[0])
+            name = _snapshot_name(sequence)
+            connection.execute(
+                "INSERT INTO snapshots (sequence, name, created_at, manifest) "
+                "VALUES (?, ?, ?, ?)",
+                (sequence, name, time.time(), json.dumps(manifest, sort_keys=True)),
+            )
+            connection.executemany(
+                "INSERT INTO sections (sequence, name, payload) VALUES (?, ?, ?)",
+                [
+                    (sequence, section_name, json.dumps(payload, sort_keys=True))
+                    for section_name, payload in sections.items()
+                ],
+            )
+        _prune(self, self._history, self._drop)
+        return name
+
+    def _drop(self, name: str) -> None:
+        with closing(self._connect()) as connection, connection:
+            connection.execute("DELETE FROM snapshots WHERE name = ?", (name,))
+
+    def current(self) -> str | None:
+        with closing(self._connect()) as connection, connection:
+            row = connection.execute(
+                "SELECT name FROM snapshots ORDER BY sequence DESC LIMIT 1"
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    # ------------------------------------------------------------------
+    def load_state(self, snapshot: str | None = None) -> EngineState:
+        with closing(self._connect()) as connection, connection:
+            if snapshot is None:
+                row = connection.execute(
+                    "SELECT sequence, manifest FROM snapshots "
+                    "ORDER BY sequence DESC LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    raise CheckpointError(
+                        f"state store {self._path} holds no checkpoint yet"
+                    )
+            else:
+                row = connection.execute(
+                    "SELECT sequence, manifest FROM snapshots WHERE name = ?",
+                    (snapshot,),
+                ).fetchone()
+                if row is None:
+                    raise CheckpointError(
+                        f"state store {self._path} has no snapshot "
+                        f"{snapshot!r}; available: {self.snapshots()}"
+                    )
+            sequence, raw_manifest = int(row[0]), row[1]
+            payloads = {
+                name: payload
+                for name, payload in connection.execute(
+                    "SELECT name, payload FROM sections WHERE sequence = ?",
+                    (sequence,),
+                )
+            }
+        try:
+            manifest = json.loads(raw_manifest)
+        except json.JSONDecodeError as error:
+            raise SchemaError(
+                f"checkpoint manifest in {self._path} is not valid JSON: "
+                f"{error}"
+            ) from error
+
+        def read_section(section: str) -> dict:
+            if section not in payloads:
+                raise CheckpointError(
+                    f"checkpoint section {section!r} is missing from "
+                    f"{self._path}"
+                )
+            try:
+                return json.loads(payloads[section])
+            except json.JSONDecodeError as error:
+                raise SchemaError(
+                    f"checkpoint section {section!r} in {self._path} is "
+                    f"not valid JSON: {error}"
+                ) from error
+
+        return EngineState.from_sections(manifest, read_section)

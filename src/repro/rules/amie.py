@@ -194,6 +194,76 @@ class AmieMiner:
         """``Sim_AMIE`` as the paper's 0/1 score."""
         return 1.0 if self.equivalent(first, second) else 0.0
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of config, evidence maps and mined rules.
+
+        Restoring via :meth:`from_state` skips re-mining entirely — the
+        O(RPs^2) rule scan is the expensive part of a cold side-info
+        build, and its output travels with the checkpoint.
+        """
+        return {
+            "config": {
+                "min_support": self._config.min_support,
+                "min_confidence": self._config.min_confidence,
+                "use_pca": self._config.use_pca,
+            },
+            "pairs_by_rp": {
+                key: sorted(list(pair) for pair in pairs)
+                for key, pairs in sorted(self._pairs_by_rp.items())
+            },
+            "subjects_by_rp": {
+                key: sorted(subjects)
+                for key, subjects in sorted(self._subjects_by_rp.items())
+            },
+            "norm_of": dict(sorted(self._norm_of.items())),
+            "rules": [
+                [
+                    rule.body,
+                    rule.head,
+                    rule.support,
+                    rule.confidence,
+                    rule.pca_confidence,
+                ]
+                for (_body, _head), rule in sorted(self._rules.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "AmieMiner":
+        """Inverse of :meth:`to_state` (no re-mining)."""
+        config_payload = payload["config"]
+        miner = cls(
+            (),
+            AmieConfig(
+                min_support=int(config_payload["min_support"]),
+                min_confidence=float(config_payload["min_confidence"]),
+                use_pca=bool(config_payload["use_pca"]),
+            ),
+        )
+        miner._pairs_by_rp = {
+            key: {(pair[0], pair[1]) for pair in pairs}
+            for key, pairs in payload["pairs_by_rp"].items()
+        }
+        miner._subjects_by_rp = {
+            key: set(subjects)
+            for key, subjects in payload["subjects_by_rp"].items()
+        }
+        miner._norm_of = dict(payload["norm_of"])
+        miner._rules = {
+            (row[0], row[1]): ImplicationRule(
+                body=row[0],
+                head=row[1],
+                support=int(row[2]),
+                confidence=float(row[3]),
+                pca_confidence=float(row[4]),
+            )
+            for row in payload["rules"]
+        }
+        return miner
+
     def covered_phrases(self) -> frozenset[str]:
         """Normalized RPs participating in at least one passing rule.
 

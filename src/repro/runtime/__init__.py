@@ -47,6 +47,35 @@ from repro.runtime.parallel import ParallelRuntime
 from repro.runtime.partitioned import PartitionedRuntime
 from repro.runtime.serial import SerialRuntime
 
+#: ``to_state()["type"]`` discriminator -> runtime class, for
+#: :func:`runtime_from_state`.
+_RUNTIME_TYPES: dict[str, type[InferenceRuntime]] = {
+    SerialRuntime.name: SerialRuntime,
+    PartitionedRuntime.name: PartitionedRuntime,
+    ParallelRuntime.name: ParallelRuntime,
+    IncrementalRuntime.name: IncrementalRuntime,
+}
+
+
+def runtime_from_state(payload: dict) -> InferenceRuntime:
+    """Reconstruct a runtime from an :meth:`InferenceRuntime.to_state`
+    payload, dispatching on its ``"type"`` discriminator.
+
+    Raises :class:`ValueError` for unknown types (e.g. a third-party
+    runtime whose class is not importable here); checkpoint callers let
+    users override the runtime explicitly in that case.
+    """
+    runtime_type = payload.get("type")
+    runtime_cls = _RUNTIME_TYPES.get(runtime_type)
+    if runtime_cls is None:
+        raise ValueError(
+            f"unknown runtime type {runtime_type!r}; expected one of "
+            f"{sorted(_RUNTIME_TYPES)} (pass an explicit runtime to "
+            f"restore a checkpoint saved with a custom runtime)"
+        )
+    return runtime_cls.from_state(payload)
+
+
 __all__ = [
     "ComponentPlan",
     "IncrementalRuntime",
@@ -58,4 +87,5 @@ __all__ = [
     "RuntimeResult",
     "SerialRuntime",
     "run_component",
+    "runtime_from_state",
 ]

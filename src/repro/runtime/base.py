@@ -216,6 +216,27 @@ class InferenceRuntime(ABC):
         """Hook: observe a completed run (state-carrying runtimes cache
         the per-unit results here).  The default is a no-op."""
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the runtime's configuration and state.
+
+        The payload's ``"type"`` discriminator is the runtime's
+        :attr:`name`; :func:`repro.runtime.runtime_from_state` uses it to
+        dispatch reconstruction.  Stateless runtimes serialize nothing
+        beyond their knobs; :class:`~repro.runtime.IncrementalRuntime`
+        additionally carries its cached run state so a restored engine
+        resumes incremental serving warm.
+        """
+        return {"type": self.name}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "InferenceRuntime":
+        """Reconstruct a runtime from :meth:`to_state` output."""
+        del payload
+        return cls()
+
     def run(self, task: InferenceTask) -> RuntimeResult:
         """The template method: plan, warm-start, execute, merge — timed."""
         start = time.perf_counter()

@@ -60,6 +60,16 @@ import numpy as np
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.lbp import LBPMessages, LBPResult, LBPSettings, Schedule
 from repro.factorgraph.partition import dirty_components
+from repro.factorgraph.serialize import (
+    graph_from_state,
+    graph_to_state,
+    result_from_state,
+    result_to_state,
+    schedule_from_state,
+    schedule_to_state,
+    settings_from_state,
+    settings_to_state,
+)
 from repro.runtime.base import InferencePlan, InferenceTask
 from repro.runtime.partitioned import PartitionedRuntime
 
@@ -202,6 +212,91 @@ class IncrementalRuntime(PartitionedRuntime):
         """Drop all cached state; the next run executes fully cold."""
         self._state = None
         self._pending_dirty = None
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: knobs, pending dirty marks, run state.
+
+        The run state serializes each cached component's subgraph
+        (feature tables and all), converged result and message tables —
+        exactly what :meth:`warm_start` consults — so an engine restored
+        from a checkpoint splices clean components on its very first
+        post-restore inference instead of recomputing the world.
+        Payloads round-trip exactly; the structural reuse check compares
+        restored tables value-for-value (``np.array_equal``) and still
+        holds.
+        """
+        payload: dict = {"type": self.name, "warm_start": self._warm}
+        if self._pending_dirty:
+            payload["pending_dirty"] = {
+                kind: sorted(phrases)
+                for kind, phrases in sorted(self._pending_dirty.items())
+            }
+        state = self._state
+        if state is not None:
+            payload["run_state"] = {
+                "settings": settings_to_state(state.settings),
+                "schedule": (
+                    schedule_to_state(state.schedule)
+                    if state.schedule is not None
+                    else None
+                ),
+                "evidence": dict(state.evidence) if state.evidence else None,
+                "components": [
+                    {
+                        "graph": graph_to_state(cached.graph),
+                        "result": result_to_state(cached.result),
+                    }
+                    for cached in state.components.values()
+                ],
+            }
+        return payload
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "IncrementalRuntime":
+        """Inverse of :meth:`to_state`; see :class:`_RunState`."""
+        runtime = cls(warm_start=bool(payload.get("warm_start", False)))
+        pending = payload.get("pending_dirty")
+        if pending:
+            runtime._pending_dirty = {
+                kind: set(phrases) for kind, phrases in pending.items()
+            }
+        run_state = payload.get("run_state")
+        if run_state is None:
+            return runtime
+        components: dict[frozenset[str], _CachedComponent] = {}
+        domains: dict[str, tuple] = {}
+        f2v: dict[tuple[str, str], np.ndarray] = {}
+        v2f: dict[tuple[str, str], np.ndarray] = {}
+        for entry in run_state["components"]:
+            graph = graph_from_state(entry["graph"])
+            result = result_from_state(entry["result"])
+            components[frozenset(graph.variables)] = _CachedComponent(
+                graph=graph, result=result
+            )
+            for variable_name, variable in graph.variables.items():
+                domains[variable_name] = variable.domain
+            if result.messages is not None:
+                f2v.update(result.messages.f2v)
+                v2f.update(result.messages.v2f)
+        raw_schedule = run_state.get("schedule")
+        raw_evidence = run_state.get("evidence")
+        runtime._state = _RunState(
+            settings=settings_from_state(run_state["settings"]),
+            schedule=(
+                schedule_from_state(raw_schedule)
+                if raw_schedule is not None
+                else None
+            ),
+            evidence=dict(raw_evidence) if raw_evidence else None,
+            components=components,
+            domains=domains,
+            f2v=f2v,
+            v2f=v2f,
+        )
+        return runtime
 
     # ------------------------------------------------------------------
     # The warm-start hook

@@ -96,6 +96,24 @@ class ParallelRuntime(PartitionedRuntime):
         """
         return self._resolved_backend or self._backend
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Serialize the *configured* knobs (degradation is re-probed)."""
+        return {
+            "type": self.name,
+            "max_workers": self._max_workers,
+            "backend": self._backend,
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ParallelRuntime":
+        return cls(
+            max_workers=int(payload["max_workers"]),
+            backend=str(payload["backend"]),
+        )
+
     def _make_executor(self, pool_size: int) -> Executor:
         if self._backend == "process" and self._resolved_backend != "thread":
             executor = None

@@ -1,0 +1,29 @@
+"""Concurrent serving sessions over a :class:`repro.api.JOCLEngine`.
+
+A bare engine is thread-safe for concurrent *reads* (PR 4 closed the
+lazy-decoding races), but a production deployment needs more: reads and
+writes interleaving without torn state, request batching, and a
+durability story.  :class:`JOCLService` is that session layer:
+
+* **read/write discipline** — any number of concurrent ``resolve`` /
+  ``resolve_many`` / ``run_joint`` readers; ``ingest`` / ``fit`` /
+  ``checkpoint`` writers are serialized and exclude readers, so every
+  answer reflects a consistent engine state;
+* **micro-batching** — in-flight ``resolve`` calls are coalesced by a
+  leader thread into one shared decode pass (the ``resolve_many``
+  amortization, applied transparently to concurrent single-mention
+  traffic);
+* **durability** — ``checkpoint()`` snapshots the engine into a
+  :class:`repro.persist.StateStore`; ``rollback()`` restores any
+  snapshot into a *fresh* engine off-lock and atomically swaps it in,
+  so reads keep being served from the old engine for the whole load
+  (zero-downtime swap).
+
+Answers are byte-identical to a single-threaded loop over
+``engine.resolve`` — pinned by the serving-equivalence smoke test in
+CI.
+"""
+
+from repro.serving.service import JOCLService, ServingStats
+
+__all__ = ["JOCLService", "ServingStats"]

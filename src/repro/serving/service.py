@@ -1,0 +1,358 @@
+"""The :class:`JOCLService` session layer; see the package docstring.
+
+Concurrency design
+------------------
+
+Two locks and a queue:
+
+* a reader/writer lock (writer preference) — ``resolve`` /
+  ``resolve_many`` / ``run_joint`` hold it shared, ``ingest`` / ``fit``
+  / ``checkpoint`` and the ``rollback`` swap hold it exclusively;
+* a leader lock for micro-batching: every ``resolve`` call enqueues its
+  request, then competes to become the *leader*; the leader drains up
+  to ``max_batch_size`` queued requests and serves the whole batch with
+  **one** decode/side-information lookup, so N threads bursting at an
+  engine whose cache was just invalidated pay one inference, one
+  dictionary walk — not N.  Followers wake up with their answer already
+  filled in.
+
+No background threads: batching is caller-driven (leader/follower), so
+there is nothing to start, stop, or leak — a service is ready on
+construction and needs no shutdown.
+
+Failure semantics match the engine: per-mention failures
+(:class:`~repro.api.errors.UnknownMentionError`) fail only that caller;
+engine-level failures while decoding (e.g. an empty OKB) fail every
+request in the batch with the same error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.api.engine import JOCLEngine
+from repro.api.errors import CheckpointError
+from repro.api.results import EngineReport, EngineStats, ResolveResult
+from repro.okb.triples import OIETriple
+from repro.persist.store import StateStore
+
+
+class _ReadWriteLock:
+    """A reader/writer lock with writer preference.
+
+    Any number of readers share the lock; a writer waits for active
+    readers to drain and excludes everyone.  Waiting writers block *new*
+    readers, so a steady read load cannot starve ingest.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                # Balanced even when the wait is interrupted
+                # (KeyboardInterrupt): a leaked waiting-writer count
+                # would block every future reader forever.
+                self._writers_waiting -= 1
+                self._cond.notify_all()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class _PendingResolve:
+    """One enqueued ``resolve`` request and its eventual outcome."""
+
+    __slots__ = ("mention", "kind", "event", "result", "error")
+
+    def __init__(self, mention: str, kind: str | None) -> None:
+        self.mention = mention
+        self.kind = kind
+        self.event = threading.Event()
+        self.result: ResolveResult | None = None
+        self.error: BaseException | None = None
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Micro-batching telemetry of one :class:`JOCLService`."""
+
+    #: ``resolve`` requests served.
+    requests: int = 0
+    #: Decode batches executed by leaders.
+    batches: int = 0
+    #: Requests that shared a batch with at least one other request.
+    coalesced_requests: int = 0
+    #: Largest batch observed.
+    max_batch: int = 0
+    #: Serialized write operations (``ingest`` + ``fit``).
+    writes: int = 0
+    #: Checkpoints taken.
+    checkpoints: int = 0
+    #: Rollback swaps performed.
+    rollbacks: int = 0
+
+
+class JOCLService:
+    """A concurrent, durable serving session over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  The service *owns* it: touch it directly
+        only when no requests are in flight.
+    store:
+        Default :class:`~repro.persist.StateStore` for
+        :meth:`checkpoint` / :meth:`rollback` (both also accept one per
+        call).
+    max_batch_size:
+        Cap on how many queued ``resolve`` requests one leader serves
+        in a single decode pass.
+
+    Every answer is byte-identical to what a single-threaded loop over
+    :meth:`repro.api.JOCLEngine.resolve` would return — batching and
+    concurrency change scheduling, never results.
+    """
+
+    def __init__(
+        self,
+        engine: JOCLEngine,
+        store: StateStore | None = None,
+        max_batch_size: int = 64,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self._engine = engine
+        self._store = store
+        self._max_batch = max_batch_size
+        self._rw = _ReadWriteLock()
+        self._leader_lock = threading.Lock()
+        self._queue_lock = threading.Lock()
+        self._pending: deque[_PendingResolve] = deque()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._max_batch_seen = 0
+        self._writes = 0
+        self._checkpoints = 0
+        self._rollbacks = 0
+
+    @property
+    def engine(self) -> JOCLEngine:
+        """The engine currently serving (swapped by :meth:`rollback`)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def resolve(self, mention: str, kind: str | None = None) -> ResolveResult:
+        """Thread-safe :meth:`repro.api.JOCLEngine.resolve`.
+
+        Concurrent callers are transparently coalesced into shared
+        decode batches (see the module docstring); the answer is the
+        one a serial ``engine.resolve(mention, kind)`` would give.
+        """
+        entry = _PendingResolve(mention, kind)
+        with self._queue_lock:
+            self._pending.append(entry)
+        # Leader/follower: whoever gets the leader lock serves a batch
+        # from the queue head; FIFO order bounds how often a caller can
+        # find its own entry still queued afterwards.
+        while not entry.event.is_set():
+            with self._leader_lock:
+                if not entry.event.is_set():
+                    self._serve_one_batch()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result
+
+    def _serve_one_batch(self) -> None:
+        """Leader body: drain up to ``max_batch_size`` requests, serve
+        them against one shared decoding."""
+        with self._queue_lock:
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(len(self._pending), self._max_batch))
+            ]
+        if not batch:
+            return
+        try:
+            with self._stats_lock:
+                self._requests += len(batch)
+                self._batches += 1
+                if len(batch) > 1:
+                    self._coalesced += len(batch)
+                self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            with self._rw.read():
+                engine = self._engine
+                try:
+                    output = engine._decoded()
+                    generator = engine.side_information().candidates
+                except BaseException as error:
+                    for entry in batch:
+                        entry.error = error
+                        entry.event.set()
+                    return
+                for entry in batch:
+                    try:
+                        entry.result = engine._resolve_one(
+                            output, generator, entry.mention, entry.kind
+                        )
+                    except BaseException as error:
+                        entry.error = error
+                    entry.event.set()
+        finally:
+            # The drained entries left the queue; if anything above was
+            # interrupted (KeyboardInterrupt while waiting out a writer,
+            # for instance) their followers would otherwise spin forever
+            # on an event nobody will set.
+            for entry in batch:
+                if not entry.event.is_set():
+                    if entry.error is None and entry.result is None:
+                        entry.error = RuntimeError(
+                            "resolve batch aborted before this request "
+                            "was served"
+                        )
+                    entry.event.set()
+
+    def resolve_many(
+        self, mentions: Iterable[str], kind: str | None = None
+    ) -> list[ResolveResult]:
+        """Thread-safe :meth:`repro.api.JOCLEngine.resolve_many` (an
+        explicit batch bypasses the coalescing queue — it already *is*
+        one)."""
+        with self._rw.read():
+            return self._engine.resolve_many(mentions, kind)
+
+    def run_joint(self) -> EngineReport:
+        """Thread-safe :meth:`repro.api.JOCLEngine.run_joint`."""
+        with self._rw.read():
+            return self._engine.run_joint()
+
+    def stats(self) -> EngineStats:
+        """Current engine stats (consistent snapshot)."""
+        with self._rw.read():
+            return self._engine.stats()
+
+    def last_profile(self):
+        """The engine's most recent :class:`ExecutionProfile`."""
+        with self._rw.read():
+            return self._engine.last_profile()
+
+    def serving_stats(self) -> ServingStats:
+        """Micro-batching and session telemetry."""
+        with self._stats_lock:
+            return ServingStats(
+                requests=self._requests,
+                batches=self._batches,
+                coalesced_requests=self._coalesced,
+                max_batch=self._max_batch_seen,
+                writes=self._writes,
+                checkpoints=self._checkpoints,
+                rollbacks=self._rollbacks,
+            )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def ingest(self, triples: Iterable[OIETriple]) -> int:
+        """Serialized :meth:`repro.api.JOCLEngine.ingest`: excludes all
+        readers, so no request observes a half-extended OKB."""
+        batch = list(triples)
+        with self._rw.write():
+            count = self._engine.ingest(batch)
+        with self._stats_lock:
+            self._writes += 1
+        return count
+
+    def fit(self, gold, side=None):
+        """Serialized :meth:`repro.api.JOCLEngine.fit`."""
+        with self._rw.write():
+            history = self._engine.fit(gold, side)
+        with self._stats_lock:
+            self._writes += 1
+        return history
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _require_store(self, store: StateStore | None) -> StateStore:
+        store = store or self._store
+        if store is None:
+            raise CheckpointError(
+                "this service has no state store; pass one to the "
+                "constructor or to checkpoint()/rollback() directly"
+            )
+        return store
+
+    def checkpoint(self, store: StateStore | None = None) -> str:
+        """Snapshot the engine into the store; returns the snapshot id.
+
+        Runs as a write (the snapshot folds pending lazy state), so the
+        captured checkpoint is a consistent point between requests.
+        """
+        store = self._require_store(store)
+        with self._rw.write():
+            snapshot = self._engine.save(store)
+        with self._stats_lock:
+            self._checkpoints += 1
+        return snapshot
+
+    def rollback(
+        self, snapshot: str | None = None, store: StateStore | None = None
+    ) -> str:
+        """Swap serving back to a checkpoint; returns the snapshot id.
+
+        Zero-downtime: the replacement engine is restored *outside* the
+        session locks — readers keep being answered by the current
+        engine for the whole load — and swapped in atomically at the
+        end.  ``snapshot`` defaults to the store's *current* checkpoint
+        (what ``load_state(None)`` reads).
+        """
+        store = self._require_store(store)
+        if snapshot is None:
+            # The store's notion of current, not snapshots()[-1]: a save
+            # that failed before committing may have left a newer,
+            # never-current snapshot behind.
+            snapshot = store.current()
+            if snapshot is None:
+                raise CheckpointError("state store holds no checkpoint yet")
+        engine = JOCLEngine.load(store, snapshot)
+        with self._rw.write():
+            self._engine = engine
+        with self._stats_lock:
+            self._rollbacks += 1
+        return snapshot

@@ -6,7 +6,6 @@ from repro.core.builder import GraphBuilder, canon_var, link_var
 from repro.core.config import JOCLConfig
 from repro.core.inference import decode
 from repro.core.learning import GoldAnnotations, build_evidence
-from repro.core.model import JOCL
 from repro.factorgraph.lbp import LoopyBP
 
 
@@ -110,7 +109,6 @@ class TestConflictResolution:
     def test_conflicting_pair_adopts_larger_group_label(self):
         """Hand-built scenario: canonicalization says merge, linking
         disagrees; the larger linked group must win (Section 3.5)."""
-        from repro.clustering.clusters import Clustering
         from repro.core.builder import GraphIndex
         from repro.core.inference import _decode_kind
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import FeatureVariant, JOCLConfig
-from repro.core.signals.base import PairSignal, SignalRegistry
+from repro.core.signals.base import PairSignal
 from repro.core.signals.entity_linking import entity_link_signals
 from repro.core.signals.interaction import (
     consistency_table,

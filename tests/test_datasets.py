@@ -4,11 +4,10 @@ import random
 
 import pytest
 
-from repro.datasets.base import Dataset, EvaluationGold, split_by_entity
+from repro.datasets.base import EvaluationGold, split_by_entity
 from repro.datasets.generator import TripleNoiseConfig, generate_triples
 from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
 from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
-from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
 from repro.datasets.world import World, WorldConfig
 
 
@@ -185,3 +184,46 @@ class TestIO:
         for original, reloaded in zip(small_dataset.triples, loaded):
             assert original.gold == reloaded.gold
             assert original.source_sentence == reloaded.source_sentence
+
+    def test_tolerates_blank_and_trailing_lines(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        save_triples_jsonl(small_dataset.triples[:3], path)
+        content = path.read_text(encoding="utf-8")
+        lines = content.splitlines()
+        ragged = "\n".join(
+            [lines[0], "", "   ", lines[1], lines[2], "", "\t", ""]
+        ) + "\n\n"
+        path.write_text(ragged, encoding="utf-8")
+        assert load_triples_jsonl(path) == small_dataset.triples[:3]
+
+    def test_malformed_json_reports_file_and_line(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        save_triples_jsonl(small_dataset.triples[:2], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{this is not json\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: malformed"):
+            load_triples_jsonl(path)
+
+    def test_missing_fields_report_file_and_line(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        save_triples_jsonl(small_dataset.triples[:1], path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"triple_id": "t-broken", "subject": "x"}\n')
+        with pytest.raises(ValueError, match=rf"{path.name}:2:.*predicate"):
+            load_triples_jsonl(path)
+
+    def test_non_object_line_reports_file_and_line(self, small_dataset, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        path.write_text('["not", "an", "object"]\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=rf"{path.name}:1:.*JSON object"):
+            load_triples_jsonl(path)
+
+    def test_malformed_gold_field_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "triples.jsonl"
+        path.write_text(
+            '{"triple_id": "t1", "subject": "a", "predicate": "b", '
+            '"object": "c", "gold": 5}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match=rf"{path.name}:1: malformed"):
+            load_triples_jsonl(path)

@@ -9,7 +9,7 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.factorgraph.graph import Factor, FactorGraph, FactorTemplate, Variable
+from repro.factorgraph.graph import FactorGraph, FactorTemplate, Variable
 from repro.factorgraph.lbp import LoopyBP, Schedule, ScheduleStep
 from repro.factorgraph.learner import TemplateLearner
 

@@ -11,7 +11,7 @@ from repro.datasets import (
     save_triples_jsonl,
 )
 from repro.datasets.base import Dataset
-from repro.metrics import evaluate_clustering, linking_accuracy
+from repro.metrics import linking_accuracy
 from repro.okb.store import OpenKB
 
 

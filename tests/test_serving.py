@@ -1,0 +1,295 @@
+"""Serving-session behaviour: concurrency identity, the engine's
+lazy-decoding race fixes, micro-batching, and checkpoint/rollback.
+
+``TestThreadedEquivalence`` is the CI serving-equivalence smoke gate:
+threaded ``JOCLService.resolve`` answers must be byte-identical to a
+single-threaded ``engine.resolve`` loop.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import UnknownMentionError
+from repro.api.errors import CheckpointError
+from repro.core import JOCLConfig
+from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
+from repro.persist import FileStateStore
+from repro.runtime import IncrementalRuntime, SerialRuntime
+from repro.serving import JOCLService
+
+from test_persist import decisions
+
+FAST = JOCLConfig(lbp_iterations=20)
+
+N_THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_streaming_ingest(
+        StreamingIngestConfig(n_shards=4, triples_per_shard=25, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def mentions(workload):
+    """(mention, kind) queries covering all three slots."""
+    queries = []
+    for triple in workload.seed_triples[:50]:
+        queries.append((triple.subject, "np"))
+        queries.append((triple.predicate, "relation"))
+        queries.append((triple.object, None))
+    return queries
+
+
+def run_threaded(call, n_items: int, n_threads: int = N_THREADS):
+    """Run ``call(i)`` for every i, striped across threads; returns
+    per-index results and the list of raised exceptions."""
+    results = [None] * n_items
+    errors: list[BaseException] = []
+
+    def worker(offset: int) -> None:
+        for index in range(offset, n_items, n_threads):
+            try:
+                results[index] = call(index)
+            except BaseException as error:  # noqa: BLE001 - recorded for asserts
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,))
+        for offset in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+class CountingRuntime(SerialRuntime):
+    """SerialRuntime that counts how many inference runs it executed."""
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self._count_lock = threading.Lock()
+
+    def run(self, task):
+        with self._count_lock:
+            self.runs += 1
+        return super().run(task)
+
+
+# ----------------------------------------------------------------------
+# The engine-level race fixes (satellite regression tests)
+# ----------------------------------------------------------------------
+class TestEngineConcurrency:
+    def test_concurrent_resolve_runs_inference_once(self, workload, mentions):
+        """The double-run race: N threads hammering a cold engine must
+        share one inference run (stateful runtimes corrupt otherwise)."""
+        runtime = CountingRuntime()
+        engine = workload.engine(FAST, runtime)
+        reference_engine = workload.engine(FAST, SerialRuntime())
+        reference = [
+            reference_engine.resolve(m, k).to_dict() for m, k in mentions
+        ]
+        answers, errors = run_threaded(
+            lambda i: engine.resolve(*mentions[i]).to_dict(), len(mentions)
+        )
+        assert not errors
+        assert runtime.runs == 1
+        assert answers == reference
+
+    def test_last_profile_never_tears(self, workload):
+        """The torn-read race: last_profile() racing an ingest that
+        nulls the decoding cache must return a profile or None, never
+        raise."""
+        engine = workload.engine(FAST, SerialRuntime())
+        engine.run_joint()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    profile = engine.last_profile()
+                    assert profile is None or profile.n_components >= 1
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for triple in workload.batches[0]:
+                engine.ingest([triple])
+                engine.run_joint()
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors
+
+
+# ----------------------------------------------------------------------
+# Service equivalence (the CI smoke gate)
+# ----------------------------------------------------------------------
+class TestThreadedEquivalence:
+    def test_threaded_service_matches_serial_loop(self, workload, mentions):
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine)
+        reference_engine = workload.engine(FAST, IncrementalRuntime())
+        reference = [
+            reference_engine.resolve(m, k).to_dict() for m, k in mentions
+        ]
+        answers, errors = run_threaded(
+            lambda i: service.resolve(*mentions[i]).to_dict(), len(mentions)
+        )
+        assert not errors
+        assert answers == reference
+        stats = service.serving_stats()
+        assert stats.requests == len(mentions)
+        assert stats.batches <= stats.requests
+
+    def test_resolve_many_matches_engine(self, workload, mentions):
+        engine = workload.engine(FAST, SerialRuntime())
+        service = JOCLService(engine)
+        surfaces = [m for m, _ in mentions[:30]]
+        direct = workload.engine(FAST, SerialRuntime()).resolve_many(surfaces)
+        via_service = service.resolve_many(surfaces)
+        assert [r.to_dict() for r in via_service] == [
+            r.to_dict() for r in direct
+        ]
+
+    def test_unknown_mention_fails_only_its_caller(self, workload, mentions):
+        engine = workload.engine(FAST, SerialRuntime())
+        service = JOCLService(engine)
+        queries = list(mentions[:20]) + [("no such phrase xyz", None)] * 4
+
+        def call(index):
+            return service.resolve(*queries[index])
+
+        answers, errors = run_threaded(call, len(queries))
+        assert len(errors) == 4
+        assert all(isinstance(e, UnknownMentionError) for e in errors)
+        assert all(a is not None for a in answers[:20])
+
+    def test_micro_batching_coalesces_under_contention(self, workload):
+        """When many resolves arrive while the leader decodes, followers
+        get batched: strictly fewer decode batches than requests."""
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine, max_batch_size=16)
+        surfaces = [t.subject for t in workload.seed_triples[:40]]
+        # A cold engine: the first leader holds the decode for a while,
+        # so the other threads' requests pile up and coalesce.
+        answers, errors = run_threaded(
+            lambda i: service.resolve(surfaces[i]), len(surfaces)
+        )
+        assert not errors
+        stats = service.serving_stats()
+        assert stats.requests == len(surfaces)
+        assert stats.batches < stats.requests
+        assert stats.coalesced_requests > 0
+        assert stats.max_batch > 1
+
+
+# ----------------------------------------------------------------------
+# Write discipline + durability sessions
+# ----------------------------------------------------------------------
+class TestWriteDiscipline:
+    def test_reads_concurrent_with_ingest_stay_consistent(self, workload):
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine)
+        service.run_joint()
+        surfaces = [t.subject for t in workload.seed_triples[:30]]
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            index = 0
+            while not stop.is_set():
+                try:
+                    service.resolve(surfaces[index % len(surfaces)])
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+                index += 1
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for batch in workload.batches:
+                service.ingest(batch)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors
+        assert service.stats().n_triples == len(workload.all_triples)
+        # Post-ingest answers reflect the grown OKB.
+        grown = workload.batches[-1][-1]
+        assert service.resolve(grown.subject) is not None
+
+    def test_checkpoint_rollback_restores_decisions(self, tmp_path, workload):
+        store = FileStateStore(tmp_path / "ckpt")
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine, store=store)
+        before = service.run_joint()
+        snapshot = service.checkpoint()
+        service.ingest(workload.batches[0])
+        after = service.run_joint()
+        assert decisions(after) != decisions(before) or (
+            service.stats().n_triples > len(workload.seed_triples)
+        )
+        restored_id = service.rollback(snapshot)
+        assert restored_id == snapshot
+        assert decisions(service.run_joint()) == decisions(before)
+        assert service.stats().n_triples == len(workload.seed_triples)
+        stats = service.serving_stats()
+        assert stats.checkpoints == 1 and stats.rollbacks == 1
+
+    def test_rollback_serves_reads_during_load(self, tmp_path, workload):
+        """Zero-downtime: reads issued while rollback loads keep being
+        answered (by the old engine until the atomic swap)."""
+        store = FileStateStore(tmp_path / "ckpt")
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine, store=store)
+        service.run_joint()
+        service.checkpoint()
+        surfaces = [t.subject for t in workload.seed_triples[:10]]
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            index = 0
+            while not stop.is_set():
+                try:
+                    service.resolve(surfaces[index % len(surfaces)])
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+                index += 1
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(3):
+                service.rollback()
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        assert service.serving_stats().rollbacks == 3
+
+    def test_checkpoint_without_store_raises(self, workload):
+        service = JOCLService(workload.engine(FAST, SerialRuntime()))
+        with pytest.raises(CheckpointError, match="no state store"):
+            service.checkpoint()
+        with pytest.raises(CheckpointError, match="no state store"):
+            service.rollback()
+
+    def test_rejects_bad_batch_size(self, workload):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            JOCLService(workload.engine(FAST, SerialRuntime()), max_batch_size=0)
