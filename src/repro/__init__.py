@@ -17,7 +17,13 @@ Wang, Wang, Yang, Yuan).  It contains:
   :meth:`JOCLEngine.load`,
 * concurrent serving sessions (:mod:`repro.serving`) —
   :class:`JOCLService` with thread-safe micro-batched ``resolve``,
-  serialized writes and ``checkpoint()``/``rollback()``,
+  serialized writes and ``checkpoint()``/``rollback()`` —
+  and :class:`JOCLClusterService`, the same discipline per shard,
+* horizontal scale-out (:mod:`repro.cluster`) — a
+  :class:`ShardedEngine` owning N engines behind one surface: pluggable
+  :class:`ShardRouter` placement, scatter/gather ``resolve``,
+  shard-parallel ``ingest``/``run_joint``, corpus-global IDF statistics
+  and namespaced cluster checkpoints,
 * the JOCL factor-graph framework itself (:mod:`repro.core`),
 * every substrate the paper depends on (curated KB, OKB triple store,
   embeddings, paraphrase DB, AMIE rule mining, KBP-style relation
@@ -67,6 +73,15 @@ from repro.api import (
     LinkingResult,
     ResolveResult,
 )
+from repro.cluster import (
+    ClusterReport,
+    ClusterStats,
+    HashShardRouter,
+    IngestReport,
+    ShardRouter,
+    ShardedEngine,
+    VocabularyAffinityRouter,
+)
 from repro.core import JOCL, JOCLConfig, JOCLOutput
 from repro.datasets import (
     Dataset,
@@ -78,6 +93,7 @@ from repro.datasets import (
     generate_reverb45k,
     generate_sharded_reverb45k,
     generate_streaming_ingest,
+    shard_partition,
 )
 from repro.persist import (
     EngineState,
@@ -93,11 +109,13 @@ from repro.runtime import (
     PartitionedRuntime,
     SerialRuntime,
 )
-from repro.serving import JOCLService, ServingStats
+from repro.serving import JOCLClusterService, JOCLService, ServingStats
 from repro.version import __version__
 
 __all__ = [
     "CanonicalizationResult",
+    "ClusterReport",
+    "ClusterStats",
     "Dataset",
     "EngineBuilder",
     "EngineReport",
@@ -105,10 +123,13 @@ __all__ = [
     "EngineStats",
     "ExecutionProfile",
     "FileStateStore",
+    "HashShardRouter",
     "IncrementalRuntime",
     "InferenceRuntime",
+    "IngestReport",
     "JOCL",
     "JOCLConfig",
+    "JOCLClusterService",
     "JOCLEngine",
     "JOCLOutput",
     "JOCLPipeline",
@@ -123,12 +144,16 @@ __all__ = [
     "SQLiteStateStore",
     "SerialRuntime",
     "ServingStats",
+    "ShardRouter",
+    "ShardedEngine",
     "ShardedOKBConfig",
     "StateStore",
     "StreamingIngestConfig",
+    "VocabularyAffinityRouter",
     "__version__",
     "generate_nytimes2018",
     "generate_reverb45k",
     "generate_sharded_reverb45k",
     "generate_streaming_ingest",
+    "shard_partition",
 ]

@@ -497,7 +497,10 @@ class JOCLEngine:
         validated as a whole: on :class:`IngestError` (duplicate triple
         id, non-triple input) no state changes.
 
-        Returns the number of triples added.
+        Returns the number of triples added.  Example::
+
+            added = engine.ingest(arrival_batch)
+            report = engine.run_joint()   # recomputes only what changed
         """
         batch = self._validated_batch(triples)
         if not batch:
@@ -518,6 +521,47 @@ class JOCLEngine:
                 else self._pending_delta.merge(delta)
             )
             return len(batch)
+
+    def note_vocabulary_drift(
+        self,
+        new_noun_phrases: Iterable[str] = (),
+        new_relation_phrases: Iterable[str] = (),
+    ) -> None:
+        """Tell the engine its corpus-global statistics drifted externally.
+
+        A single engine learns about vocabulary growth from its own
+        :meth:`ingest` deltas.  In a sharded cluster the IDF tables are
+        corpus-*global* (see :meth:`repro.okb.store.OpenKB.adopt_shared_idf`),
+        so a phrase entering the cluster at shard B re-weights token
+        overlap scores at shard A too — even though shard A ingested
+        nothing.  The cluster calls this on every shard after folding
+        new vocabulary into the shared tables; the engine folds the
+        phrases into its pending delta exactly as if they were its own
+        new vocabulary, so the next inference drops the decoding cache,
+        invalidates token-sharing feature tables, and (with an
+        :class:`~repro.runtime.IncrementalRuntime`) re-runs LBP only on
+        the components the drift can actually reach.
+
+        No-op when both iterables are empty.  Example::
+
+            engine.note_vocabulary_drift(
+                new_noun_phrases=["acme corp"],
+                new_relation_phrases=[],
+            )
+        """
+        delta = IngestDelta(
+            new_noun_phrases=tuple(dict.fromkeys(new_noun_phrases)),
+            new_relation_phrases=tuple(dict.fromkeys(new_relation_phrases)),
+        )
+        if not delta.new_noun_phrases and not delta.new_relation_phrases:
+            return
+        with self._state_lock:
+            self._output = None
+            self._pending_delta = (
+                delta
+                if self._pending_delta is None
+                else self._pending_delta.merge(delta)
+            )
 
     # ------------------------------------------------------------------
     # Side information / inference plumbing
@@ -726,6 +770,11 @@ class JOCLEngine:
         and object slots); when omitted, the slots are searched in S, P,
         O order.  Raises :class:`UnknownMentionError` when the mention
         does not occur in the OKB (in the requested slots).
+
+        Example::
+
+            answer = engine.resolve("University of Maryland", kind="entity")
+            print(answer.target, answer.cluster, answer.candidates)
         """
         return self._resolve_one(
             self._decoded(), self.side_information().candidates, mention, kind
@@ -805,6 +854,11 @@ class JOCLEngine:
         Raises :class:`CheckpointError` when the engine holds state
         without a serialization hook: a custom signal registry, or an
         embedding type without ``to_state``.
+
+        Example::
+
+            store = FileStateStore("checkpoints/")
+            snapshot = engine.save(store)   # e.g. "snapshot-000001"
         """
         from repro.persist.state import EngineState, config_to_state
 
@@ -862,6 +916,11 @@ class JOCLEngine:
         required when the checkpoint was saved with a custom runtime
         type this build cannot reconstruct.  ``embedding`` likewise
         overrides the serialized embedding spec.
+
+        Example::
+
+            engine = JOCLEngine.load(store)             # current snapshot
+            pinned = JOCLEngine.load(store, "snapshot-000001")
         """
         from repro.persist.state import config_from_state
         from repro.runtime import runtime_from_state

@@ -1,0 +1,75 @@
+"""Horizontal scale-out: a sharded multi-engine JOCL cluster.
+
+The paper closes Section 3.4 noting joint inference "can be extended to
+a distributed version with a graph segmentation algorithm";
+:mod:`repro.runtime` built that seam *inside* one engine (per-component
+LBP), and this package extends it *across* engines: a
+:class:`ShardedEngine` owns N :class:`repro.api.JOCLEngine` shards
+behind the familiar engine surface, with
+
+* a pluggable :class:`ShardRouter` placement policy
+  (:class:`HashShardRouter` by default,
+  :class:`VocabularyAffinityRouter` for domain-partitioned streams),
+* scatter/gather ``resolve`` / ``resolve_many`` fanning out only to
+  candidate shards and merging under a documented total order,
+* shard-parallel ``ingest`` and ``run_joint`` on the shared executor
+  machinery,
+* cluster-global IDF statistics (so splitting the corpus does not
+  silently re-weight the paper's ``f_idf`` signal), and
+* ``save``/``load`` over the :class:`repro.persist.StateStore`
+  contract — one namespaced snapshot per shard plus a cluster manifest,
+  restoring warm and decision-identical.
+
+Wrap a cluster in :class:`repro.serving.JOCLClusterService` for
+concurrent sessions (per-shard reader/writer locks and micro-batching:
+readers on shard A never block writers on shard B).
+
+Quickstart::
+
+    from repro.cluster import ShardedEngine, VocabularyAffinityRouter
+
+    cluster = (
+        ShardedEngine.builder()
+        .with_ckb(dataset.kb)
+        .with_n_shards(4)
+        .with_router(VocabularyAffinityRouter())
+        .with_triples(dataset.test_triples)
+        .build()
+    )
+    report = cluster.run_joint()
+    answer = cluster.resolve("university of maryland")
+"""
+
+from repro.cluster.engine import (
+    CLUSTER_SCHEMA_VERSION,
+    ClusterBuilder,
+    ShardedEngine,
+)
+from repro.cluster.results import (
+    ClusterReport,
+    ClusterStats,
+    IngestReport,
+    merge_shard_outputs,
+)
+from repro.cluster.router import (
+    HashShardRouter,
+    ShardRouter,
+    VocabularyAffinityRouter,
+    router_from_state,
+    stable_hash,
+)
+
+__all__ = [
+    "CLUSTER_SCHEMA_VERSION",
+    "ClusterBuilder",
+    "ClusterReport",
+    "ClusterStats",
+    "HashShardRouter",
+    "IngestReport",
+    "ShardRouter",
+    "ShardedEngine",
+    "VocabularyAffinityRouter",
+    "merge_shard_outputs",
+    "router_from_state",
+    "stable_hash",
+]

@@ -1,0 +1,273 @@
+"""Typed, schema-versioned results of the cluster surface.
+
+Mirrors :mod:`repro.api.results` one level up: everything a
+:class:`~repro.cluster.engine.ShardedEngine` returns is a frozen
+dataclass with a ``to_dict()`` / ``from_dict()`` pair sharing the same
+envelope discipline (``schema_version`` + ``type`` discriminator,
+:class:`~repro.api.errors.SchemaError` on malformed bodies):
+
+* :class:`IngestReport` — how one routed ingest batch spread over the
+  shards;
+* :class:`ClusterStats` — per-shard :class:`~repro.api.results.EngineStats`
+  plus cluster totals;
+* :class:`ClusterReport` — the per-shard
+  :class:`~repro.api.results.EngineReport` concatenation, with merged
+  cluster-wide canonicalization/linking views derived under a
+  documented, deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.results import (
+    CanonicalizationResult,
+    EngineReport,
+    EngineStats,
+    LinkingResult,
+    _envelope,
+    _parsing,
+    _require,
+    check_envelope,
+)
+from repro.clustering.clusters import Clustering
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """How one :meth:`repro.cluster.ShardedEngine.ingest` batch routed.
+
+    ``per_shard[i]`` is the number of triples the router placed on shard
+    ``i``; ``n_triples`` is their sum (every triple lands on exactly one
+    shard).  ``wall_time_s`` covers routing plus the shard-parallel
+    ingest fan-out; like
+    :attr:`repro.api.results.EngineReport.profile` it is excluded from
+    equality and from the default payload, because wall times are never
+    deterministic.
+
+    Example::
+
+        report = cluster.ingest(batch)
+        print(report.n_triples, report.per_shard)
+    """
+
+    TYPE = "ingest_report"
+
+    router: str
+    per_shard: tuple[int, ...]
+    wall_time_s: float = field(default=0.0, compare=False)
+
+    @property
+    def n_triples(self) -> int:
+        """Total triples ingested across every shard."""
+        return sum(self.per_shard)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards the batch was routed over."""
+        return len(self.per_shard)
+
+    def to_dict(self, include_wall_time: bool = False) -> dict:
+        """JSON-safe payload (wall time only on request — see above)."""
+        payload = _envelope(self.TYPE)
+        payload.update(
+            router=self.router,
+            per_shard=list(self.per_shard),
+            n_triples=self.n_triples,
+        )
+        if include_wall_time:
+            payload["wall_time_s"] = self.wall_time_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "IngestReport":
+        """Inverse of :meth:`to_dict` (envelope-validated)."""
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                router=str(_require(payload, "router", cls.TYPE)),
+                per_shard=tuple(
+                    int(count)
+                    for count in _require(payload, "per_shard", cls.TYPE)
+                ),
+                wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            )
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Size and provenance of a sharded cluster.
+
+    Example::
+
+        stats = cluster.stats()
+        print(stats.n_shards, stats.n_triples, stats.per_shard[0].n_triples)
+    """
+
+    TYPE = "cluster_stats"
+
+    router: str
+    per_shard: tuple[EngineStats, ...]
+    #: Cluster-level ingest batches absorbed (each may touch many shards).
+    n_ingests: int = 0
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the cluster."""
+        return len(self.per_shard)
+
+    @property
+    def n_triples(self) -> int:
+        """Total OKB triples across every shard."""
+        return sum(stats.n_triples for stats in self.per_shard)
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload nesting every shard's engine stats."""
+        payload = _envelope(self.TYPE)
+        payload.update(
+            router=self.router,
+            per_shard=[stats.to_dict() for stats in self.per_shard],
+            n_ingests=self.n_ingests,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "ClusterStats":
+        """Inverse of :meth:`to_dict` (envelope-validated)."""
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                router=str(_require(payload, "router", cls.TYPE)),
+                per_shard=tuple(
+                    EngineStats.from_dict(entry)
+                    for entry in _require(payload, "per_shard", cls.TYPE)
+                ),
+                n_ingests=int(payload.get("n_ingests", 0)),
+            )
+
+
+def merge_shard_outputs(
+    reports: tuple[EngineReport, ...],
+) -> tuple[CanonicalizationResult, LinkingResult]:
+    """Merge per-shard decodings into cluster-wide views.
+
+    The documented, deterministic total order: shards are visited in
+    ascending shard index.  Clusters concatenate; a surface form already
+    claimed by an earlier shard is dropped from later shards' groups
+    (and its later link entries are ignored), so the merged clustering
+    stays a partition and the merged link map has one entry per phrase —
+    *lowest shard index wins*.  On vocabulary-disjoint shards (the
+    regime the routers maintain) no conflict exists and the merge is a
+    plain union.  ``iterations`` is the slowest shard; ``converged``
+    only if every shard converged.
+    """
+    kinds = ("S", "P", "O")
+    claimed: dict[str, set[str]] = {kind: set() for kind in kinds}
+    groups: dict[str, list[frozenset[str]]] = {kind: [] for kind in kinds}
+    links: dict[str, dict[str, str | None]] = {kind: {} for kind in kinds}
+    iterations = 0
+    converged = True
+    for report in reports:
+        iterations = max(iterations, report.iterations)
+        converged = converged and report.converged
+        for kind in kinds:
+            seen = claimed[kind]
+            for group in report.canonicalization.clusters[kind].groups:
+                fresh = frozenset(member for member in group if member not in seen)
+                if fresh:
+                    groups[kind].append(fresh)
+                    seen |= fresh
+            for phrase, target in report.linking.links[kind].items():
+                links[kind].setdefault(phrase, target)
+    canonicalization = CanonicalizationResult(
+        clusters={kind: Clustering(groups[kind]) for kind in kinds},
+        iterations=iterations,
+        converged=converged,
+    )
+    linking = LinkingResult(
+        links=links, iterations=iterations, converged=converged
+    )
+    return canonicalization, linking
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """The full response of :meth:`repro.cluster.ShardedEngine.run_joint`.
+
+    Concatenates the per-shard :class:`~repro.api.results.EngineReport`
+    payloads (``shards``, in shard order) and exposes the cluster-wide
+    merged views (``canonicalization`` / ``linking``, derived by
+    :func:`merge_shard_outputs`) plus :class:`ClusterStats`.
+
+    Example::
+
+        report = cluster.run_joint()
+        print(report.canonicalization.np_clusters)   # cluster-wide groups
+        print(report.shards[0].stats.n_triples)      # per-shard drill-down
+    """
+
+    TYPE = "cluster_report"
+
+    shards: tuple[EngineReport, ...]
+    canonicalization: CanonicalizationResult
+    linking: LinkingResult
+    stats: ClusterStats
+
+    @property
+    def n_shards(self) -> int:
+        """Number of per-shard reports concatenated."""
+        return len(self.shards)
+
+    @property
+    def iterations(self) -> int:
+        """The slowest shard's LBP iteration count."""
+        return self.canonicalization.iterations
+
+    @property
+    def converged(self) -> bool:
+        """Whether every shard's LBP converged."""
+        return self.canonicalization.converged
+
+    @classmethod
+    def from_shards(
+        cls, shards: tuple[EngineReport, ...], stats: ClusterStats
+    ) -> "ClusterReport":
+        """Assemble the report from per-shard engine reports."""
+        canonicalization, linking = merge_shard_outputs(shards)
+        return cls(
+            shards=shards,
+            canonicalization=canonicalization,
+            linking=linking,
+            stats=stats,
+        )
+
+    def to_dict(self, include_profile: bool = False) -> dict:
+        """JSON-safe payload: the per-shard reports plus cluster stats.
+
+        The merged views are *derived* state and deliberately excluded —
+        :meth:`from_dict` recomputes them, so the wire payload cannot
+        drift from its own definition of the merge order.
+        """
+        payload = _envelope(self.TYPE)
+        payload["shards"] = [
+            report.to_dict(include_profile=include_profile)
+            for report in self.shards
+        ]
+        payload["stats"] = self.stats.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "ClusterReport":
+        """Inverse of :meth:`to_dict`; recomputes the merged views."""
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            shards = tuple(
+                EngineReport.from_dict(entry)
+                for entry in _require(payload, "shards", cls.TYPE)
+            )
+            return cls.from_shards(
+                shards,
+                stats=ClusterStats.from_dict(
+                    _require(payload, "stats", cls.TYPE)
+                ),
+            )

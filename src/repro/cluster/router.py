@@ -1,0 +1,242 @@
+"""Shard routing: which shard owns a triple, which shards see a mention.
+
+A :class:`ShardRouter` is the placement policy of a
+:class:`~repro.cluster.engine.ShardedEngine`.  It answers two questions:
+
+* :meth:`ShardRouter.route_triple` — which single shard an incoming OIE
+  triple is ingested into (the write path);
+* :meth:`ShardRouter.candidate_shards` — which shards could answer a
+  mention query and must be fanned out to (the read path).  The base
+  implementation is exact: it scans the per-shard vocabularies, so the
+  scatter in ``resolve`` touches only shards that actually mention the
+  phrase.
+
+Two policies ship:
+
+* :class:`HashShardRouter` — stable hash of the subject surface form.
+  Spreads load uniformly, needs no state, and keeps every mention of
+  one *subject* co-located; predicates and objects travel with their
+  subject, so their evidence may split across shards (fine for load
+  balancing, not for decision parity with a single engine).
+* :class:`VocabularyAffinityRouter` — sends a triple to the shard whose
+  existing NP/RP vocabulary scores it highest (mention-count-weighted
+  overlap), so extraction streams with a natural tenant/domain
+  structure keep each domain's evidence on one shard.  Ties — including
+  the all-new-vocabulary case — fall back to the hash route *among the
+  tied shards*, which is deterministic and keeps a cold cluster
+  balanced.
+
+Routing is deterministic and ``PYTHONHASHSEED``-independent (the hash
+is BLAKE2, not Python's salted ``hash``), so a cluster rebuilt from the
+same stream places every triple identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.okb.store import OpenKB, PhraseRole
+from repro.okb.triples import OIETriple
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (BLAKE2b).
+
+    Python's built-in ``hash`` is salted per process by
+    ``PYTHONHASHSEED``; routing must survive restarts byte-identically,
+    so the cluster uses this instead.
+
+    Example::
+
+        from repro.cluster import stable_hash
+
+        assert stable_hash("university of maryland") == stable_hash(
+            "university of maryland"
+        )
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter(ABC):
+    """The placement-policy contract of a sharded cluster.
+
+    Subclass and implement :meth:`route_triple` (and optionally override
+    :meth:`candidate_shards`) to plug a custom policy into
+    :meth:`repro.cluster.ShardedEngine.builder`.  Routers are stateless
+    with respect to the cluster — they receive per-shard OKB views on
+    every call (:class:`~repro.okb.store.OpenKB` instances, or
+    overlay views exposing the same ``np_frequency`` / ``rp_frequency``
+    / ``np_mentions`` / ``rp_mentions`` query surface during batch
+    routing) — so one instance can serve many clusters.
+
+    Example of a custom policy (route by an explicit tenant prefix)::
+
+        class TenantRouter(ShardRouter):
+            name = "tenant"
+
+            def route_triple(self, triple, shards):
+                tenant = triple.triple_id.split(":", 1)[0]
+                return stable_hash(tenant) % len(shards)
+    """
+
+    #: Stable identifier recorded in cluster manifests and reports; the
+    #: dispatch key of :func:`router_from_state`.
+    name = "abstract"
+
+    @abstractmethod
+    def route_triple(self, triple: OIETriple, shards: Sequence[OpenKB]) -> int:
+        """The shard index (``0 <= index < len(shards)``) that ingests
+        ``triple``.  Must be deterministic for a given (triple, shard
+        vocabularies) pair."""
+
+    def candidate_shards(
+        self,
+        mention: str,
+        kinds: Sequence[str],
+        shards: Sequence[OpenKB],
+    ) -> tuple[int, ...]:
+        """Shards that could resolve ``mention`` in the given slot kinds.
+
+        ``mention`` is already normalized; ``kinds`` is a subset of
+        ``("S", "P", "O")``.  The default is exact *per-slot* membership:
+        a shard is a candidate iff its OKB mentions the phrase in one of
+        the requested slots (a shard holding the phrase only as an
+        object is no candidate for a subject-restricted query), so the
+        scatter never queries a shard that would answer
+        :class:`~repro.api.errors.UnknownMentionError`.  Returns shard
+        indices in ascending order (part of the documented merge order
+        of :meth:`repro.cluster.ShardedEngine.resolve`).
+        """
+        wants = frozenset(kinds)
+        wanted_roles = set()
+        if "S" in wants:
+            wanted_roles.add(PhraseRole.SUBJECT)
+        if "O" in wants:
+            wanted_roles.add(PhraseRole.OBJECT)
+        found = []
+        for index, okb in enumerate(shards):
+            if wanted_roles and any(
+                role in wanted_roles for _id, role in okb.np_mentions(mention)
+            ):
+                found.append(index)
+            elif "P" in wants and okb.rp_frequency(mention) > 0:
+                found.append(index)
+        return tuple(found)
+
+    # ------------------------------------------------------------------
+    # Persistence (cluster manifests)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe router configuration for the cluster manifest.
+
+        The ``"type"`` discriminator is the router's :attr:`name`;
+        :func:`router_from_state` dispatches on it at load time.
+        """
+        return {"type": self.name}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ShardRouter":
+        """Reconstruct a router from :meth:`to_state` output."""
+        del payload
+        return cls()
+
+
+class HashShardRouter(ShardRouter):
+    """Route every triple by a stable hash of its subject surface form.
+
+    The default policy: uniform, stateless, deterministic.  All triples
+    sharing a subject land on one shard (their canonicalization evidence
+    stays whole); predicates and objects follow their subject.
+
+    Example::
+
+        from repro.cluster import HashShardRouter
+
+        router = HashShardRouter()
+        # same subject => same shard, whatever the shard vocabularies
+        shard = router.route_triple(triple, shards)
+    """
+
+    name = "hash"
+
+    def route_triple(self, triple: OIETriple, shards: Sequence[OpenKB]) -> int:
+        return stable_hash(triple.subject_norm) % len(shards)
+
+
+class VocabularyAffinityRouter(ShardRouter):
+    """Route a triple to the shard whose vocabulary already knows it best.
+
+    The affinity score of a shard is the number of existing mentions of
+    the triple's three surface forms in that shard's OKB
+    (``np_frequency(subject) + rp_frequency(predicate) +
+    np_frequency(object)``): the shard that has seen the most evidence
+    about these phrases attracts the new fact.  Domain-partitioned
+    extraction streams (per-source, per-tenant — the regime CESI and
+    COMBO describe) therefore keep each domain's factor-graph components
+    on one shard, which is what makes cluster decisions match a single
+    engine's.
+
+    Deterministic tie-break: among the highest-scoring shards (including
+    the cold-start case where every score is 0) the hash route picks
+    within the tied subset, so placement is reproducible *and* a cold
+    cluster still spreads uniformly.
+
+    Example::
+
+        from repro.cluster import VocabularyAffinityRouter
+
+        router = VocabularyAffinityRouter()
+        # a re-extraction of a known fact follows its vocabulary home
+        shard = router.route_triple(triple, shards)
+    """
+
+    name = "vocabulary_affinity"
+
+    def route_triple(self, triple: OIETriple, shards: Sequence[OpenKB]) -> int:
+        scores = [
+            okb.np_frequency(triple.subject_norm)
+            + okb.rp_frequency(triple.predicate_norm)
+            + okb.np_frequency(triple.object_norm)
+            for okb in shards
+        ]
+        best = max(scores)
+        tied = [index for index, score in enumerate(scores) if score == best]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[stable_hash(triple.subject_norm) % len(tied)]
+
+
+#: ``to_state()["type"]`` discriminator -> router class.
+_ROUTER_TYPES: dict[str, type[ShardRouter]] = {
+    HashShardRouter.name: HashShardRouter,
+    VocabularyAffinityRouter.name: VocabularyAffinityRouter,
+}
+
+
+def router_from_state(payload: dict) -> ShardRouter:
+    """Reconstruct a router from a cluster manifest payload.
+
+    Raises :class:`ValueError` for unknown types (a third-party router
+    whose class is not importable here); cluster load lets callers pass
+    an explicit ``router`` override in that case.
+
+    Example::
+
+        from repro.cluster import HashShardRouter, router_from_state
+
+        assert isinstance(
+            router_from_state({"type": "hash"}), HashShardRouter
+        )
+    """
+    router_type = payload.get("type")
+    router_cls = _ROUTER_TYPES.get(router_type)
+    if router_cls is None:
+        raise ValueError(
+            f"unknown shard router type {router_type!r}; expected one of "
+            f"{sorted(_ROUTER_TYPES)} (pass an explicit router to load a "
+            f"cluster saved with a custom router)"
+        )
+    return router_cls.from_state(payload)

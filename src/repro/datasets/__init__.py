@@ -16,6 +16,9 @@ statistically similar worlds from a seed:
 * :func:`generate_sharded_reverb45k` — several independent worlds with
   disjoint relation slices merged into one OKB: the naturally
   decomposable workload the :mod:`repro.runtime` benchmarks exercise.
+* :func:`shard_partition` — the sharded stream grouped back into its
+  per-world partitions: the natural seed placement for a
+  :class:`repro.cluster.ShardedEngine`.
 * :func:`generate_streaming_ingest` — the sharded stream split into a
   warm seed OKB plus arrival batches: the incremental-ingest serving
   workload behind ``benchmarks/test_incremental_ingest.py``.
@@ -30,7 +33,11 @@ from repro.datasets.generator import TripleNoiseConfig
 from repro.datasets.io import load_triples_jsonl, save_triples_jsonl
 from repro.datasets.nytimes2018 import NYTimes2018Config, generate_nytimes2018
 from repro.datasets.reverb45k import ReVerb45KConfig, generate_reverb45k
-from repro.datasets.sharded import ShardedOKBConfig, generate_sharded_reverb45k
+from repro.datasets.sharded import (
+    ShardedOKBConfig,
+    generate_sharded_reverb45k,
+    shard_partition,
+)
 from repro.datasets.streaming import (
     StreamingIngestConfig,
     StreamingIngestWorkload,
@@ -55,4 +62,5 @@ __all__ = [
     "generate_streaming_ingest",
     "load_triples_jsonl",
     "save_triples_jsonl",
+    "shard_partition",
 ]

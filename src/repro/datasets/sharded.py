@@ -121,6 +121,39 @@ def _namespaced_triple(shard: int, triple: OIETriple) -> OIETriple:
     )
 
 
+def shard_partition(triples) -> list[list[OIETriple]]:
+    """Group a sharded dataset's triples by the world shard that minted
+    them — the natural per-tenant seed placement for a
+    :class:`repro.cluster.ShardedEngine`.
+
+    The generator namespaces every triple id with its shard
+    (``s0:...``, ``s1:...``, see :func:`_namespaced_triple`); this
+    helper inverts that convention.  Shards come back in shard order,
+    each preserving stream order.
+
+    Example::
+
+        from repro.datasets import generate_sharded_reverb45k, shard_partition
+
+        dataset = generate_sharded_reverb45k()
+        per_shard = shard_partition(dataset.triples)
+        assert sum(len(shard) for shard in per_shard) == len(dataset.triples)
+    """
+    by_shard: dict[str, list[OIETriple]] = {}
+    for triple in triples:
+        prefix, _, _rest = triple.triple_id.partition(":")
+        by_shard.setdefault(prefix, []).append(triple)
+
+    def order(prefix: str):
+        return (
+            (0, int(prefix[1:]))
+            if prefix.startswith("s") and prefix[1:].isdigit()
+            else (1, 0)
+        )
+
+    return [by_shard[prefix] for prefix in sorted(by_shard, key=order)]
+
+
 def generate_sharded_reverb45k(config: ShardedOKBConfig | None = None) -> Dataset:
     """Generate a merged multi-shard dataset (see module docstring).
 

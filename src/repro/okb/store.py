@@ -105,7 +105,45 @@ class OpenKB:
         self._attributes: dict[str, set[tuple[str, str]]] = {}
         self._np_idf = IdfStatistics()
         self._rp_idf = IdfStatistics()
+        # When True (the default) this store owns its IDF tables and
+        # updates them on extend; adopt_shared_idf flips it so a cluster
+        # can maintain corpus-global tables across many stores.
+        self._owns_idf = True
         self.extend(triples)
+
+    def adopt_shared_idf(
+        self, np_idf: IdfStatistics, rp_idf: IdfStatistics
+    ) -> None:
+        """Adopt externally maintained corpus-global IDF tables.
+
+        A sharded deployment (:class:`repro.cluster.ShardedEngine`) holds
+        one OKB per shard, but the paper's ``f_idf`` signal is defined
+        over the *whole* extraction corpus — per-shard word frequencies
+        would re-weight token overlap and shift decisions away from the
+        equivalent single-store run.  After adoption this store reads
+        word weights from the shared tables and **stops updating them**:
+        the owner (the cluster) folds new vocabulary in exactly once,
+        cluster-wide, so a phrase arriving at two shards is still counted
+        once, exactly as a single merged store would count it.
+
+        Example — two shards sharing one corpus-wide table::
+
+            from repro.strings.idf import IdfStatistics
+
+            shared_np, shared_rp = IdfStatistics(), IdfStatistics()
+            seen_nps, seen_rps = set(), set()
+            for shard_okb in (okb_a, okb_b):
+                new_nps = set(shard_okb.noun_phrases) - seen_nps
+                new_rps = set(shard_okb.relation_phrases) - seen_rps
+                shared_np.update(new_nps)
+                shared_rp.update(new_rps)
+                seen_nps |= new_nps
+                seen_rps |= new_rps
+                shard_okb.adopt_shared_idf(shared_np, shared_rp)
+        """
+        self._np_idf = np_idf
+        self._rp_idf = rp_idf
+        self._owns_idf = False
 
     def extend(self, triples: Iterable[OIETriple]) -> IngestDelta:
         """Incrementally index additional triples.
@@ -153,8 +191,9 @@ class OpenKB:
             self._rp_mentions.setdefault(predicate, []).append(triple.triple_id)
             self._attributes.setdefault(subject, set()).add((predicate, obj))
             self._attributes.setdefault(obj, set()).add((predicate, subject))
-        self._np_idf.update(new_nps)
-        self._rp_idf.update(new_rps)
+        if self._owns_idf:
+            self._np_idf.update(new_nps)
+            self._rp_idf.update(new_rps)
         return IngestDelta(
             triples=tuple(batch),
             new_noun_phrases=tuple(new_nps),
@@ -174,6 +213,15 @@ class OpenKB:
     def triple(self, triple_id: str) -> OIETriple:
         """Look up one triple by id."""
         return self._by_id[triple_id]
+
+    def has_triple(self, triple_id: str) -> bool:
+        """Whether a triple with this id is already indexed.
+
+        The cluster-level duplicate check of
+        :meth:`repro.cluster.ShardedEngine.ingest` (ids must be unique
+        across *every* shard, not just the one a triple routes to).
+        """
+        return triple_id in self._by_id
 
     def __len__(self) -> int:
         return len(self._triples)

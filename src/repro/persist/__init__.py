@@ -30,6 +30,12 @@ Use through the engine::
 
 or through :class:`repro.serving.JOCLService`'s ``checkpoint()`` /
 ``rollback()`` session methods.
+
+Both backends also support **namespaces** (``store.namespace("shard-00")``
+— an isolated sub-store with its own snapshot sequence) and small named
+**documents** (``store.save_document("cluster", manifest)``), the
+substrate of cluster checkpoints: :meth:`repro.cluster.ShardedEngine.save`
+writes one namespaced snapshot per shard plus a manifest document.
 """
 
 from repro.persist.state import (

@@ -18,12 +18,19 @@ the last good snapshot:
   file last;
 * :class:`SQLiteStateStore` writes the snapshot and all sections in one
   transaction.
+
+Both also implement the optional **namespace** and **document**
+capabilities (:meth:`StateStore.namespace`,
+:meth:`StateStore.save_document`): isolated sub-stores with their own
+snapshot sequences plus small named JSON documents, the substrate of
+cluster checkpoints (:meth:`repro.cluster.ShardedEngine.save`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 import sqlite3
 import time
@@ -39,6 +46,14 @@ _CURRENT = "CURRENT"
 
 _SNAPSHOT_PREFIX = "snapshot-"
 
+#: Shape of valid namespace and document names: path-safe, never
+#: colliding with snapshot directories or the ``CURRENT`` pointer.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: On-disk suffix of :meth:`FileStateStore.save_document` files;
+#: reserved in :func:`_validate_name` so namespaces cannot collide.
+_DOCUMENT_SUFFIX = ".doc.json"
+
 
 def _snapshot_name(sequence: int) -> str:
     return f"{_SNAPSHOT_PREFIX}{sequence:06d}"
@@ -48,7 +63,64 @@ def _snapshot_sequence(name: str) -> int | None:
     if not name.startswith(_SNAPSHOT_PREFIX):
         return None
     suffix = name[len(_SNAPSHOT_PREFIX) :]
-    return int(suffix) if suffix.isdigit() else None
+    if not (suffix.isdigit() and suffix.isascii()):
+        return None
+    return int(suffix)
+
+
+def _validate_name(name: str, what: str) -> str:
+    """Validate a namespace / document name (path-safe, no collisions).
+
+    Rejects, besides unsafe characters: snapshot-directory names, the
+    ``CURRENT`` pointer, and anything ending in the reserved document
+    suffix — a *namespace* named ``x.doc.json`` would otherwise collide
+    on disk with *document* ``x`` and leak raw OS errors.
+    """
+    if (
+        not isinstance(name, str)
+        or not _NAME_PATTERN.fullmatch(name)
+        or name.startswith(_SNAPSHOT_PREFIX)
+        or name == _CURRENT
+        or name.endswith(_DOCUMENT_SUFFIX)
+        or ".." in name
+    ):
+        raise CheckpointError(
+            f"invalid {what} name {name!r}: expected a path-safe "
+            f"identifier ([A-Za-z0-9._-], not starting with "
+            f"{_SNAPSHOT_PREFIX!r}, not named {_CURRENT!r}, not ending "
+            f"in {_DOCUMENT_SUFFIX!r})"
+        )
+    return name
+
+
+def _validate_snapshot_id(snapshot: object, where: object) -> str:
+    """Reject malformed snapshot ids with a :class:`SchemaError`.
+
+    Snapshot ids are opaque strings minted by ``save_state``
+    (``snapshot-000001``-shaped); *unknown but well-formed* ids raise
+    the not-found :class:`CheckpointError` downstream, while
+    structurally invalid ids — wrong type, embedded NUL, path
+    separators — are schema violations and must not leak the backend's
+    raw ``ValueError`` / ``TypeError`` / driver error.  ``where`` is the
+    store path, carried into the message.
+    """
+    if not isinstance(snapshot, str):
+        raise SchemaError(
+            f"malformed snapshot id for state store {where}: expected a "
+            f"string, got {type(snapshot).__name__}"
+        )
+    if (
+        "\x00" in snapshot
+        or "/" in snapshot
+        or "\\" in snapshot
+        or snapshot in (".", "..")
+    ):
+        raise SchemaError(
+            f"malformed snapshot id {snapshot!r} for state store {where}: "
+            f"snapshot ids never contain path separators, NUL bytes or "
+            f"dot-directories"
+        )
+    return snapshot
 
 
 class StateStore(ABC):
@@ -89,6 +161,82 @@ class StateStore(ABC):
         rename and the ``CURRENT`` swap) leaves a newer snapshot on disk
         that is *not* the current one.
         """
+
+    # ------------------------------------------------------------------
+    # Namespaces and documents (the multi-engine substrate)
+    # ------------------------------------------------------------------
+    def namespace(self, name: str) -> "StateStore":
+        """A sub-store scoped under ``name``, with its own snapshot
+        sequence, current pointer and documents.
+
+        The substrate of cluster checkpoints
+        (:meth:`repro.cluster.ShardedEngine.save`): each shard saves
+        into its own namespace of one shared store.  Names must be
+        path-safe identifiers (``[A-Za-z0-9._-]``).  Both shipped
+        backends implement this; the default raises
+        :class:`CheckpointError` so minimal third-party stores keep
+        working for single-engine checkpoints.
+
+        Example::
+
+            shard_store = store.namespace("shard-00")
+            snapshot = engine.save(shard_store)
+        """
+        raise CheckpointError(
+            f"{type(self).__name__} does not support namespaces"
+        )
+
+    def save_document(self, name: str, payload: dict) -> None:
+        """Atomically write a small named JSON document (last write wins).
+
+        Documents live beside the snapshot sequence — the home of
+        cluster manifests and similar coordination metadata that is not
+        an :class:`EngineState`.  Like :meth:`namespace`, optional for
+        third-party stores (the default raises :class:`CheckpointError`).
+
+        Example::
+
+            store.save_document("cluster", {"n_shards": 4})
+        """
+        raise CheckpointError(
+            f"{type(self).__name__} does not support documents"
+        )
+
+    def load_document(self, name: str) -> dict:
+        """Read a document written by :meth:`save_document`.
+
+        Raises :class:`CheckpointError` when the document does not
+        exist, :class:`~repro.api.errors.SchemaError` when its payload
+        is not valid JSON.
+
+        Example::
+
+            manifest = store.load_document("cluster")
+        """
+        raise CheckpointError(
+            f"{type(self).__name__} does not support documents"
+        )
+
+    def drop_snapshot(self, snapshot: str) -> None:
+        """Delete one retained snapshot (garbage collection).
+
+        The explicit sibling of the ``history`` cap, for callers that
+        know which snapshots are unreachable — e.g.
+        :meth:`repro.cluster.ShardedEngine.save` dropping shard
+        snapshots no cluster manifest references anymore, *after* the
+        new manifest committed.  Refuses to drop the store's *current*
+        snapshot (:class:`CheckpointError`); dropping an unknown id is
+        a no-op.  Optional for third-party stores (the default raises
+        :class:`CheckpointError`).
+
+        Example::
+
+            for old in store.snapshots()[:-1]:
+                store.drop_snapshot(old)
+        """
+        raise CheckpointError(
+            f"{type(self).__name__} does not support dropping snapshots"
+        )
 
 
 def _prune(store: "StateStore", history: int | None, drop) -> None:
@@ -133,6 +281,54 @@ class FileStateStore(StateStore):
     def root(self) -> Path:
         """The store directory."""
         return self._root
+
+    # ------------------------------------------------------------------
+    # Namespaces and documents
+    # ------------------------------------------------------------------
+    def namespace(self, name: str) -> "FileStateStore":
+        """A sub-store in the subdirectory ``root/<name>``.
+
+        Namespaces do *not* inherit the root store's ``history`` cap:
+        a namespace owner (the cluster) decides retention explicitly —
+        an inherited cap could prune a snapshot the cluster manifest
+        still references before the next manifest commits.
+
+        Example::
+
+            sub = FileStateStore("checkpoints").namespace("shard-00")
+            assert sub.root.name == "shard-00"
+        """
+        return FileStateStore(self._root / _validate_name(name, "namespace"))
+
+    def drop_snapshot(self, snapshot: str) -> None:
+        """Delete one snapshot directory (refusing the current one)."""
+        snapshot = _validate_snapshot_id(snapshot, self._root)
+        if snapshot == self.current():
+            raise CheckpointError(
+                f"refusing to drop the current snapshot {snapshot!r} of "
+                f"state store {self._root}"
+            )
+        shutil.rmtree(self._root / snapshot, ignore_errors=True)
+
+    def _document_path(self, name: str) -> Path:
+        return self._root / (
+            _validate_name(name, "document") + _DOCUMENT_SUFFIX
+        )
+
+    def save_document(self, name: str, payload: dict) -> None:
+        """Write ``root/<name>.doc.json`` via temp file + atomic rename."""
+        path = self._document_path(name)
+        staging = self._root / f".tmp-{path.name}-{os.getpid()}"
+        self._write_json(staging, payload)
+        os.replace(staging, path)
+
+    def load_document(self, name: str) -> dict:
+        path = self._document_path(name)
+        if not path.exists():
+            raise CheckpointError(
+                f"state store {self._root} holds no document {name!r}"
+            )
+        return self._read_json(path)
 
     # ------------------------------------------------------------------
     def snapshots(self) -> list[str]:
@@ -199,6 +395,8 @@ class FileStateStore(StateStore):
                 raise CheckpointError(
                     f"state store {self._root} holds no checkpoint yet"
                 )
+        else:
+            snapshot = _validate_snapshot_id(snapshot, self._root)
         directory = self._root / snapshot
         if not directory.is_dir():
             raise CheckpointError(
@@ -229,20 +427,39 @@ class FileStateStore(StateStore):
 class SQLiteStateStore(StateStore):
     """Snapshots as rows in one SQLite database (one transaction per save).
 
+    Example::
+
+        store = SQLiteStateStore("checkpoints.db", history=5)
+        snapshot = engine.save(store)
+        restored = JOCLEngine.load(store, snapshot)
+
     Parameters
     ----------
     path:
         Database file; created (with parent directories) if absent.
     history:
         Keep at most this many snapshots; ``None`` retains everything.
+    namespace:
+        Sub-store scope (normally reached via :meth:`namespace`, not
+        directly).  ``""`` — the default — is the root store, stored in
+        the original ``snapshots``/``sections`` tables so databases
+        written by earlier builds keep loading; namespaced snapshots
+        live in the ``ns_snapshots``/``ns_sections`` tables, keyed by
+        namespace, each namespace with its own sequence.
     """
 
-    def __init__(self, path: str | Path, history: int | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        history: int | None = None,
+        namespace: str = "",
+    ) -> None:
         if history is not None and history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._history = history
+        self._namespace = namespace
         with closing(self._connect()) as connection, connection:
             connection.executescript(
                 """
@@ -259,6 +476,30 @@ class SQLiteStateStore(StateStore):
                     payload  TEXT NOT NULL,
                     PRIMARY KEY (sequence, name)
                 );
+                CREATE TABLE IF NOT EXISTS ns_snapshots (
+                    namespace  TEXT NOT NULL,
+                    sequence   INTEGER NOT NULL,
+                    name       TEXT NOT NULL,
+                    created_at REAL NOT NULL,
+                    manifest   TEXT NOT NULL,
+                    PRIMARY KEY (namespace, sequence),
+                    UNIQUE (namespace, name)
+                );
+                CREATE TABLE IF NOT EXISTS ns_sections (
+                    namespace TEXT NOT NULL,
+                    sequence  INTEGER NOT NULL,
+                    name      TEXT NOT NULL,
+                    payload   TEXT NOT NULL,
+                    PRIMARY KEY (namespace, sequence, name),
+                    FOREIGN KEY (namespace, sequence)
+                        REFERENCES ns_snapshots(namespace, sequence)
+                        ON DELETE CASCADE
+                );
+                CREATE TABLE IF NOT EXISTS documents (
+                    name       TEXT PRIMARY KEY,
+                    payload    TEXT NOT NULL,
+                    updated_at REAL NOT NULL
+                );
                 """
             )
 
@@ -274,77 +515,221 @@ class SQLiteStateStore(StateStore):
         connection.execute("PRAGMA foreign_keys = ON")
         return connection
 
+    def _where(self) -> str:
+        """Store path plus namespace, for error messages."""
+        if self._namespace:
+            return f"{self._path} (namespace {self._namespace!r})"
+        return str(self._path)
+
+    # ------------------------------------------------------------------
+    # Namespaces and documents
+    # ------------------------------------------------------------------
+    def namespace(self, name: str) -> "SQLiteStateStore":
+        """A sub-store inside the *same* database file.
+
+        Like :meth:`FileStateStore.namespace`, deliberately does not
+        inherit the root store's ``history`` cap.
+
+        Example::
+
+            sub = SQLiteStateStore("checkpoints.db").namespace("shard-00")
+            assert sub.path == Path("checkpoints.db")
+        """
+        _validate_name(name, "namespace")
+        scoped = f"{self._namespace}/{name}" if self._namespace else name
+        return SQLiteStateStore(self._path, namespace=scoped)
+
+    def drop_snapshot(self, snapshot: str) -> None:
+        """Delete one snapshot row (refusing the current one)."""
+        snapshot = _validate_snapshot_id(snapshot, self._where())
+        if snapshot == self.current():
+            raise CheckpointError(
+                f"refusing to drop the current snapshot {snapshot!r} of "
+                f"state store {self._where()}"
+            )
+        self._drop(snapshot)
+
+    def _document_key(self, name: str) -> str:
+        _validate_name(name, "document")
+        return f"{self._namespace}/{name}" if self._namespace else name
+
+    def save_document(self, name: str, payload: dict) -> None:
+        """Upsert one row of the ``documents`` table (transactional)."""
+        key = self._document_key(name)
+        with closing(self._connect()) as connection, connection:
+            connection.execute(
+                "INSERT INTO documents (name, payload, updated_at) "
+                "VALUES (?, ?, ?) ON CONFLICT(name) DO UPDATE SET "
+                "payload = excluded.payload, updated_at = excluded.updated_at",
+                (key, json.dumps(payload, sort_keys=True), time.time()),
+            )
+
+    def load_document(self, name: str) -> dict:
+        key = self._document_key(name)
+        with closing(self._connect()) as connection, connection:
+            row = connection.execute(
+                "SELECT payload FROM documents WHERE name = ?", (key,)
+            ).fetchone()
+        if row is None:
+            raise CheckpointError(
+                f"state store {self._where()} holds no document {name!r}"
+            )
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as error:
+            raise SchemaError(
+                f"document {name!r} in {self._where()} is not valid JSON: "
+                f"{error}"
+            ) from error
+
     # ------------------------------------------------------------------
     def snapshots(self) -> list[str]:
         with closing(self._connect()) as connection, connection:
-            rows = connection.execute(
-                "SELECT name FROM snapshots ORDER BY sequence"
-            ).fetchall()
+            if self._namespace:
+                rows = connection.execute(
+                    "SELECT name FROM ns_snapshots WHERE namespace = ? "
+                    "ORDER BY sequence",
+                    (self._namespace,),
+                ).fetchall()
+            else:
+                rows = connection.execute(
+                    "SELECT name FROM snapshots ORDER BY sequence"
+                ).fetchall()
         return [row[0] for row in rows]
 
     def save_state(self, state: EngineState) -> str:
         manifest, sections = state.to_sections()
+        raw_manifest = json.dumps(manifest, sort_keys=True)
+        raw_sections = [
+            (section_name, json.dumps(payload, sort_keys=True))
+            for section_name, payload in sections.items()
+        ]
         with closing(self._connect()) as connection, connection:
-            row = connection.execute(
-                "SELECT COALESCE(MAX(sequence), 0) + 1 FROM snapshots"
-            ).fetchone()
-            sequence = int(row[0])
-            name = _snapshot_name(sequence)
-            connection.execute(
-                "INSERT INTO snapshots (sequence, name, created_at, manifest) "
-                "VALUES (?, ?, ?, ?)",
-                (sequence, name, time.time(), json.dumps(manifest, sort_keys=True)),
-            )
-            connection.executemany(
-                "INSERT INTO sections (sequence, name, payload) VALUES (?, ?, ?)",
-                [
-                    (sequence, section_name, json.dumps(payload, sort_keys=True))
-                    for section_name, payload in sections.items()
-                ],
-            )
+            if self._namespace:
+                row = connection.execute(
+                    "SELECT COALESCE(MAX(sequence), 0) + 1 FROM ns_snapshots "
+                    "WHERE namespace = ?",
+                    (self._namespace,),
+                ).fetchone()
+                sequence = int(row[0])
+                name = _snapshot_name(sequence)
+                connection.execute(
+                    "INSERT INTO ns_snapshots "
+                    "(namespace, sequence, name, created_at, manifest) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (self._namespace, sequence, name, time.time(), raw_manifest),
+                )
+                connection.executemany(
+                    "INSERT INTO ns_sections "
+                    "(namespace, sequence, name, payload) VALUES (?, ?, ?, ?)",
+                    [
+                        (self._namespace, sequence, section_name, payload)
+                        for section_name, payload in raw_sections
+                    ],
+                )
+            else:
+                row = connection.execute(
+                    "SELECT COALESCE(MAX(sequence), 0) + 1 FROM snapshots"
+                ).fetchone()
+                sequence = int(row[0])
+                name = _snapshot_name(sequence)
+                connection.execute(
+                    "INSERT INTO snapshots "
+                    "(sequence, name, created_at, manifest) VALUES (?, ?, ?, ?)",
+                    (sequence, name, time.time(), raw_manifest),
+                )
+                connection.executemany(
+                    "INSERT INTO sections (sequence, name, payload) "
+                    "VALUES (?, ?, ?)",
+                    [
+                        (sequence, section_name, payload)
+                        for section_name, payload in raw_sections
+                    ],
+                )
         _prune(self, self._history, self._drop)
         return name
 
     def _drop(self, name: str) -> None:
         with closing(self._connect()) as connection, connection:
-            connection.execute("DELETE FROM snapshots WHERE name = ?", (name,))
+            if self._namespace:
+                connection.execute(
+                    "DELETE FROM ns_snapshots WHERE namespace = ? AND name = ?",
+                    (self._namespace, name),
+                )
+            else:
+                connection.execute(
+                    "DELETE FROM snapshots WHERE name = ?", (name,)
+                )
 
     def current(self) -> str | None:
         with closing(self._connect()) as connection, connection:
-            row = connection.execute(
-                "SELECT name FROM snapshots ORDER BY sequence DESC LIMIT 1"
-            ).fetchone()
+            if self._namespace:
+                row = connection.execute(
+                    "SELECT name FROM ns_snapshots WHERE namespace = ? "
+                    "ORDER BY sequence DESC LIMIT 1",
+                    (self._namespace,),
+                ).fetchone()
+            else:
+                row = connection.execute(
+                    "SELECT name FROM snapshots ORDER BY sequence DESC LIMIT 1"
+                ).fetchone()
         return row[0] if row is not None else None
 
     # ------------------------------------------------------------------
-    def load_state(self, snapshot: str | None = None) -> EngineState:
-        with closing(self._connect()) as connection, connection:
+    def _snapshot_row(self, connection, snapshot: str | None):
+        """(sequence, manifest) of the requested (or newest) snapshot."""
+        if self._namespace:
             if snapshot is None:
-                row = connection.execute(
-                    "SELECT sequence, manifest FROM snapshots "
-                    "ORDER BY sequence DESC LIMIT 1"
+                return connection.execute(
+                    "SELECT sequence, manifest FROM ns_snapshots "
+                    "WHERE namespace = ? ORDER BY sequence DESC LIMIT 1",
+                    (self._namespace,),
                 ).fetchone()
-                if row is None:
+            return connection.execute(
+                "SELECT sequence, manifest FROM ns_snapshots "
+                "WHERE namespace = ? AND name = ?",
+                (self._namespace, snapshot),
+            ).fetchone()
+        if snapshot is None:
+            return connection.execute(
+                "SELECT sequence, manifest FROM snapshots "
+                "ORDER BY sequence DESC LIMIT 1"
+            ).fetchone()
+        return connection.execute(
+            "SELECT sequence, manifest FROM snapshots WHERE name = ?",
+            (snapshot,),
+        ).fetchone()
+
+    def _section_rows(self, connection, sequence: int):
+        if self._namespace:
+            return connection.execute(
+                "SELECT name, payload FROM ns_sections "
+                "WHERE namespace = ? AND sequence = ?",
+                (self._namespace, sequence),
+            )
+        return connection.execute(
+            "SELECT name, payload FROM sections WHERE sequence = ?",
+            (sequence,),
+        )
+
+    def load_state(self, snapshot: str | None = None) -> EngineState:
+        if snapshot is not None:
+            snapshot = _validate_snapshot_id(snapshot, self._where())
+        with closing(self._connect()) as connection, connection:
+            row = self._snapshot_row(connection, snapshot)
+            if row is None:
+                if snapshot is None:
                     raise CheckpointError(
-                        f"state store {self._path} holds no checkpoint yet"
+                        f"state store {self._where()} holds no checkpoint yet"
                     )
-            else:
-                row = connection.execute(
-                    "SELECT sequence, manifest FROM snapshots WHERE name = ?",
-                    (snapshot,),
-                ).fetchone()
-                if row is None:
-                    raise CheckpointError(
-                        f"state store {self._path} has no snapshot "
-                        f"{snapshot!r}; available: {self.snapshots()}"
-                    )
+                raise CheckpointError(
+                    f"state store {self._where()} has no snapshot "
+                    f"{snapshot!r}; available: {self.snapshots()}"
+                )
             sequence, raw_manifest = int(row[0]), row[1]
             payloads = {
                 name: payload
-                for name, payload in connection.execute(
-                    "SELECT name, payload FROM sections WHERE sequence = ?",
-                    (sequence,),
-                )
+                for name, payload in self._section_rows(connection, sequence)
             }
         try:
             manifest = json.loads(raw_manifest)

@@ -45,6 +45,7 @@ from repro.runtime.base import (
 from repro.runtime.incremental import IncrementalRuntime
 from repro.runtime.parallel import ParallelRuntime
 from repro.runtime.partitioned import PartitionedRuntime
+from repro.runtime.pool import scatter
 from repro.runtime.serial import SerialRuntime
 
 #: ``to_state()["type"]`` discriminator -> runtime class, for
@@ -88,4 +89,5 @@ __all__ = [
     "SerialRuntime",
     "run_component",
     "runtime_from_state",
+    "scatter",
 ]

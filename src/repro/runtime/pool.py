@@ -1,0 +1,54 @@
+"""Shared fan-out helper over ``concurrent.futures`` thread pools.
+
+:class:`~repro.runtime.parallel.ParallelRuntime` fans factor-graph
+components out over an executor; :class:`repro.cluster.ShardedEngine`
+fans *whole shards* out (per-shard ingest, per-shard joint inference).
+Both want the same discipline — results in submission order whatever
+the completion order was, no pool overhead for degenerate workloads —
+so it lives here once.
+
+Thread pools only: the payloads (engines, factor graphs) are shared
+in-process state that would be pointless to pickle.  CPU-bound stages
+still overlap because the numeric kernels release the GIL; see the
+``backend="process"`` escape hatch on ``ParallelRuntime`` for the
+fully CPU-bound single-graph case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def scatter(
+    tasks: Sequence[Callable[[], T]], max_workers: int | None = None
+) -> list[T]:
+    """Run zero-argument callables concurrently; results in task order.
+
+    The degenerate cases never start a pool: an empty task list returns
+    ``[]``, a single task (or ``max_workers=1``) runs inline in the
+    calling thread.  The first task exception propagates to the caller
+    (remaining tasks may still run to completion on the pool).
+
+    Example::
+
+        from repro.runtime.pool import scatter
+
+        squares = scatter([lambda i=i: i * i for i in range(4)])
+        assert squares == [0, 1, 4, 9]
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    pool_size = len(tasks) if max_workers is None else min(max_workers, len(tasks))
+    if pool_size <= 1 or len(tasks) == 1:
+        return [task() for task in tasks]
+    with ThreadPoolExecutor(max_workers=pool_size) as executor:
+        # executor.map preserves input order, whatever the completion
+        # order was — the same merge discipline ParallelRuntime uses.
+        return list(executor.map(lambda task: task(), tasks))

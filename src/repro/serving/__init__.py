@@ -22,8 +22,15 @@ durability story.  :class:`JOCLService` is that session layer:
 Answers are byte-identical to a single-threaded loop over
 ``engine.resolve`` — pinned by the serving-equivalence smoke test in
 CI.
+
+:class:`JOCLClusterService` lifts the same session discipline over a
+:class:`repro.cluster.ShardedEngine`: one :class:`JOCLService` per
+shard, so locks and micro-batch queues are *per shard* — readers on
+shard A never block writers on shard B, and the only cross-shard
+exclusion is the consistent cut of :meth:`JOCLClusterService.save`.
 """
 
+from repro.serving.cluster_service import JOCLClusterService
 from repro.serving.service import JOCLService, ServingStats
 
-__all__ = ["JOCLService", "ServingStats"]
+__all__ = ["JOCLClusterService", "JOCLService", "ServingStats"]

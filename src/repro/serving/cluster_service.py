@@ -1,0 +1,237 @@
+"""The :class:`JOCLClusterService`: concurrent sessions over a cluster.
+
+One :class:`~repro.serving.service.JOCLService` per shard, one façade.
+Each shard keeps its *own* reader/writer lock and micro-batching queue,
+so the session discipline is per-shard: a reader resolving against
+shard A never waits for an ingest writing shard B, and concurrent
+``resolve`` bursts coalesce into shared decode batches *per shard*.
+There is no cluster-global lock on the request path at all — the only
+cross-shard exclusion is :meth:`JOCLClusterService.save`, which takes
+every shard's writer lock (in shard order, so concurrent savers cannot
+deadlock) to cut a consistent cluster-wide checkpoint.
+
+Routing happens outside the locks: the router reads shard vocabularies
+(mutated only under a shard's writer lock; point-in-time reads are safe
+in-process) to pick candidate shards, then each candidate sub-batch is
+served through its own session.  Merge order and failure semantics are
+the engine's (:meth:`repro.cluster.ShardedEngine.resolve_many`) — the
+service changes scheduling and locking, never answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from contextlib import ExitStack, contextmanager
+from typing import TYPE_CHECKING
+
+from repro.api.results import ResolveResult
+from repro.cluster.engine import ShardedEngine
+from repro.cluster.results import ClusterReport, ClusterStats, IngestReport
+from repro.okb.triples import OIETriple
+from repro.serving.service import JOCLService, ServingStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.persist.store import StateStore
+
+
+class _SessionShard:
+    """One shard as seen through its session: every delegated call runs
+    under that shard's reader/writer lock, and every engine reference
+    goes through ``service.engine`` so the view stays correct across a
+    per-shard ``rollback`` swap.  ``okb`` reads are point-in-time (see
+    the module docstring)."""
+
+    __slots__ = ("_service",)
+
+    def __init__(self, service: JOCLService) -> None:
+        self._service = service
+
+    @property
+    def okb(self):
+        return self._service.engine.okb
+
+    def ingest(self, batch):
+        return self._service.ingest(batch)
+
+    def ingest_exclusive(self, batch):
+        # Called from inside the cluster's exclusive_all section: the
+        # caller already holds this shard's writer lock, so go straight
+        # to the engine (service.ingest would re-take it and deadlock).
+        return self._service.engine.ingest(batch)
+
+    def note_vocabulary_drift(self, new_nps, new_rps):
+        # Called from inside the cluster's exclusive_all section: the
+        # caller already holds this shard's writer lock, so go straight
+        # to the engine (taking exclusive() again would deadlock).
+        self._service.engine.note_vocabulary_drift(new_nps, new_rps)
+
+    def run_joint(self):
+        return self._service.run_joint()
+
+    def resolve_many(self, mentions, kind):
+        return self._service.resolve_many(mentions, kind)
+
+    def stats(self):
+        return self._service.stats()
+
+
+class JOCLClusterService:
+    """A concurrent serving session over a :class:`ShardedEngine`.
+
+    Parameters
+    ----------
+    cluster:
+        The sharded engine to serve.  The service owns it (and its
+        shard engines): touch them directly only when no requests are
+        in flight.
+    store:
+        Default :class:`~repro.persist.StateStore` for :meth:`save`.
+    max_batch_size:
+        Per-shard micro-batching cap (see :class:`JOCLService`).
+
+    Example::
+
+        service = JOCLClusterService(cluster, store=store)
+        answer = service.resolve("university of maryland")
+        service.ingest(arrival_batch)       # writers lock only their shards
+        manifest = service.save()           # consistent cluster-wide cut
+    """
+
+    def __init__(
+        self,
+        cluster: ShardedEngine,
+        store: "StateStore | None" = None,
+        max_batch_size: int = 64,
+    ) -> None:
+        self._cluster = cluster
+        self._store = store
+        self._services = [
+            JOCLService(engine, max_batch_size=max_batch_size)
+            for engine in cluster.shards
+        ]
+        self._shard_views = [
+            _SessionShard(service) for service in self._services
+        ]
+
+    @property
+    def cluster(self) -> ShardedEngine:
+        """The sharded engine being served."""
+        return self._cluster
+
+    @property
+    def shard_services(self) -> tuple[JOCLService, ...]:
+        """The per-shard session layers, in shard order.
+
+        For telemetry and per-shard reads.  Do **not** use a shard's
+        own ``checkpoint()``/``rollback()`` here: a unilateral engine
+        swap cannot re-wire the cluster's corpus-global IDF adoption or
+        vocabulary bookkeeping — checkpoint the whole cluster through
+        :meth:`save` / :meth:`repro.cluster.ShardedEngine.load`
+        instead.  (They are disabled by construction: the per-shard
+        services are created without a state store.)
+        """
+        return tuple(self._services)
+
+    # ------------------------------------------------------------------
+    # Reads (per-shard read locks, per-shard micro-batching)
+    # ------------------------------------------------------------------
+    def resolve(self, mention: str, kind: str | None = None) -> ResolveResult:
+        """Thread-safe scatter/gather resolve.
+
+        Delegates to :meth:`resolve_many` with a single-mention batch —
+        one routing pass, candidate shards served through their
+        micro-batched sessions, the engine's documented merge order —
+        so the single- and batched-mention paths cannot diverge.
+
+        Example::
+
+            answer = service.resolve("umd", kind="entity")
+        """
+        return self.resolve_many([mention], kind)[0]
+
+    def resolve_many(
+        self, mentions: Iterable[str], kind: str | None = None
+    ) -> list[ResolveResult]:
+        """Thread-safe batched scatter/gather resolve.
+
+        Delegates to :meth:`repro.cluster.ShardedEngine.resolve_many_with`
+        (one sub-batch per shard, no partial results, the engine's merge
+        order and fan-out cap), with each sub-batch served under its
+        shard's read lock.
+        """
+        return self._cluster.resolve_many_with(
+            self._shard_views, mentions, kind
+        )
+
+    def run_joint(self) -> ClusterReport:
+        """Thread-safe cluster-wide joint inference.
+
+        Delegates to :meth:`repro.cluster.ShardedEngine.run_joint_with`
+        — the engine's empty-shard handling and fan-out cap — with every
+        non-empty shard's report produced under that shard's read lock.
+        """
+        return self._cluster.run_joint_with(
+            self._shard_views, stats=self.stats()
+        )
+
+    def stats(self) -> ClusterStats:
+        """Cluster stats from consistent per-shard snapshots."""
+        return ClusterStats(
+            router=self._cluster.router.name,
+            per_shard=tuple(service.stats() for service in self._services),
+            n_ingests=self._cluster.n_ingests,
+        )
+
+    def serving_stats(self) -> list[ServingStats]:
+        """Per-shard micro-batching telemetry, in shard order."""
+        return [service.serving_stats() for service in self._services]
+
+    # ------------------------------------------------------------------
+    # Writes (per-shard write locks — shard A readers never wait on B)
+    # ------------------------------------------------------------------
+    def ingest(self, triples: Iterable[OIETriple]) -> IngestReport:
+        """Route a batch and ingest shard-parallel, locking per shard.
+
+        A batch that re-mentions known vocabulary (the Zipf-dominant
+        case) ingests under only the receiving shards' writer locks —
+        readers on untouched shards proceed concurrently throughout.  A
+        batch bringing *new* vocabulary briefly excludes every shard:
+        the corpus-global IDF fold, the drift broadcast and the
+        per-shard ingests must appear atomically, since the shared
+        tables are read lock-free by every decode and a reader must
+        never see post-batch word weights against a pre-batch OKB.
+        """
+        return self._cluster.ingest_with(
+            self._shard_views, triples, exclusive_all=self._exclusive_all
+        )
+
+    @contextmanager
+    def _exclusive_all(self):
+        """Writer locks on every shard, in shard order (deadlock-free)."""
+        with ExitStack() as stack:
+            for service in self._services:
+                stack.enter_context(service.exclusive())
+            yield
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def save(self, store: "StateStore | None" = None) -> dict:
+        """Checkpoint the whole cluster at a consistent cut.
+
+        Takes every shard's writer lock in shard order (total order =
+        no deadlock), then runs
+        :meth:`repro.cluster.ShardedEngine.save`; in-flight readers
+        drain first, new requests wait until the cut is taken.  Returns
+        the cluster manifest.
+        """
+        store = store or self._store
+        if store is None:
+            from repro.api.errors import CheckpointError
+
+            raise CheckpointError(
+                "this service has no state store; pass one to the "
+                "constructor or to save() directly"
+            )
+        with self._exclusive_all():
+            return self._cluster.save(store)

@@ -143,6 +143,14 @@ class JOCLService:
     Every answer is byte-identical to what a single-threaded loop over
     :meth:`repro.api.JOCLEngine.resolve` would return — batching and
     concurrency change scheduling, never results.
+
+    Example::
+
+        service = JOCLService(engine, store=store)
+        service.resolve("university of maryland")   # thread-safe
+        service.ingest(arrival_batch)               # excludes readers
+        snapshot = service.checkpoint()
+        service.rollback(snapshot)                  # zero-downtime swap
     """
 
     def __init__(
@@ -173,6 +181,24 @@ class JOCLService:
     def engine(self) -> JOCLEngine:
         """The engine currently serving (swapped by :meth:`rollback`)."""
         return self._engine
+
+    @contextmanager
+    def exclusive(self):
+        """Hold the session's writer lock around a custom critical section.
+
+        Yields the served engine with every reader and writer excluded —
+        the escape hatch for multi-step operations that must observe (or
+        mutate) a quiescent engine, e.g. a cluster-wide checkpoint
+        taking a consistent cut across many shard services
+        (:meth:`repro.serving.JOCLClusterService.save`).
+
+        Example::
+
+            with service.exclusive() as engine:
+                snapshot = engine.save(store)
+        """
+        with self._rw.write():
+            yield self._engine
 
     # ------------------------------------------------------------------
     # Reads

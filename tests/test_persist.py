@@ -205,6 +205,121 @@ class TestStores:
         second = warm_engine.save(store)
         assert store.current() == second
 
+    @pytest.mark.parametrize(
+        "bad",
+        [123, ["snapshot-000001"], b"snapshot-000001", object()],
+        ids=["int", "list", "bytes", "object"],
+    )
+    def test_malformed_snapshot_type_raises_schema_error(
+        self, backend, tmp_path, bad
+    ):
+        """Regression: non-string snapshot ids used to leak the raw
+        backend exception (``TypeError`` from pathlib,
+        ``sqlite3.ProgrammingError`` from parameter binding).  They are
+        schema violations and must surface as :class:`SchemaError`
+        naming the store."""
+        store = make_store(backend, tmp_path)
+        with pytest.raises(SchemaError, match="malformed snapshot id"):
+            store.load_state(bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["snap\x00shot", "../escape", "a/b", "a\\b", "..", "."],
+        ids=["nul", "dotdot-slash", "slash", "backslash", "dotdot", "dot"],
+    )
+    def test_malformed_snapshot_string_raises_schema_error(
+        self, backend, tmp_path, bad
+    ):
+        """NUL bytes and path separators are never part of a snapshot id
+        — and on the file backend a separator would escape the store
+        directory entirely."""
+        store = make_store(backend, tmp_path)
+        with pytest.raises(SchemaError) as excinfo:
+            store.load_state(bad)
+        # The message names the store so operators can find the culprit.
+        assert "ckpt" in str(excinfo.value)
+
+    def test_unknown_but_well_formed_id_still_not_found(
+        self, backend, tmp_path, warm_engine
+    ):
+        """The bugfix must not reclassify ordinary not-found lookups."""
+        store = make_store(backend, tmp_path)
+        warm_engine.save(store)
+        with pytest.raises(CheckpointError, match="no snapshot"):
+            store.load_state("snapshot-424242")
+
+
+@pytest.mark.parametrize("backend", ["file", "sqlite"])
+class TestNamespacesAndDocuments:
+    def test_namespaces_isolate_snapshot_sequences(
+        self, backend, tmp_path, warm_engine
+    ):
+        store = make_store(backend, tmp_path)
+        shard_a = store.namespace("shard-00")
+        shard_b = store.namespace("shard-01")
+        name_a = warm_engine.save(shard_a)
+        assert name_a == "snapshot-000001"
+        assert warm_engine.save(shard_a) == "snapshot-000002"
+        # An independent sequence, not a continuation of shard-00's.
+        assert warm_engine.save(shard_b) == "snapshot-000001"
+        assert store.snapshots() == []          # the root is untouched
+        assert shard_a.snapshots() == ["snapshot-000001", "snapshot-000002"]
+        assert shard_b.snapshots() == ["snapshot-000001"]
+        restored = JOCLEngine.load(shard_b)
+        assert decisions(restored.run_joint()) == decisions(
+            warm_engine.run_joint()
+        )
+
+    def test_nested_namespaces(self, backend, tmp_path, warm_engine):
+        store = make_store(backend, tmp_path)
+        nested = store.namespace("cluster-a").namespace("shard-00")
+        warm_engine.save(nested)
+        assert nested.snapshots() == ["snapshot-000001"]
+        assert store.namespace("cluster-a").snapshots() == []
+
+    def test_invalid_namespace_name_rejected(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        for bad in ("", "snapshot-000001", "CURRENT", "../up", "a/b", ".x"):
+            with pytest.raises(CheckpointError, match="invalid namespace"):
+                store.namespace(bad)
+
+    def test_documents_round_trip_and_overwrite(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.save_document("cluster", {"n_shards": 2})
+        assert store.load_document("cluster") == {"n_shards": 2}
+        store.save_document("cluster", {"n_shards": 4})
+        assert store.load_document("cluster") == {"n_shards": 4}
+
+    def test_documents_scoped_per_namespace(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.save_document("cluster", {"scope": "root"})
+        sub = store.namespace("shard-00")
+        sub.save_document("cluster", {"scope": "shard"})
+        assert store.load_document("cluster") == {"scope": "root"}
+        assert sub.load_document("cluster") == {"scope": "shard"}
+
+    def test_missing_document_raises(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(CheckpointError, match="no document"):
+            store.load_document("cluster")
+
+    def test_invalid_document_name_rejected(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(CheckpointError, match="invalid document"):
+            store.save_document("../evil", {})
+
+    def test_namespace_cannot_collide_with_document_files(
+        self, backend, tmp_path
+    ):
+        """Regression: a namespace named ``x.doc.json`` used to collide
+        on disk with document ``x`` (FileStateStore), leaking raw
+        IsADirectoryError/FileExistsError from the OS."""
+        store = make_store(backend, tmp_path)
+        with pytest.raises(CheckpointError, match="invalid namespace"):
+            store.namespace("x.doc.json")
+        store.save_document("x", {"fine": True})
+        assert store.load_document("x") == {"fine": True}
+
 
 class TestFileStoreLayout:
     def test_atomic_layout_and_current_pointer(self, tmp_path, warm_engine):

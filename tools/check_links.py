@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's Markdown files.
+
+Checks every ``[text](target)`` link in ``README.md`` and ``docs/*.md``
+(plus any other tracked ``*.md`` at the repo root):
+
+* relative file targets must exist (directories count for layout
+  links);
+* ``file.md#anchor`` targets must name a heading that GitHub's slugger
+  would produce in that file;
+* external links (``http(s)://``, ``mailto:``) are skipped — CI must
+  not depend on the network.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link).  Run it locally with::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for the hand-written docs here
+#: (no nested brackets, no reference-style links).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation out, spaces to dashes."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(1)))
+    return anchors
+
+
+def _markdown_files() -> list[Path]:
+    return sorted(REPO.glob("*.md")) + sorted(REPO.glob("docs/*.md"))
+
+
+def check() -> list[str]:
+    problems = []
+    for path in _markdown_files():
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL):
+                    continue
+                where = f"{path.relative_to(REPO)}:{number}"
+                base, _, anchor = target.partition("#")
+                if base:
+                    resolved = (path.parent / base).resolve()
+                    if not resolved.exists():
+                        problems.append(
+                            f"{where}: broken link target {target!r}"
+                        )
+                        continue
+                else:
+                    resolved = path
+                if anchor and resolved.suffix == ".md":
+                    if _slugify(anchor) not in _anchors(resolved):
+                        problems.append(
+                            f"{where}: broken anchor {target!r} "
+                            f"(no such heading in "
+                            f"{resolved.relative_to(REPO)})"
+                        )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(_markdown_files())
+    if problems:
+        print(
+            f"{len(problems)} broken link(s) across {checked} Markdown "
+            f"file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all intra-repo links resolve across {checked} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
