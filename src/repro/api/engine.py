@@ -41,7 +41,7 @@ Engines are assembled through the fluent builder::
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -57,6 +57,9 @@ from repro.api.errors import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (persist is downstream)
+    from repro.core.config import FeatureVariant
+    from repro.core.signals.base import SignalRegistry
+    from repro.factorgraph.learner import LearningHistory
     from repro.persist.store import StateStore
 from repro.api.results import (
     CanonicalizationResult,
@@ -140,29 +143,32 @@ class EngineBuilder:
     # ------------------------------------------------------------------
     # Core resources
     # ------------------------------------------------------------------
-    def with_ckb(self, kb: CuratedKB) -> "EngineBuilder":
+    def with_ckb(self, kb: CuratedKB) -> EngineBuilder:
         """The curated KB the engine links against (required)."""
         self._kb = kb
         return self
 
-    def with_config(self, config: JOCLConfig) -> "EngineBuilder":
+    def with_config(self, config: JOCLConfig) -> EngineBuilder:
         """Hyper-parameters; defaults to the paper's constants."""
         self._config = config
         return self
 
-    def with_triples(self, triples: Iterable[OIETriple]) -> "EngineBuilder":
+    def with_triples(self, triples: Iterable[OIETriple]) -> EngineBuilder:
         """Seed OIE triples (may be called repeatedly; batches append)."""
         self._triples.extend(triples)
         return self
 
-    def with_signals(self, registry_factory) -> "EngineBuilder":
+    def with_signals(
+        self,
+        registry_factory: Callable[[SideInformation, FeatureVariant], SignalRegistry],
+    ) -> EngineBuilder:
         """A ``(side, variant) -> SignalRegistry`` feature-set override."""
         self._registry_factory = registry_factory
         return self
 
     def with_trained_weights(
         self, weights: Mapping[str, Sequence[float] | np.ndarray]
-    ) -> "EngineBuilder":
+    ) -> EngineBuilder:
         """Install previously learned template weights.
 
         Accepts the JSON-safe mapping :meth:`JOCLEngine.export_weights`
@@ -171,7 +177,7 @@ class EngineBuilder:
         self._weights = weights
         return self
 
-    def with_runtime(self, runtime: InferenceRuntime) -> "EngineBuilder":
+    def with_runtime(self, runtime: InferenceRuntime) -> EngineBuilder:
         """Select how inference executes (see :mod:`repro.runtime`).
 
         Defaults to :class:`~repro.runtime.SerialRuntime` (whole-graph
@@ -198,32 +204,32 @@ class EngineBuilder:
     # ------------------------------------------------------------------
     # Optional side-information resources
     # ------------------------------------------------------------------
-    def with_anchors(self, anchors: AnchorStatistics) -> "EngineBuilder":
+    def with_anchors(self, anchors: AnchorStatistics) -> EngineBuilder:
         """Anchor statistics for the candidate popularity prior."""
         self._anchors = anchors
         return self
 
-    def with_ppdb(self, ppdb: ParaphraseDB) -> "EngineBuilder":
+    def with_ppdb(self, ppdb: ParaphraseDB) -> EngineBuilder:
         """Paraphrase database consumed by the PPDB signals."""
         self._ppdb = ppdb
         return self
 
-    def with_embedding(self, embedding: WordEmbedding) -> "EngineBuilder":
+    def with_embedding(self, embedding: WordEmbedding) -> EngineBuilder:
         """Word embedding backing the ``f_emb`` signals."""
         self._embedding = embedding
         return self
 
-    def with_amie(self, amie: AmieMiner) -> "EngineBuilder":
+    def with_amie(self, amie: AmieMiner) -> EngineBuilder:
         """A pre-mined AMIE rule set (kept verbatim across ingests)."""
         self._amie = amie
         return self
 
-    def with_kbp(self, kbp: RelationCategorizer) -> "EngineBuilder":
+    def with_kbp(self, kbp: RelationCategorizer) -> EngineBuilder:
         """A pre-built KBP categorizer (kept verbatim across ingests)."""
         self._kbp = kbp
         return self
 
-    def with_side_information(self, side: SideInformation) -> "EngineBuilder":
+    def with_side_information(self, side: SideInformation) -> EngineBuilder:
         """Adopt a fully assembled side-information bundle.
 
         Mutually exclusive with the per-resource ``with_*`` methods and
@@ -234,7 +240,7 @@ class EngineBuilder:
         self._side = side
         return self
 
-    def with_model(self, model: JOCL) -> "EngineBuilder":
+    def with_model(self, model: JOCL) -> EngineBuilder:
         """Adopt an existing core model (back-compat / advanced use).
 
         The engine will train and infer through *this* instance, so
@@ -246,7 +252,7 @@ class EngineBuilder:
         return self
 
     # ------------------------------------------------------------------
-    def build(self) -> "JOCLEngine":
+    def build(self) -> JOCLEngine:
         """Validate the configuration and assemble the engine."""
         if self._side is not None:
             conflicts = [
@@ -731,8 +737,8 @@ class JOCLEngine:
     # ------------------------------------------------------------------
     def _resolve_one(
         self,
-        output,
-        generator,
+        output: JOCLOutput,
+        generator: CandidateGenerator,
         mention: str,
         kind: str | None,
     ) -> ResolveResult:
@@ -806,7 +812,7 @@ class JOCLEngine:
         self,
         gold: GoldAnnotations | Iterable[OIETriple],
         side: SideInformation | None = None,
-    ):
+    ) -> LearningHistory:
         """Learn template weights from gold annotations.
 
         ``gold`` is either phrase-level :class:`GoldAnnotations` or an
@@ -835,7 +841,7 @@ class JOCLEngine:
     # ------------------------------------------------------------------
     # Durability (repro.persist)
     # ------------------------------------------------------------------
-    def save(self, store: "StateStore") -> str:
+    def save(self, store: StateStore) -> str:
         """Checkpoint the engine's full state into ``store``.
 
         The snapshot covers the OKB, every side-information resource
@@ -895,12 +901,12 @@ class JOCLEngine:
     @classmethod
     def load(
         cls,
-        store: "StateStore",
+        store: StateStore,
         snapshot: str | None = None,
         *,
         runtime: InferenceRuntime | None = None,
         embedding: WordEmbedding | None = None,
-    ) -> "JOCLEngine":
+    ) -> JOCLEngine:
         """Restore an engine from a checkpoint in ``store``.
 
         The restored engine is decision-identical to the one that called

@@ -26,9 +26,10 @@ half-parsed object.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.api.errors import SchemaError, SchemaVersionError
 from repro.clustering.clusters import Clustering
@@ -71,7 +72,7 @@ def _clustering_to_lists(clusters: Clustering) -> list[list[str]]:
     return sorted(sorted(group) for group in clusters.groups)
 
 
-def _require(payload: Mapping, key: str, type_name: str):
+def _require(payload: Mapping, key: str, type_name: str) -> Any:
     try:
         return payload[key]
     except KeyError:
@@ -79,7 +80,7 @@ def _require(payload: Mapping, key: str, type_name: str):
 
 
 @contextmanager
-def _parsing(type_name: str):
+def _parsing(type_name: str) -> Iterator[None]:
     """Context manager translating body-parse failures into SchemaError.
 
     ``from_dict`` promises to raise :class:`SchemaError` rather than a
@@ -135,7 +136,7 @@ class CanonicalizationResult:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "CanonicalizationResult":
+    def from_dict(cls, payload: object) -> CanonicalizationResult:
         payload = check_envelope(payload, cls.TYPE)
         raw = _require(payload, "clusters", cls.TYPE)
         with _parsing(cls.TYPE):
@@ -184,7 +185,7 @@ class LinkingResult:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "LinkingResult":
+    def from_dict(cls, payload: object) -> LinkingResult:
         payload = check_envelope(payload, cls.TYPE)
         raw = _require(payload, "links", cls.TYPE)
         with _parsing(cls.TYPE):
@@ -222,7 +223,7 @@ class EngineStats:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "EngineStats":
+    def from_dict(cls, payload: object) -> EngineStats:
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
             return cls(
@@ -297,7 +298,7 @@ class ExecutionProfile:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "ExecutionProfile":
+    def from_dict(cls, payload: object) -> ExecutionProfile:
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
             return cls(
@@ -373,7 +374,7 @@ class EngineReport:
         output: JOCLOutput,
         stats: EngineStats | None = None,
         profile: ExecutionProfile | None = None,
-    ) -> "EngineReport":
+    ) -> EngineReport:
         """Wrap a core :class:`JOCLOutput` into the API response shape."""
         return cls(
             canonicalization=CanonicalizationResult(
@@ -400,7 +401,7 @@ class EngineReport:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "EngineReport":
+    def from_dict(cls, payload: object) -> EngineReport:
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
             raw_profile = payload.get("profile")
@@ -452,7 +453,7 @@ class ResolveResult:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "ResolveResult":
+    def from_dict(cls, payload: object) -> ResolveResult:
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
             return cls(

@@ -165,7 +165,10 @@ class FalconBaseline(LinkingBaseline):
             return None
         best = max(
             candidates,
-            key=lambda c: (ngram_jaccard(normalized, _relation_form(side, c.relation_id)), c.relation_id),
+            key=lambda c: (
+                ngram_jaccard(normalized, _relation_form(side, c.relation_id)),
+                c.relation_id,
+            ),
         )
         return best.relation_id
 

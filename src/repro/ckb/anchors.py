@@ -65,7 +65,7 @@ class AnchorStatistics:
         """All surface forms with at least one recorded anchor."""
         return frozenset(self._surface_counts)
 
-    def merge(self, other: "AnchorStatistics") -> None:
+    def merge(self, other: AnchorStatistics) -> None:
         """Add all counts of ``other`` into this table."""
         for (form, entity_id), count in other._pair_counts.items():
             self._pair_counts[(form, entity_id)] += count
@@ -74,7 +74,7 @@ class AnchorStatistics:
     @classmethod
     def from_records(
         cls, records: Iterable[tuple[str, str, int]]
-    ) -> "AnchorStatistics":
+    ) -> AnchorStatistics:
         """Build from ``(surface form, entity id, count)`` rows."""
         stats = cls()
         for surface_form, entity_id, count in records:
@@ -94,7 +94,7 @@ class AnchorStatistics:
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "AnchorStatistics":
+    def from_state(cls, payload: dict) -> AnchorStatistics:
         """Inverse of :meth:`to_state` (forms are already normalized)."""
         return cls.from_records(
             (row[0], row[1], row[2]) for row in payload["anchors"]

@@ -116,8 +116,8 @@ class CandidateGenerator:
         self._relation_forms: dict[str, set[str]] = {}
         self._relation_ngram_index: dict[str, set[tuple[str, str]]] = {}
         for relation_id, relation in kb.relations.items():
-            forms = set(relation.all_surface_forms())
-            forms.update(morph_normalize(form) for form in set(forms))
+            base_forms = set(relation.all_surface_forms())
+            forms = base_forms | {morph_normalize(form) for form in base_forms}
             self._relation_forms[relation_id] = forms
             for form in forms:
                 for gram in ngram_set(form, 3):
@@ -170,7 +170,7 @@ class CandidateGenerator:
     @classmethod
     def from_state(
         cls, kb: CuratedKB, anchors: AnchorStatistics, payload: dict
-    ) -> "CandidateGenerator":
+    ) -> CandidateGenerator:
         """Inverse of :meth:`to_state`; CKB and anchors come from the
         caller (they are checkpoint sections of their own)."""
         generator = cls(
@@ -217,11 +217,11 @@ class CandidateGenerator:
         for entity_id in self._kb.entities_with_alias(phrase):
             scores[entity_id] = max(scores.get(entity_id, 0.0), 1.0)
 
-        for entity_id, count in self._anchors.entities_for(phrase):
+        # popularity already folds the co-occurrence count in
+        for entity_id, _count in self._anchors.entities_for(phrase):
             popularity = self._anchors.popularity(phrase, entity_id)
             score = 0.5 + 0.5 * popularity  # anchor hits rank above fuzzy
             scores[entity_id] = max(scores.get(entity_id, 0.0), score)
-            del count  # popularity already folds the count in
 
         for alias in self._fuzzy_alias_matches(phrase):
             similarity = idf_token_overlap(phrase, alias, self._alias_idf)
@@ -342,8 +342,3 @@ class CandidateGenerator:
             RelationCandidate(relation_id=relation_id, score=score)
             for relation_id, score in ranked[: self._max_candidates]
         ]
-
-    @property
-    def max_candidates(self) -> int:
-        """Domain-size cap for linking variables."""
-        return self._max_candidates

@@ -214,7 +214,7 @@ class CuratedKB:
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "CuratedKB":
+    def from_state(cls, payload: dict) -> CuratedKB:
         """Inverse of :meth:`to_state` (indexes rebuilt in the constructor)."""
         return cls(
             entities={

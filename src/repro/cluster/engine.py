@@ -139,32 +139,32 @@ class ClusterBuilder:
         self._weights: Mapping | None = None
         self._max_workers: int | None = None
 
-    def with_ckb(self, kb: CuratedKB) -> "ClusterBuilder":
+    def with_ckb(self, kb: CuratedKB) -> ClusterBuilder:
         """The curated KB every shard links against (required, shared)."""
         self._kb = kb
         return self
 
-    def with_config(self, config: JOCLConfig) -> "ClusterBuilder":
+    def with_config(self, config: JOCLConfig) -> ClusterBuilder:
         """Hyper-parameters, applied to every shard engine."""
         self._config = config
         return self
 
-    def with_anchors(self, anchors: AnchorStatistics) -> "ClusterBuilder":
+    def with_anchors(self, anchors: AnchorStatistics) -> ClusterBuilder:
         """Anchor statistics, shared by every shard."""
         self._anchors = anchors
         return self
 
-    def with_ppdb(self, ppdb: ParaphraseDB) -> "ClusterBuilder":
+    def with_ppdb(self, ppdb: ParaphraseDB) -> ClusterBuilder:
         """Paraphrase database, shared by every shard."""
         self._ppdb = ppdb
         return self
 
-    def with_embedding(self, embedding: WordEmbedding) -> "ClusterBuilder":
+    def with_embedding(self, embedding: WordEmbedding) -> ClusterBuilder:
         """Word embedding, shared by every shard."""
         self._embedding = embedding
         return self
 
-    def with_router(self, router: ShardRouter) -> "ClusterBuilder":
+    def with_router(self, router: ShardRouter) -> ClusterBuilder:
         """The placement policy (default: :class:`HashShardRouter`)."""
         if not isinstance(router, ShardRouter):
             raise EngineBuildError(
@@ -174,14 +174,14 @@ class ClusterBuilder:
         self._router = router
         return self
 
-    def with_n_shards(self, n_shards: int) -> "ClusterBuilder":
+    def with_n_shards(self, n_shards: int) -> ClusterBuilder:
         """How many shards the cluster owns (>= 1)."""
         if n_shards < 1:
             raise EngineBuildError(f"n_shards must be >= 1, got {n_shards}")
         self._n_shards = n_shards
         return self
 
-    def with_triples(self, triples: Iterable[OIETriple]) -> "ClusterBuilder":
+    def with_triples(self, triples: Iterable[OIETriple]) -> ClusterBuilder:
         """Seed triples as one stream; the router places each one.
 
         May be called repeatedly; batches append.  Mutually exclusive
@@ -192,7 +192,7 @@ class ClusterBuilder:
 
     def with_shard_triples(
         self, shard_triples: Sequence[Iterable[OIETriple]]
-    ) -> "ClusterBuilder":
+    ) -> ClusterBuilder:
         """Seed triples with explicit placement: one iterable per shard.
 
         Fixes ``n_shards`` to ``len(shard_triples)`` unless
@@ -204,7 +204,7 @@ class ClusterBuilder:
 
     def with_runtime_factory(
         self, runtime_factory: Callable[[], InferenceRuntime]
-    ) -> "ClusterBuilder":
+    ) -> ClusterBuilder:
         """How each shard builds its runtime (a class or zero-arg callable).
 
         A *factory*, not an instance: stateful runtimes
@@ -216,12 +216,12 @@ class ClusterBuilder:
         self._runtime_factory = runtime_factory
         return self
 
-    def with_trained_weights(self, weights: Mapping) -> "ClusterBuilder":
+    def with_trained_weights(self, weights: Mapping) -> ClusterBuilder:
         """Install learned template weights on every shard engine."""
         self._weights = weights
         return self
 
-    def with_max_workers(self, max_workers: int) -> "ClusterBuilder":
+    def with_max_workers(self, max_workers: int) -> ClusterBuilder:
         """Cap the shard fan-out pool (default: one worker per shard)."""
         if max_workers < 1:
             raise EngineBuildError(
@@ -231,7 +231,7 @@ class ClusterBuilder:
         return self
 
     # ------------------------------------------------------------------
-    def build(self) -> "ShardedEngine":
+    def build(self) -> ShardedEngine:
         """Validate the configuration and assemble the cluster."""
         if self._kb is None:
             raise EngineBuildError(
@@ -552,7 +552,8 @@ class ShardedEngine:
         wrap each ingest in that shard's writer lock (plus an
         ``ingest_exclusive(batch)`` hook bypassing the lock for the
         already-excluded vocabulary-drift path), so cluster-level
-        routing and IDF bookkeeping stay here in one place.  ``exclusive_all``, when given, is a zero-arg context
+        routing and IDF bookkeeping stay here in one place.
+        ``exclusive_all``, when given, is a zero-arg context
         manager factory excluding *every* shard's readers and writers;
         the shared-IDF fold and the drift broadcast run inside it, so
         no concurrent decode can observe the corpus-global tables
@@ -659,7 +660,7 @@ class ShardedEngine:
         which is the same thing for them.
         """
         tasks = []
-        for shard, shard_batch in zip(shards, per_shard):
+        for shard, shard_batch in zip(shards, per_shard, strict=True):
             if not shard_batch:
                 continue
             ingest = (
@@ -796,7 +797,7 @@ class ShardedEngine:
         kinds = _resolve_kinds(kind) if kind is not None else ("S", "P", "O")
         okbs = [shard.okb for shard in shards]
         candidate_lists: list[tuple[int, ...]] = []
-        for raw, phrase in zip(mentions, requests):
+        for raw, phrase in zip(mentions, requests, strict=True):
             candidates = self._router.candidate_shards(phrase, kinds, okbs)
             if not candidates:
                 raise UnknownMentionError(raw, kind)
@@ -821,8 +822,8 @@ class ShardedEngine:
             max_workers=self._max_workers,
         )
         by_position: dict[int, list[tuple[int, ResolveResult]]] = {}
-        for shard_index, answers in zip(shard_indices, answer_sets):
-            for position, answer in zip(per_shard[shard_index], answers):
+        for shard_index, answers in zip(shard_indices, answer_sets, strict=True):
+            for position, answer in zip(per_shard[shard_index], answers, strict=True):
                 by_position.setdefault(position, []).append(
                     (shard_index, answer)
                 )
@@ -838,7 +839,7 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Durability (repro.persist)
     # ------------------------------------------------------------------
-    def save(self, store: "StateStore") -> dict:
+    def save(self, store: StateStore) -> dict:
         """Checkpoint the whole cluster into ``store``.
 
         Each shard engine saves a full
@@ -891,13 +892,13 @@ class ShardedEngine:
     @classmethod
     def load(
         cls,
-        store: "StateStore",
+        store: StateStore,
         *,
         router: ShardRouter | None = None,
         runtime_factory: Callable[[], InferenceRuntime] | None = None,
         embedding: WordEmbedding | None = None,
         max_workers: int | None = None,
-    ) -> "ShardedEngine":
+    ) -> ShardedEngine:
         """Restore a cluster from the manifest committed by :meth:`save`.
 
         Every shard engine restores decision-identical and *warm* (see

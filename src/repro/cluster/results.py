@@ -80,7 +80,7 @@ class IngestReport:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "IngestReport":
+    def from_dict(cls, payload: object) -> IngestReport:
         """Inverse of :meth:`to_dict` (envelope-validated)."""
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
@@ -132,7 +132,7 @@ class ClusterStats:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "ClusterStats":
+    def from_dict(cls, payload: object) -> ClusterStats:
         """Inverse of :meth:`to_dict` (envelope-validated)."""
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):
@@ -231,7 +231,7 @@ class ClusterReport:
     @classmethod
     def from_shards(
         cls, shards: tuple[EngineReport, ...], stats: ClusterStats
-    ) -> "ClusterReport":
+    ) -> ClusterReport:
         """Assemble the report from per-shard engine reports."""
         canonicalization, linking = merge_shard_outputs(shards)
         return cls(
@@ -257,7 +257,7 @@ class ClusterReport:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: object) -> "ClusterReport":
+    def from_dict(cls, payload: object) -> ClusterReport:
         """Inverse of :meth:`to_dict`; recomputes the merged views."""
         payload = check_envelope(payload, cls.TYPE)
         with _parsing(cls.TYPE):

@@ -138,7 +138,7 @@ class ShardRouter(ABC):
         return {"type": self.name}
 
     @classmethod
-    def from_state(cls, payload: dict) -> "ShardRouter":
+    def from_state(cls, payload: dict) -> ShardRouter:
         """Reconstruct a router from :meth:`to_state` output."""
         del payload
         return cls()

@@ -43,7 +43,7 @@ class Clustering:
     @classmethod
     def from_pairs(
         cls, items: Iterable[T], merged_pairs: Iterable[tuple[T, T]]
-    ) -> "Clustering":
+    ) -> Clustering:
         """Build a clustering as connected components of merge decisions.
 
         ``items`` fixes the universe (unmerged items become singletons);
@@ -55,7 +55,7 @@ class Clustering:
         return cls(finder.groups())
 
     @classmethod
-    def from_assignment(cls, assignment: dict[T, Hashable]) -> "Clustering":
+    def from_assignment(cls, assignment: dict[T, Hashable]) -> Clustering:
         """Build a clustering from an item -> label mapping."""
         by_label: dict[Hashable, set[T]] = {}
         for item, label in assignment.items():
@@ -82,7 +82,7 @@ class Clustering:
         index_b = self._cluster_of.get(second)
         return index_a is not None and index_a == index_b
 
-    def restricted_to(self, items: Iterable[T]) -> "Clustering":
+    def restricted_to(self, items: Iterable[T]) -> Clustering:
         """Project the clustering onto a subset of items.
 
         Used when gold labels exist only for a sample (the NYTimes2018

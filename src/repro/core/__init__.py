@@ -15,8 +15,8 @@ Public API:
   and the JOCL_cano / JOCL_link ablations (Tables 4 and 5).
 """
 
-from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
 from repro.core.builder import GraphBuilder, GraphIndex
+from repro.core.config import FactorToggles, FeatureVariant, JOCLConfig
 from repro.core.inference import JOCLOutput, decode
 from repro.core.learning import build_evidence
 from repro.core.model import JOCL

@@ -185,7 +185,7 @@ class BuildCache:
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "BuildCache":
+    def from_state(cls, payload: dict) -> BuildCache:
         """Inverse of :meth:`to_state`."""
         cache = cls()
         for key, table in payload["tables"]:

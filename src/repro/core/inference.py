@@ -47,7 +47,7 @@ class JOCLOutput:
     links: dict[str, dict[str, str | None]] = field(default_factory=dict)
     iterations: int = 0
     converged: bool = False
-    profile: "ExecutionProfile | None" = field(default=None, compare=False)
+    profile: ExecutionProfile | None = field(default=None, compare=False)
 
     # Convenience accessors matching the paper's task names ------------
     @property
@@ -80,7 +80,7 @@ def decode(
     result: LBPResult,
     index: GraphIndex,
     config: JOCLConfig,
-    profile: "ExecutionProfile | None" = None,
+    profile: ExecutionProfile | None = None,
 ) -> JOCLOutput:
     """Marginal-max decoding plus conflict resolution for all kinds."""
     output = JOCLOutput(

@@ -34,7 +34,7 @@ class GoldAnnotations:
     relation: dict[str, str] = field(default_factory=dict)
 
     @classmethod
-    def from_triples(cls, triples: Iterable[OIETriple]) -> "GoldAnnotations":
+    def from_triples(cls, triples: Iterable[OIETriple]) -> GoldAnnotations:
         """Collect gold labels from annotated triples.
 
         Conflicting annotations for one string keep the first seen (the

@@ -13,8 +13,6 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.okb.triples import OIETriple
-
 from repro.ckb.anchors import AnchorStatistics
 from repro.ckb.candidates import CandidateGenerator
 from repro.ckb.kb import CuratedKB
@@ -22,6 +20,7 @@ from repro.embeddings.base import WordEmbedding
 from repro.embeddings.hashed import HashedCharNgramEmbedding
 from repro.kbp.categorizer import RelationCategorizer
 from repro.okb.store import OpenKB
+from repro.okb.triples import OIETriple
 from repro.paraphrase.ppdb import ParaphraseDB
 from repro.rules.amie import AmieConfig, AmieMiner
 
@@ -51,7 +50,7 @@ class SideInformation:
         amie: AmieMiner | None = None,
         kbp: RelationCategorizer | None = None,
         max_candidates: int = 8,
-    ) -> "SideInformation":
+    ) -> SideInformation:
         """Assemble side information, defaulting any missing resource.
 
         Defaults: empty anchor table, hashed char-n-gram embeddings,
@@ -165,7 +164,7 @@ class SideInformation:
         payload: dict,
         okb: OpenKB,
         embedding: WordEmbedding | None = None,
-    ) -> "SideInformation":
+    ) -> SideInformation:
         """Inverse of :meth:`to_state`.
 
         ``okb`` is the restored triple store the bundle wraps.

@@ -40,7 +40,7 @@ class EvaluationGold:
     object_links: dict[str, str]
 
     @classmethod
-    def from_triples(cls, triples: list[OIETriple]) -> "EvaluationGold":
+    def from_triples(cls, triples: list[OIETriple]) -> EvaluationGold:
         """Derive gold clusters and links from annotated triples.
 
         A surface string annotated with different targets across
@@ -73,7 +73,7 @@ class EvaluationGold:
         n_np_groups: int,
         n_link_phrases: int,
         seed: int,
-    ) -> "EvaluationGold":
+    ) -> EvaluationGold:
         """The paper's manual-labeling protocol for unannotated corpora.
 
         Keeps ``n_np_groups`` randomly chosen *non-singleton* NP gold
@@ -128,7 +128,7 @@ class Dataset:
         triples: list[OIETriple],
         validation_fraction: float = 0.2,
         split_seed: int = 13,
-    ) -> "Dataset":
+    ) -> Dataset:
         """Split by gold subject entity and derive test gold."""
         validation, test = split_by_entity(triples, validation_fraction, split_seed)
         dataset = cls(
@@ -194,7 +194,7 @@ class Dataset:
         config=None,
         embedding: WordEmbedding | str | None = None,
         registry_factory=None,
-    ) -> "repro.api.engine.JOCLEngine":  # noqa: F821 - forward reference
+    ) -> repro.api.engine.JOCLEngine:  # noqa: F821 - forward reference
         """A :class:`repro.api.JOCLEngine` seeded with one split.
 
         The side-info construction hook for the engine API: the returned

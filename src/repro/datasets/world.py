@@ -156,7 +156,7 @@ class World:
     # Generation
     # ------------------------------------------------------------------
     @classmethod
-    def generate(cls, config: WorldConfig | None = None) -> "World":
+    def generate(cls, config: WorldConfig | None = None) -> World:
         """Deterministically generate a world from ``config.seed``."""
         config = config or WorldConfig()
         rng = random.Random(config.seed)

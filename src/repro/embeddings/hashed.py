@@ -88,7 +88,7 @@ class HashedCharNgramEmbedding(WordEmbedding):
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "HashedCharNgramEmbedding":
+    def from_state(cls, payload: dict) -> HashedCharNgramEmbedding:
         """Inverse of :meth:`to_state`."""
         return cls(
             dimension=int(payload["dimension"]),

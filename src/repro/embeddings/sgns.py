@@ -122,7 +122,7 @@ class SkipGramModel(WordEmbedding):
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def train(self, sentences: Iterable[Sequence[str]]) -> "SkipGramModel":
+    def train(self, sentences: Iterable[Sequence[str]]) -> SkipGramModel:
         """Train on tokenized sentences; returns ``self`` for chaining."""
         corpus = [
             [word.lower() for word in sentence] for sentence in sentences if sentence

@@ -69,7 +69,7 @@ class Schedule:
     )
 
     @classmethod
-    def flooding(cls) -> "Schedule":
+    def flooding(cls) -> Schedule:
         """All factors, then all variables."""
         return cls()
 
@@ -78,7 +78,7 @@ class Schedule:
         cls,
         factor_groups: Sequence[Sequence[str]],
         variable_groups: Sequence[Sequence[str]],
-    ) -> "Schedule":
+    ) -> Schedule:
         """Factor-template groups in order, then variable groups in order."""
         steps = [
             ScheduleStep(kind="factors", names=tuple(group))
@@ -209,7 +209,7 @@ class LoopyBP:
         graph: FactorGraph,
         schedule: Schedule | None = None,
         settings: LBPSettings | None = None,
-    ) -> "LoopyBP":
+    ) -> LoopyBP:
         """Construct a runner from an :class:`LBPSettings` bundle."""
         runner = cls(graph, schedule=schedule)
         runner._settings = settings or LBPSettings()

@@ -160,5 +160,5 @@ def partition_graph(graph: FactorGraph) -> list[FactorGraph]:
     factors_by_component = assign_factors(graph, components)
     return [
         _materialize(graph, component, factor_names)
-        for component, factor_names in zip(components, factors_by_component)
+        for component, factor_names in zip(components, factors_by_component, strict=True)
     ]

@@ -161,7 +161,7 @@ class RelationCategorizer:
         }
 
     @classmethod
-    def from_state(cls, kb: CuratedKB, payload: dict) -> "RelationCategorizer":
+    def from_state(cls, kb: CuratedKB, payload: dict) -> RelationCategorizer:
         """Inverse of :meth:`to_state`; the CKB is supplied by the caller."""
         categorizer = cls(kb, (), min_votes=int(payload["min_votes"]))
         categorizer._votes = {

@@ -123,11 +123,15 @@ def _micro_one_way(from_clusters: Clustering, to_clusters: Clustering) -> float:
         return 0.0
     credit = 0
     for group in from_clusters.groups:
-        overlap: dict[int, int] = {}
+        # Keyed by the target cluster itself (clusters partition the
+        # items, so distinct clusters are never equal frozensets) — an
+        # id()-keyed map here would group correctly but tie decisions
+        # to allocation addresses.
+        overlap: dict[frozenset, int] = {}
         for item in group:
             if item not in to_clusters:
                 continue
-            key = id(to_clusters.cluster_of(item))
+            key = to_clusters.cluster_of(item)
             overlap[key] = overlap.get(key, 0) + 1
         credit += max(overlap.values(), default=0)
     return credit / total

@@ -63,7 +63,7 @@ class IngestDelta:
     def __bool__(self) -> bool:
         return bool(self.triples)
 
-    def merge(self, other: "IngestDelta") -> "IngestDelta":
+    def merge(self, other: IngestDelta) -> IngestDelta:
         """Combine two consecutive deltas into one (order-preserving).
 
         Lets N ingest batches between inferences cost one invalidation
@@ -305,7 +305,7 @@ class OpenKB:
         return {"triples": [triple.to_record() for triple in self._triples]}
 
     @classmethod
-    def from_state(cls, payload: dict) -> "OpenKB":
+    def from_state(cls, payload: dict) -> OpenKB:
         """Inverse of :meth:`to_state`."""
         return cls(OIETriple.from_record(record) for record in payload["triples"])
 

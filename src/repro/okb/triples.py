@@ -97,7 +97,7 @@ class OIETriple:
         return record
 
     @classmethod
-    def from_record(cls, record: dict) -> "OIETriple":
+    def from_record(cls, record: dict) -> OIETriple:
         """Inverse of :meth:`to_record` (exact round-trip)."""
         gold = None
         if "gold" in record:

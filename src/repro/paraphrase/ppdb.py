@@ -106,7 +106,7 @@ class ParaphraseDB:
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "ParaphraseDB":
+    def from_state(cls, payload: dict) -> ParaphraseDB:
         """Inverse of :meth:`to_state`."""
         return cls(
             ((phrase, representative) for phrase, representative in payload["pairs"]),
@@ -126,7 +126,7 @@ class ParaphraseDB:
         Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     @classmethod
-    def load_tsv(cls, path: str | Path, seed: int = 0) -> "ParaphraseDB":
+    def load_tsv(cls, path: str | Path, seed: int = 0) -> ParaphraseDB:
         """Rebuild from :meth:`save_tsv` output."""
         db = cls(seed=seed)
         for line in Path(path).read_text(encoding="utf-8").splitlines():

@@ -156,7 +156,7 @@ class EngineState:
     @classmethod
     def from_sections(
         cls, manifest: object, read_section: Callable[[str], dict]
-    ) -> "EngineState":
+    ) -> EngineState:
         """Rebuild from a manifest and a section reader.
 
         ``read_section`` is the store's accessor (file read, row fetch);

@@ -35,6 +35,7 @@ import shutil
 import sqlite3
 import time
 from abc import ABC, abstractmethod
+from collections.abc import Callable
 from contextlib import closing
 from pathlib import Path
 
@@ -165,7 +166,7 @@ class StateStore(ABC):
     # ------------------------------------------------------------------
     # Namespaces and documents (the multi-engine substrate)
     # ------------------------------------------------------------------
-    def namespace(self, name: str) -> "StateStore":
+    def namespace(self, name: str) -> StateStore:
         """A sub-store scoped under ``name``, with its own snapshot
         sequence, current pointer and documents.
 
@@ -239,7 +240,9 @@ class StateStore(ABC):
         )
 
 
-def _prune(store: "StateStore", history: int | None, drop) -> None:
+def _prune(
+    store: StateStore, history: int | None, drop: Callable[[str], None]
+) -> None:
     """Shared history-cap enforcement: drop oldest beyond ``history``."""
     if history is None:
         return
@@ -285,7 +288,7 @@ class FileStateStore(StateStore):
     # ------------------------------------------------------------------
     # Namespaces and documents
     # ------------------------------------------------------------------
-    def namespace(self, name: str) -> "FileStateStore":
+    def namespace(self, name: str) -> FileStateStore:
         """A sub-store in the subdirectory ``root/<name>``.
 
         Namespaces do *not* inherit the root store's ``history`` cap:
@@ -524,7 +527,7 @@ class SQLiteStateStore(StateStore):
     # ------------------------------------------------------------------
     # Namespaces and documents
     # ------------------------------------------------------------------
-    def namespace(self, name: str) -> "SQLiteStateStore":
+    def namespace(self, name: str) -> SQLiteStateStore:
         """A sub-store inside the *same* database file.
 
         Like :meth:`FileStateStore.namespace`, deliberately does not
@@ -676,7 +679,9 @@ class SQLiteStateStore(StateStore):
         return row[0] if row is not None else None
 
     # ------------------------------------------------------------------
-    def _snapshot_row(self, connection, snapshot: str | None):
+    def _snapshot_row(
+        self, connection: sqlite3.Connection, snapshot: str | None
+    ) -> tuple[int, str] | None:
         """(sequence, manifest) of the requested (or newest) snapshot."""
         if self._namespace:
             if snapshot is None:
@@ -700,7 +705,9 @@ class SQLiteStateStore(StateStore):
             (snapshot,),
         ).fetchone()
 
-    def _section_rows(self, connection, sequence: int):
+    def _section_rows(
+        self, connection: sqlite3.Connection, sequence: int
+    ) -> sqlite3.Cursor:
         if self._namespace:
             return connection.execute(
                 "SELECT name, payload FROM ns_sections "

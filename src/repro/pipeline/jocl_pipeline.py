@@ -77,7 +77,7 @@ class JOCLPipeline:
         train: bool = True,
         embedding: str = "hashed",
         runtime: InferenceRuntime | None = None,
-    ) -> "JOCLPipeline":
+    ) -> JOCLPipeline:
         """Standard construction used by examples and benchmarks."""
         return cls(
             dataset=dataset,

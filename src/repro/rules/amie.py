@@ -232,7 +232,7 @@ class AmieMiner:
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "AmieMiner":
+    def from_state(cls, payload: dict) -> AmieMiner:
         """Inverse of :meth:`to_state` (no re-mining)."""
         config_payload = payload["config"]
         miner = cls(

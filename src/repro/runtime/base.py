@@ -94,7 +94,7 @@ class RuntimeResult:
     """What a runtime hands back: the merged result plus its profile."""
 
     result: LBPResult
-    profile: "ExecutionProfile"
+    profile: ExecutionProfile
 
 
 def run_component(
@@ -232,7 +232,7 @@ class InferenceRuntime(ABC):
         return {"type": self.name}
 
     @classmethod
-    def from_state(cls, payload: dict) -> "InferenceRuntime":
+    def from_state(cls, payload: dict) -> InferenceRuntime:
         """Reconstruct a runtime from :meth:`to_state` output."""
         del payload
         return cls()

@@ -255,7 +255,7 @@ class IncrementalRuntime(PartitionedRuntime):
         return payload
 
     @classmethod
-    def from_state(cls, payload: dict) -> "IncrementalRuntime":
+    def from_state(cls, payload: dict) -> IncrementalRuntime:
         """Inverse of :meth:`to_state`; see :class:`_RunState`."""
         runtime = cls(warm_start=bool(payload.get("warm_start", False)))
         pending = payload.get("pending_dirty")
@@ -383,7 +383,7 @@ class IncrementalRuntime(PartitionedRuntime):
         domains: dict[str, tuple] = {}
         f2v: dict[tuple[str, str], np.ndarray] = {}
         v2f: dict[tuple[str, str], np.ndarray] = {}
-        for unit, part in zip(plan.components, parts):
+        for unit, part in zip(plan.components, parts, strict=True):
             components[frozenset(unit.graph.variables)] = _CachedComponent(
                 graph=unit.graph, result=part
             )

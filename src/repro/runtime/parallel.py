@@ -34,7 +34,7 @@ from repro.runtime.partitioned import PartitionedRuntime
 _BACKENDS = ("thread", "process")
 
 
-def _run_unit(payload) -> LBPResult:
+def _run_unit(payload: tuple) -> LBPResult:
     """Module-level worker body, picklable for the process backend."""
     graph, schedule, settings, evidence, warm_start, keep_messages = payload
     return run_component(
@@ -108,7 +108,7 @@ class ParallelRuntime(PartitionedRuntime):
         }
 
     @classmethod
-    def from_state(cls, payload: dict) -> "ParallelRuntime":
+    def from_state(cls, payload: dict) -> ParallelRuntime:
         return cls(
             max_workers=int(payload["max_workers"]),
             backend=str(payload["backend"]),
@@ -166,6 +166,6 @@ class ParallelRuntime(PartitionedRuntime):
                 # executor.map preserves input order: merge order == plan
                 # order, whatever the completion order was.
                 computed = list(executor.map(_run_unit, payloads))
-        for (position, _unit), part in zip(pending, computed):
+        for (position, _unit), part in zip(pending, computed, strict=True):
             results[position] = part
         return results

@@ -100,7 +100,7 @@ class JOCLClusterService:
     def __init__(
         self,
         cluster: ShardedEngine,
-        store: "StateStore | None" = None,
+        store: StateStore | None = None,
         max_batch_size: int = 64,
     ) -> None:
         self._cluster = cluster
@@ -216,7 +216,7 @@ class JOCLClusterService:
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
-    def save(self, store: "StateStore | None" = None) -> dict:
+    def save(self, store: StateStore | None = None) -> dict:
         """Checkpoint the whole cluster at a consistent cut.
 
         Takes every shard's writer lock in shard order (total order =

@@ -134,7 +134,7 @@ def jaro_winkler(first: str, second: str, prefix_scale: float = 0.1) -> float:
         raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
     jaro = jaro_similarity(first, second)
     prefix = 0
-    for char_a, char_b in zip(first, second):
+    for char_a, char_b in zip(first, second, strict=False):
         if char_a != char_b or prefix == 4:
             break
         prefix += 1

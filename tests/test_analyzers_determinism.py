@@ -1,0 +1,254 @@
+"""DETERMINISM checker fixtures: true positives and true negatives."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.analyzers.core import Suppressions, parse_module
+from tools.analyzers.determinism import DeterminismCheck
+
+CHECK = DeterminismCheck()
+
+
+def findings_of(source: str, path: str = "src/repro/clustering/fixture.py"):
+    source = textwrap.dedent(source)
+    module = parse_module(path, source)
+    return Suppressions(source).apply(list(CHECK.run(module)))
+
+
+def codes_of(source: str, path: str = "src/repro/clustering/fixture.py"):
+    return [finding.code for finding in findings_of(source, path)]
+
+
+def test_scope_is_the_repro_package():
+    assert CHECK.interested("src/repro/clustering/hac.py")
+    assert not CHECK.interested("tools/check_links.py")
+    assert not CHECK.interested("tests/test_okb.py")
+
+
+# ----------------------------------------------------------------------
+# DET01 — set order leaking into outputs (true positives)
+# ----------------------------------------------------------------------
+def test_tp_list_over_set_call():
+    assert codes_of("order = list(set(items))\n") == ["DET01"]
+
+
+def test_tp_join_over_set_literal():
+    assert codes_of("label = '-'.join({'b', 'a'})\n") == ["DET01"]
+
+
+def test_tp_list_comprehension_over_set_typed_local():
+    source = """
+        def render(forms):
+            vocab = set(forms)
+            return [form.upper() for form in vocab]
+    """
+    assert codes_of(source) == ["DET01"]
+
+
+def test_tp_loop_over_set_appending_to_list():
+    source = """
+        def collect(phrases):
+            out = []
+            for phrase in set(phrases):
+                out.append(phrase)
+            return out
+    """
+    assert codes_of(source) == ["DET01"]
+
+
+def test_tp_enumerate_over_frozenset():
+    source = """
+        def index(items):
+            return {item: i for i, item in enumerate(frozenset(items))}
+    """
+    assert codes_of(source) == ["DET01"]
+
+
+def test_tp_set_union_feeding_tuple():
+    source = """
+        def merged(a, b):
+            return tuple(a.union(b))
+    """
+    assert codes_of(source) == ["DET01"]
+
+
+# ----------------------------------------------------------------------
+# DET01 — true negatives
+# ----------------------------------------------------------------------
+def test_tn_sorted_over_set_is_the_fix():
+    assert codes_of("order = sorted(set(items))\n") == []
+
+
+def test_tn_order_free_consumers_pass():
+    source = """
+        def stats(items):
+            vocab = set(items)
+            return len(vocab), sum(vocab), max(vocab), min(vocab)
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_set_algebra_and_membership_pass():
+    source = """
+        def keep(candidates, allowed):
+            chosen = set(candidates) & set(allowed)
+            return {item for item in chosen}
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_rebinding_to_sorted_clears_the_taint():
+    source = """
+        def ordered(items):
+            vocab = set(items)
+            vocab = sorted(vocab)
+            return [item.upper() for item in vocab]
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_dict_iteration_is_not_flagged():
+    source = """
+        def render(mapping):
+            out = []
+            for key, value in mapping.items():
+                out.append((key, value))
+            return out
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_loop_accumulating_into_set_passes():
+    source = """
+        def vocabulary(phrases):
+            vocab = set()
+            for phrase in set(phrases):
+                vocab.add(phrase.lower())
+            return vocab
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET02 / DET03 — id()- and hash()-derived decisions
+# ----------------------------------------------------------------------
+def test_tp_id_key():
+    source = """
+        def group(clusters, items):
+            overlap = {}
+            for item in items:
+                overlap[id(clusters[item])] = item
+            return overlap
+    """
+    assert codes_of(source) == ["DET02"]
+
+
+def test_tp_hash_in_sort_key():
+    assert codes_of("order = sorted(items, key=hash)\n") == []  # bare name, no call
+    assert codes_of("order = sorted(items, key=lambda x: hash(x))\n") == ["DET03"]
+
+
+def test_tp_hash_bucketing_outside_dunder_hash():
+    source = """
+        def bucket(phrase, n):
+            return hash(phrase) % n
+    """
+    assert codes_of(source) == ["DET03"]
+
+
+def test_tn_hash_inside_dunder_hash():
+    source = """
+        class Clustering:
+            def __hash__(self):
+                return hash(frozenset(self._groups))
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_stable_hash_helpers_pass():
+    source = """
+        import hashlib
+
+        def stable(phrase):
+            return int(hashlib.blake2s(phrase.encode()).hexdigest(), 16)
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET04 — unseeded randomness
+# ----------------------------------------------------------------------
+def test_tp_global_random_draw():
+    source = """
+        import random
+
+        def jitter():
+            return random.random()
+    """
+    assert codes_of(source) == ["DET04"]
+
+
+def test_tp_global_shuffle():
+    source = """
+        import random
+
+        def mix(items):
+            random.shuffle(items)
+            return items
+    """
+    assert codes_of(source) == ["DET04"]
+
+
+def test_tp_unseeded_default_rng():
+    source = """
+        from numpy.random import default_rng
+
+        def draw():
+            return default_rng().random()
+    """
+    assert codes_of(source) == ["DET04"]
+
+
+def test_tn_seeded_instance_rng():
+    source = """
+        import random
+
+        def draw(seed):
+            rng = random.Random(seed)
+            return rng.random()
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_seeded_default_rng():
+    source = """
+        from numpy.random import default_rng
+
+        def draw(seed):
+            return default_rng(seed).random()
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_rng_parameter_draws_pass():
+    source = """
+        def sample(rng, items):
+            ordered = sorted(items)
+            return ordered[rng.randrange(len(ordered))]
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# The shipped decision-making modules stay clean
+# ----------------------------------------------------------------------
+def test_repo_src_is_clean_of_determinism_findings():
+    from tools.analyzers.core import REPO_ROOT
+
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        relative = str(path.relative_to(REPO_ROOT))
+        source = path.read_text(encoding="utf-8")
+        module = parse_module(relative, source)
+        findings = Suppressions(source).apply(list(CHECK.run(module)))
+        assert findings == [], f"unexpected DET findings in {relative}: {findings}"

@@ -1,0 +1,309 @@
+"""LOCK checker fixtures: true positives, true negatives, resolution.
+
+Each fixture is a minimal module exercising one pattern the checker
+must flag (or must not).  Paths are synthetic but inside the checker's
+scope (``src/repro/serving/``)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.analyzers.core import Suppressions, parse_module
+from tools.analyzers.lock import LockDisciplineCheck
+
+CHECK = LockDisciplineCheck()
+
+
+def findings_of(source: str, path: str = "src/repro/serving/fixture.py"):
+    source = textwrap.dedent(source)
+    module = parse_module(path, source)
+    return Suppressions(source).apply(list(CHECK.run(module)))
+
+
+def codes_of(source: str, path: str = "src/repro/serving/fixture.py"):
+    return [finding.code for finding in findings_of(source, path)]
+
+
+# ----------------------------------------------------------------------
+# Scope
+# ----------------------------------------------------------------------
+def test_only_serving_and_cluster_paths_are_in_scope():
+    assert CHECK.interested("src/repro/serving/service.py")
+    assert CHECK.interested("src/repro/cluster/engine.py")
+    assert not CHECK.interested("src/repro/api/engine.py")
+    assert not CHECK.interested("src/repro/okb/store.py")
+
+
+# ----------------------------------------------------------------------
+# True positives
+# ----------------------------------------------------------------------
+UNGUARDED_ASSIGN = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._engine = None
+
+        def swap(self, engine):
+            self._engine = engine
+"""
+
+
+def test_tp_unguarded_assignment_is_flagged():
+    findings = findings_of(UNGUARDED_ASSIGN)
+    assert [f.code for f in findings] == ["LOCK01"]
+    assert "self._engine" in findings[0].message
+
+
+UNGUARDED_MUTATOR_CALL = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._pending = []
+
+        def enqueue(self, item):
+            self._pending.append(item)
+"""
+
+
+def test_tp_unguarded_container_mutator_is_flagged():
+    assert codes_of(UNGUARDED_MUTATOR_CALL) == ["LOCK01"]
+
+
+UNGUARDED_AUGASSIGN = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._writes = 0
+
+        def record(self):
+            self._writes += 1
+"""
+
+
+def test_tp_unguarded_augmented_assignment_is_flagged():
+    assert codes_of(UNGUARDED_AUGASSIGN) == ["LOCK01"]
+
+
+ABBA_INVERSION = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def first(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def second(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+def test_tp_abba_inversion_is_flagged():
+    findings = findings_of(ABBA_INVERSION)
+    assert [f.code for f in findings] == ["LOCK02"]
+    assert "opposite order" in findings[0].message
+
+
+REVERSED_SHARD_LOOP = """
+    from contextlib import ExitStack
+
+    class ClusterFacade:
+        def __init__(self, services):
+            self._services = list(services)
+
+        def save_all(self):
+            with ExitStack() as stack:
+                for service in reversed(self._services):
+                    stack.enter_context(service.exclusive())
+"""
+
+
+def test_tp_reversed_shard_lock_loop_is_flagged():
+    findings = findings_of(REVERSED_SHARD_LOOP)
+    assert [f.code for f in findings] == ["LOCK02"]
+    assert "shard-order" in findings[0].message
+
+
+DESCENDING_SORTED_SHARD_LOOP = """
+    class ClusterFacade:
+        def __init__(self, services):
+            self._services = list(services)
+
+        def save_all(self):
+            for service in sorted(self._services, reverse=True):
+                with service.exclusive():
+                    pass
+"""
+
+
+def test_tp_descending_sorted_shard_loop_is_flagged():
+    assert codes_of(DESCENDING_SORTED_SHARD_LOOP) == ["LOCK02"]
+
+
+# ----------------------------------------------------------------------
+# True negatives
+# ----------------------------------------------------------------------
+GUARDED_ASSIGN = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._engine = None
+
+        def swap(self, engine):
+            with self._lock:
+                self._engine = engine
+"""
+
+
+def test_tn_guarded_assignment_passes():
+    assert codes_of(GUARDED_ASSIGN) == []
+
+
+RW_GUARD_METHODS = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._rw = threading.Lock()
+            self._engine = None
+            self._stats = []
+
+        def swap(self, engine):
+            with self._rw.write():
+                self._engine = engine
+
+        def note(self, item):
+            with self._rw.read():
+                self._stats.append(item)
+"""
+
+
+def test_tn_read_write_lock_contexts_pass():
+    assert codes_of(RW_GUARD_METHODS) == []
+
+
+LOCK_HOLDING_CALL_GRAPH = """
+    import threading
+
+    class Engine:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._vocab = set()
+
+        def ingest(self, batch):
+            with self._lock:
+                return self._apply(batch)
+
+        def _apply(self, batch):
+            self._vocab.update(batch)
+            self._count += 1
+            return self._count
+"""
+
+
+def test_tn_method_called_only_under_lock_resolves_as_lock_holding():
+    assert codes_of(LOCK_HOLDING_CALL_GRAPH) == []
+
+
+LOCKED_SUFFIX_CONVENTION = """
+    import threading
+
+    class Engine:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def _bump_locked(self):
+            self._count += 1
+"""
+
+
+def test_tn_locked_suffix_marks_callee_side_contract():
+    assert codes_of(LOCKED_SUFFIX_CONVENTION) == []
+
+
+NO_LOCKS_NO_DISCIPLINE = """
+    class PlainBuilder:
+        def __init__(self):
+            self._parts = []
+
+        def add(self, part):
+            self._parts.append(part)
+            return self
+"""
+
+
+def test_tn_class_without_locks_is_out_of_scope():
+    assert codes_of(NO_LOCKS_NO_DISCIPLINE) == []
+
+
+CONSISTENT_NESTING = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def first(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def second(self):
+            with self._a:
+                with self._b:
+                    pass
+"""
+
+
+def test_tn_consistent_acquisition_order_passes():
+    assert codes_of(CONSISTENT_NESTING) == []
+
+
+ASCENDING_SHARD_LOOP = """
+    from contextlib import ExitStack
+
+    class ClusterFacade:
+        def __init__(self, services):
+            self._services = list(services)
+
+        def save_all(self):
+            with ExitStack() as stack:
+                for service in self._services:
+                    stack.enter_context(service.exclusive())
+"""
+
+
+def test_tn_ascending_shard_lock_loop_passes():
+    assert codes_of(ASCENDING_SHARD_LOOP) == []
+
+
+# ----------------------------------------------------------------------
+# The shipped concurrent layers stay clean (the CI gate, in-process)
+# ----------------------------------------------------------------------
+def test_repo_serving_and_cluster_modules_are_clean():
+    from tools.analyzers.core import REPO_ROOT
+
+    for package in ("serving", "cluster"):
+        for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
+            relative = str(path.relative_to(REPO_ROOT))
+            source = path.read_text(encoding="utf-8")
+            module = parse_module(relative, source)
+            findings = Suppressions(source).apply(list(CHECK.run(module)))
+            assert findings == [], f"unexpected LOCK findings in {relative}"

@@ -1,0 +1,222 @@
+"""Runner mechanics: suppressions, baselines, exit codes, output formats.
+
+The fixture module below carries exactly one finding per checker so
+one file exercises the whole registry end to end."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from tools.analyzers.core import (
+    BaselineError,
+    Finding,
+    Suppressions,
+    load_baseline,
+    split_fresh,
+    write_baseline,
+)
+from tools.analyzers.runner import ALL_CHECKS, main, run_checks
+
+#: One finding per checker: LOCK01 (unguarded mutation), DET02 (id()
+#: key), SCHEMA01 (unpaired serializer).
+ONE_PER_CHECKER = textwrap.dedent(
+    """
+    import threading
+
+    FIXTURE_SCHEMA_VERSION = 1
+
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._engine = None
+
+        def swap(self, engine):
+            self._engine = engine
+
+        def tag(self, item):
+            return id(item)
+
+        def to_dict(self):
+            return {
+                "schema_version": FIXTURE_SCHEMA_VERSION,
+                "tag": self.tag(self._engine),
+            }
+    """
+)
+
+
+@pytest.fixture
+def fixture_file(tmp_path):
+    # The serving/ segment puts the file in LOCK's scope while the
+    # repro/ segment satisfies DET and SCHEMA.
+    target = tmp_path / "src" / "repro" / "serving" / "fixture.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(ONE_PER_CHECKER, encoding="utf-8")
+    return target
+
+
+def codes(findings):
+    return sorted(finding.code for finding in findings)
+
+
+def test_each_checker_fires_once_on_the_shared_fixture(fixture_file):
+    findings = run_checks([fixture_file])
+    assert codes(findings) == ["DET02", "LOCK01", "SCHEMA01"]
+    owners = {code for check in ALL_CHECKS for code in check.codes}
+    assert {finding.code for finding in findings} <= owners
+
+
+# ----------------------------------------------------------------------
+# Suppression scoping
+# ----------------------------------------------------------------------
+def test_same_line_directive_suppresses_only_that_code(fixture_file):
+    source = ONE_PER_CHECKER.replace(
+        "self._engine = engine",
+        "self._engine = engine  # repro: disable=LOCK01 -- swap is CAS-safe",
+    )
+    fixture_file.write_text(source, encoding="utf-8")
+    assert codes(run_checks([fixture_file])) == ["DET02", "SCHEMA01"]
+
+
+def test_standalone_directive_applies_to_the_next_code_line(fixture_file):
+    source = ONE_PER_CHECKER.replace(
+        "        self._engine = engine",
+        "        # repro: disable=LOCK01 -- swap is CAS-safe\n"
+        "        self._engine = engine",
+    )
+    fixture_file.write_text(source, encoding="utf-8")
+    assert codes(run_checks([fixture_file])) == ["DET02", "SCHEMA01"]
+
+
+def test_directive_on_the_wrong_line_does_not_suppress(fixture_file):
+    source = ONE_PER_CHECKER.replace(
+        "def swap(self, engine):",
+        "def swap(self, engine):  # repro: disable=LOCK01",
+    )
+    fixture_file.write_text(source, encoding="utf-8")
+    # The finding anchors to the assignment line, not the def line.
+    assert "LOCK01" in codes(run_checks([fixture_file]))
+
+
+def test_file_wide_directive_and_all_keyword(fixture_file):
+    source = "# repro: disable-file=DET02 -- debug tags only\n" + ONE_PER_CHECKER
+    fixture_file.write_text(source, encoding="utf-8")
+    assert codes(run_checks([fixture_file])) == ["LOCK01", "SCHEMA01"]
+
+    fixture_file.write_text(
+        "# repro: disable-file=all -- vendored fixture\n" + ONE_PER_CHECKER,
+        encoding="utf-8",
+    )
+    assert run_checks([fixture_file]) == []
+
+
+def test_same_line_all_suppresses_every_code():
+    source = "order = list(set(items))  # repro: disable=all\n"
+    suppressions = Suppressions(source)
+    finding = Finding(path="x.py", line=1, code="DET01", message="m")
+    assert suppressions.suppressed(finding)
+    assert not suppressions.suppressed(
+        Finding(path="x.py", line=2, code="DET01", message="m")
+    )
+
+
+def test_multiple_codes_in_one_directive():
+    suppressions = Suppressions("x = 1  # repro: disable=LOCK01, DET02\n")
+    for code in ("LOCK01", "DET02"):
+        assert suppressions.suppressed(
+            Finding(path="x.py", line=1, code=code, message="m")
+        )
+    assert not suppressions.suppressed(
+        Finding(path="x.py", line=1, code="SCHEMA01", message="m")
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline matching
+# ----------------------------------------------------------------------
+def test_baseline_matches_on_path_code_message_not_line(tmp_path):
+    found = Finding(path="src/a.py", line=40, code="DET01", message="m")
+    grandfathered_entry = Finding(path="src/a.py", line=7, code="DET01", message="m")
+    fresh, grandfathered = split_fresh([found], [grandfathered_entry])
+    assert fresh == [] and grandfathered == [found]
+
+
+def test_baseline_is_a_multiset():
+    finding = Finding(path="src/a.py", line=1, code="DET01", message="m")
+    twice = [finding, Finding(path="src/a.py", line=9, code="DET01", message="m")]
+    fresh, grandfathered = split_fresh(twice, [finding])
+    assert len(grandfathered) == 1 and len(fresh) == 1
+
+
+def test_baseline_roundtrip_and_malformed_files(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [Finding(path="src/a.py", line=3, code="LOCK01", message="m")]
+    write_baseline(path, findings)
+    assert load_baseline(path) == findings
+    assert load_baseline(tmp_path / "missing.json") == []
+
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and formats
+# ----------------------------------------------------------------------
+def test_cli_exits_nonzero_on_fresh_findings(fixture_file, tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    assert main([str(fixture_file), "--baseline", str(empty)]) == 1
+    err = capsys.readouterr().err
+    assert "3 fresh finding(s)" in err
+
+
+def test_cli_exits_zero_when_baseline_covers_everything(fixture_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(fixture_file), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert main([str(fixture_file), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "3 grandfathered" in out
+
+
+def test_cli_github_format_emits_workflow_commands(fixture_file, tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    main([str(fixture_file), "--format", "github", "--baseline", str(empty)])
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=LOCK01::" in out
+
+
+def test_cli_reports_unparseable_files_as_parse_findings(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert main([str(bad), "--baseline", str(tmp_path / "empty.json")]) == 1
+    assert "PARSE" in capsys.readouterr().out
+
+
+def test_cli_exit_2_when_no_files(tmp_path):
+    assert main([str(tmp_path / "nowhere")]) == 2
+
+
+def test_cli_list_codes_covers_every_registered_code(capsys):
+    assert main(["--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for check in ALL_CHECKS:
+        for code in check.codes:
+            assert code in out
+    assert "PARSE" in out
+
+
+# ----------------------------------------------------------------------
+# The committed gate: repo is clean against the committed baseline
+# ----------------------------------------------------------------------
+def test_repo_src_is_clean_with_committed_baseline(capsys):
+    assert main(["src"]) == 0
+    assert "0 fresh" in capsys.readouterr().out

@@ -1,0 +1,227 @@
+"""SCHEMA checker fixtures: serializer pairing, versioning, parse guards."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.analyzers.core import REPO_ROOT, Suppressions, parse_module
+from tools.analyzers.schema import SchemaContractCheck
+
+
+def findings_of(source: str, path: str = "src/repro/api/fixture.py"):
+    source = textwrap.dedent(source)
+    module = parse_module(path, source)
+    check = SchemaContractCheck()
+    return Suppressions(source).apply(list(check.run(module)))
+
+
+def codes_of(source: str, path: str = "src/repro/api/fixture.py"):
+    return [finding.code for finding in findings_of(source, path)]
+
+
+def test_scope_is_the_repro_package():
+    check = SchemaContractCheck()
+    assert check.interested("src/repro/api/results.py")
+    assert check.interested("src/repro/cluster/results.py")
+    assert not check.interested("tools/analyzers/core.py")
+
+
+# ----------------------------------------------------------------------
+# True positives
+# ----------------------------------------------------------------------
+def test_tp_to_dict_without_from_dict():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 1
+
+        class Report:
+            def to_dict(self):
+                return {"schema_version": FIXTURE_SCHEMA_VERSION}
+    """
+    assert codes_of(source) == ["SCHEMA01"]
+
+
+def test_tp_from_dict_without_to_dict():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 1
+
+        class Report:
+            @classmethod
+            def from_dict(cls, payload):
+                try:
+                    if payload["schema_version"] != FIXTURE_SCHEMA_VERSION:
+                        raise ValueError
+                    return cls()
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SchemaError("bad payload") from exc
+    """
+    assert codes_of(source) == ["SCHEMA01"]
+
+
+def test_tp_unversioned_pair():
+    source = """
+        class Report:
+            def to_dict(self):
+                return {"count": self.count}
+
+            @classmethod
+            def from_dict(cls, payload):
+                try:
+                    return cls(payload["count"])
+                except (KeyError, TypeError) as exc:
+                    raise SchemaError("bad payload") from exc
+    """
+    # Both halves lack the version constant.
+    assert codes_of(source) == ["SCHEMA02", "SCHEMA02"]
+
+
+def test_tp_from_dict_leaking_raw_subscripts():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 1
+
+        class Report:
+            def to_dict(self):
+                return {
+                    "schema_version": FIXTURE_SCHEMA_VERSION,
+                    "count": self.count,
+                }
+
+            @classmethod
+            def from_dict(cls, payload):
+                if payload["schema_version"] != FIXTURE_SCHEMA_VERSION:
+                    raise SchemaError("version mismatch")
+                return cls(payload["count"])
+    """
+    assert codes_of(source) == ["SCHEMA03"]
+
+
+# ----------------------------------------------------------------------
+# True negatives
+# ----------------------------------------------------------------------
+def test_tn_full_contract_with_local_helpers():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 2
+
+        def _envelope(kind, payload):
+            return {"schema_version": FIXTURE_SCHEMA_VERSION, "kind": kind, **payload}
+
+        def check_envelope(payload, kind):
+            if payload.get("schema_version") != FIXTURE_SCHEMA_VERSION:
+                raise SchemaError("version mismatch")
+
+        def _parsing(kind):
+            import contextlib
+
+            @contextlib.contextmanager
+            def guard():
+                try:
+                    yield
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SchemaError(kind) from exc
+
+            return guard()
+
+        class Report:
+            def to_dict(self):
+                return _envelope("report", {"count": self.count})
+
+            @classmethod
+            def from_dict(cls, payload):
+                check_envelope(payload, "report")
+                with _parsing("report"):
+                    return cls(int(payload["count"]))
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_direct_version_and_try_except():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 1
+
+        class Report:
+            def to_dict(self):
+                return {"schema_version": FIXTURE_SCHEMA_VERSION}
+
+            @classmethod
+            def from_dict(cls, payload):
+                try:
+                    if payload["schema_version"] != FIXTURE_SCHEMA_VERSION:
+                        raise ValueError(payload["schema_version"])
+                    return cls()
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SchemaError("bad report payload") from exc
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_guarded_accessor_helper():
+    source = """
+        FIXTURE_SCHEMA_VERSION = 1
+
+        def _require(payload, field):
+            try:
+                return payload[field]
+            except (KeyError, TypeError) as exc:
+                raise SchemaError(field) from exc
+
+        class Report:
+            def to_dict(self):
+                return {"schema_version": FIXTURE_SCHEMA_VERSION}
+
+            @classmethod
+            def from_dict(cls, payload):
+                if _require(payload, "schema_version") != FIXTURE_SCHEMA_VERSION:
+                    raise SchemaError("version mismatch")
+                return cls()
+    """
+    assert codes_of(source) == []
+
+
+def test_tn_class_without_serializers_is_out_of_scope():
+    source = """
+        class Accumulator:
+            def add(self, item):
+                self._items.append(item)
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# Cross-module helper resolution (the repro.cluster.results pattern)
+# ----------------------------------------------------------------------
+def test_imported_helpers_resolve_across_modules():
+    """``from repro.api.results import check_envelope, _parsing`` must
+    qualify those names exactly as module-local definitions would."""
+    source = """
+        from repro.api.results import _envelope, _parsing, check_envelope
+
+        class Report:
+            def to_dict(self):
+                return _envelope("report", {"count": self.count})
+
+            @classmethod
+            def from_dict(cls, payload):
+                check_envelope(payload, "report")
+                with _parsing("report"):
+                    return cls(int(payload["count"]))
+    """
+    assert codes_of(source, path="src/repro/cluster/fixture.py") == []
+
+
+def test_real_cluster_results_module_is_clean():
+    path = REPO_ROOT / "src" / "repro" / "cluster" / "results.py"
+    relative = str(path.relative_to(REPO_ROOT))
+    source = path.read_text(encoding="utf-8")
+    module = parse_module(relative, source)
+    check = SchemaContractCheck()
+    findings = Suppressions(source).apply(list(check.run(module)))
+    assert findings == [], f"unexpected SCHEMA findings: {findings}"
+
+
+def test_repo_src_is_clean_of_schema_findings():
+    check = SchemaContractCheck()
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        relative = str(path.relative_to(REPO_ROOT))
+        source = path.read_text(encoding="utf-8")
+        module = parse_module(relative, source)
+        findings = Suppressions(source).apply(list(check.run(module)))
+        assert findings == [], f"unexpected SCHEMA findings in {relative}: {findings}"

@@ -223,3 +223,44 @@ class TestRelationCandidateEquivalence:
         first = generator.relation_candidates("locate in")
         first.append("sentinel")
         assert "sentinel" not in generator.relation_candidates("locate in")
+
+class TestRelationFormTable:
+    """PR 7 rewrote the surface-form table construction (one union
+    instead of mutate-while-copying with a second normalization pass);
+    the table — and therefore every candidate set — must be unchanged."""
+
+    @staticmethod
+    def _legacy_forms(relation):
+        from repro.okb.normalize import morph_normalize
+
+        forms = set(relation.all_surface_forms())
+        forms.update(morph_normalize(form) for form in set(forms))
+        return forms
+
+    def test_form_table_matches_legacy_construction(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        for relation_id, relation in tiny_kb.relations.items():
+            assert generator._relation_forms[relation_id] == self._legacy_forms(
+                relation
+            ), f"form set diverged for {relation_id}"
+
+    def test_candidate_sets_unchanged_on_generated_world(self):
+        from repro.datasets import ReVerb45KConfig, generate_reverb45k
+
+        dataset = generate_reverb45k(
+            ReVerb45KConfig(n_entities=30, n_facts=60, n_triples=80, seed=11)
+        )
+        generator = CandidateGenerator(dataset.kb, dataset.anchors)
+        for relation_id, relation in dataset.kb.relations.items():
+            assert generator._relation_forms[relation_id] == self._legacy_forms(
+                relation
+            )
+        legacy = CandidateGenerator(dataset.kb, dataset.anchors)
+        legacy._relation_forms = {
+            relation_id: self._legacy_forms(relation)
+            for relation_id, relation in dataset.kb.relations.items()
+        }
+        for phrase in sorted({t.predicate_norm for t in dataset.triples}):
+            assert generator.relation_candidates(phrase) == (
+                legacy.relation_candidates(phrase)
+            ), f"candidate set diverged for {phrase!r}"

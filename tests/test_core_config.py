@@ -19,7 +19,11 @@ class TestJOCLConfig:
         assert config.pair_threshold == 0.5
         assert config.learning_rate == 0.05
         assert config.learn_iterations == 20
-        assert (config.transitive_high, config.transitive_middle, config.transitive_low) == (0.9, 0.5, 0.1)
+        assert (
+            config.transitive_high,
+            config.transitive_middle,
+            config.transitive_low,
+        ) == (0.9, 0.5, 0.1)
         assert (config.fact_high, config.fact_low) == (0.9, 0.1)
         assert (config.consistency_high, config.consistency_low) == (0.7, 0.3)
 

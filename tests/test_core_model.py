@@ -59,7 +59,9 @@ class TestFit:
         with pytest.raises(ValueError):
             model.fit(tiny_side, GoldAnnotations())
 
-    def test_weights_transfer_across_okbs(self, tiny_side, tiny_triples, small_dataset, fast_config):
+    def test_weights_transfer_across_okbs(
+        self, tiny_side, tiny_triples, small_dataset, fast_config
+    ):
         model = JOCL(fast_config)
         model.fit(tiny_side, GoldAnnotations.from_triples(tiny_triples))
         other_side = small_dataset.side_information("test")

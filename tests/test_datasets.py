@@ -181,7 +181,7 @@ class TestIO:
         path = tmp_path / "triples.jsonl"
         save_triples_jsonl(small_dataset.triples, path)
         loaded = load_triples_jsonl(path)
-        for original, reloaded in zip(small_dataset.triples, loaded):
+        for original, reloaded in zip(small_dataset.triples, loaded, strict=True):
             assert original.gold == reloaded.gold
             assert original.source_sentence == reloaded.source_sentence
 

@@ -37,7 +37,7 @@ def brute_force_marginals(graph):
     marginals = {v.name: np.zeros(v.cardinality) for v in variables}
     total = 0.0
     for assignment in itertools.product(*(range(v.cardinality) for v in variables)):
-        state = dict(zip((v.name for v in variables), assignment))
+        state = dict(zip((v.name for v in variables), assignment, strict=True))
         weight = 1.0
         for factor in graph.factors.values():
             idx = tuple(state[v.name] for v in factor.variables)

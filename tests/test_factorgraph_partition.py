@@ -87,7 +87,7 @@ class TestAssignFactors:
         components = connected_components(two_island_graph)
         assigned = assign_factors(two_island_graph, components)
         assert len(assigned) == len(components)
-        for component, factor_names in zip(components, assigned):
+        for component, factor_names in zip(components, assigned, strict=True):
             rescan = set(component_subgraph(two_island_graph, component).factors)
             assert set(factor_names) == rescan
 
@@ -120,7 +120,7 @@ class TestAssignFactors:
         fast = partition_graph(graph)
         slow = [component_subgraph(graph, component) for component in components]
         assert len(fast) == len(slow)
-        for fast_sub, slow_sub in zip(fast, slow):
+        for fast_sub, slow_sub in zip(fast, slow, strict=True):
             assert set(fast_sub.variables) == set(slow_sub.variables)
             assert list(fast_sub.factors) == list(slow_sub.factors)
             for name in fast_sub.factors:

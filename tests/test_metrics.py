@@ -101,8 +101,8 @@ def random_partitions(draw):
     items = list(range(draw(st.integers(2, 10))))
     labels_a = [draw(st.integers(0, 3)) for _ in items]
     labels_b = [draw(st.integers(0, 3)) for _ in items]
-    pred = Clustering.from_assignment(dict(zip(items, labels_a)))
-    gold = Clustering.from_assignment(dict(zip(items, labels_b)))
+    pred = Clustering.from_assignment(dict(zip(items, labels_a, strict=True)))
+    gold = Clustering.from_assignment(dict(zip(items, labels_b, strict=True)))
     return pred, gold
 
 

@@ -17,7 +17,6 @@ from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
 from repro.persist import FileStateStore
 from repro.runtime import IncrementalRuntime, SerialRuntime
 from repro.serving import JOCLService
-
 from test_persist import decisions
 
 FAST = JOCLConfig(lbp_iterations=20)

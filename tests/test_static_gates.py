@@ -1,0 +1,77 @@
+"""Local mirrors of the CI static gates.
+
+CI installs ruff and mypy and runs them as blocking jobs; this module
+runs the same commands when the tools happen to be installed locally
+(``pip install -e .[dev]``) so a contributor sees the failure before
+pushing.  Environments without the tools — including the minimal test
+container — skip cleanly: the gates of record live in
+``.github/workflows/ci.yml``.
+
+The analyzer gate needs no external tool and is exercised for real in
+``tests/test_analyzers_runner.py``
+(``test_repo_src_is_clean_with_committed_baseline``).
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+
+
+def _run(arguments: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        arguments,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    """``ruff check .`` passes with the widened E,W,F,I,B,UP,SIM set."""
+    result = _run(["ruff", "check", "."])
+    assert result.returncode == 0, (
+        f"ruff found violations:\n{result.stdout}{result.stderr}"
+    )
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    """``mypy src/repro`` passes, including the strict-ratchet packages
+    (repro.api, repro.persist, repro.runtime) from pyproject.toml."""
+    result = _run([sys.executable, "-m", "mypy", "src/repro"])
+    assert result.returncode == 0, (
+        f"mypy found errors:\n{result.stdout}{result.stderr}"
+    )
+
+
+def test_typed_marker_ships():
+    """The PEP 561 marker exists and setuptools is told to package it —
+    downstream type checkers only read inline annotations if both hold."""
+    assert (REPO / "src" / "repro" / "py.typed").exists()
+    pyproject = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+    assert 'repro = ["py.typed"]' in pyproject
+
+
+def test_strict_ratchet_configured():
+    """The strict-ratchet override stays pinned to the public surface;
+    loosening it (or dropping a flag) is a reviewable diff here."""
+    pyproject = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+    assert '"repro.api.*"' in pyproject
+    assert '"repro.persist.*"' in pyproject
+    assert '"repro.runtime.*"' in pyproject
+    for flag in (
+        "disallow_untyped_defs",
+        "disallow_incomplete_defs",
+        "check_untyped_defs",
+        "disallow_untyped_decorators",
+        "no_implicit_optional",
+        "strict_equality",
+    ):
+        assert f"{flag} = true" in pyproject, f"ratchet flag {flag} dropped"

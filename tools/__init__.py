@@ -1,0 +1,1 @@
+"""Developer tooling: link checking and project-specific static analysis."""

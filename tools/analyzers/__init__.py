@@ -1,0 +1,63 @@
+"""Project-specific static analysis for the JOCL codebase.
+
+The stack's guarantees — byte-identical decisions under scale-out —
+rest on three hand-enforced invariants:
+
+* **lock discipline** in the concurrent layers (``repro.serving``,
+  ``repro.cluster``): engine/service state mutates only under the
+  owning lock, and locks are acquired in one global order;
+* **determinism** everywhere decisions are made: no iteration order
+  leaking out of hash-based containers, no ``id()``/``hash()`` keys,
+  no unseeded randomness (the PYTHONHASHSEED bug class PR 1 fixed by
+  hand in the Falcon baseline);
+* **schema contracts** on every serialized envelope: ``to_dict`` pairs
+  with ``from_dict``, payloads are schema-versioned, and malformed
+  input surfaces as :class:`repro.api.errors.SchemaError` rather than
+  a raw ``KeyError``/``TypeError``.
+
+This package machine-enforces them.  Architecture:
+
+* :mod:`tools.analyzers.core` — the framework: :class:`Finding`,
+  the :class:`Check` protocol, ``# repro: disable=`` suppression
+  comments, and the baseline file for grandfathered findings;
+* :mod:`tools.analyzers.lock`, :mod:`tools.analyzers.determinism`,
+  :mod:`tools.analyzers.schema` — the three project checkers;
+* :mod:`tools.analyzers.runner` — file discovery, orchestration and
+  the ``--format=text|github`` reporters.
+
+Run it the way CI does::
+
+    python -m tools.analyzers --format=github src
+
+Exit code 0 means no fresh findings (baseline-matched findings are
+reported but do not fail the run).  See ``docs/development.md`` for
+the full code table and the suppression syntax.
+"""
+
+from tools.analyzers.core import (
+    BaselineError,
+    Check,
+    Finding,
+    ParsedModule,
+    Suppressions,
+    parse_module,
+)
+from tools.analyzers.determinism import DeterminismCheck
+from tools.analyzers.lock import LockDisciplineCheck
+from tools.analyzers.runner import ALL_CHECKS, main, run_checks
+from tools.analyzers.schema import SchemaContractCheck
+
+__all__ = [
+    "ALL_CHECKS",
+    "BaselineError",
+    "Check",
+    "DeterminismCheck",
+    "Finding",
+    "LockDisciplineCheck",
+    "ParsedModule",
+    "SchemaContractCheck",
+    "Suppressions",
+    "main",
+    "parse_module",
+    "run_checks",
+]

@@ -1,0 +1,8 @@
+"""``python -m tools.analyzers`` — run the project checkers."""
+
+import sys
+
+from tools.analyzers.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

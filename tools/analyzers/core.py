@@ -1,0 +1,276 @@
+"""The analyzer framework: findings, checks, suppressions, baselines.
+
+A *check* is any object satisfying the :class:`Check` protocol: it
+declares a ``name`` and the finding ``codes`` it can emit, decides
+which files it cares about (:meth:`Check.interested`), and visits one
+:class:`ParsedModule` at a time, yielding :class:`Finding` records.
+Checks are pure functions of the parsed source — no imports of the
+analyzed code, no execution — so they run on broken working trees and
+never depend on the analyzed project's dependencies.
+
+Suppression syntax (mirrors the ``noqa`` convention, but scoped to
+this framework so the two never collide):
+
+* ``# repro: disable=LOCK01`` on a flagged line suppresses that code
+  on that line;
+* the same comment alone on a line suppresses the *next* non-comment
+  line (for lines too long to carry a trailing comment);
+* ``# repro: disable-file=DET04`` anywhere in a file suppresses the
+  code for the whole file;
+* ``disable=all`` / ``disable-file=all`` suppress every code.
+
+A suppression comment should always carry a justification after the
+directive, e.g. ``# repro: disable=DET01 -- max() is order-free``.
+
+The *baseline* file grandfathers known findings: entries match on
+``(path, code, message)`` — deliberately not on line numbers, so
+unrelated edits above a grandfathered finding do not resurrect it.
+Matching is multiset-aware: two identical findings need two baseline
+entries.  Fresh (non-baselined, non-suppressed) findings fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+#: Repository root — analyzed paths are kept relative to it so findings
+#: and baselines are machine-independent.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: ``# repro: disable=CODE1,CODE2 [-- justification]``
+_DISABLE = re.compile(
+    r"#\s*repro:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)(?:\s*(?:--.*)?)?$"
+)
+
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed or has the wrong shape."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One analyzer hit, anchored to a source line.
+
+    ``path`` is repo-relative with forward slashes, so findings and
+    baselines are stable across machines and operating systems.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers excluded)."""
+        return (self.path, self.code, self.message)
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every check."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@runtime_checkable
+class Check(Protocol):
+    """The plugin contract every analyzer implements."""
+
+    #: Short identifier ("lock", "determinism", "schema").
+    name: str
+    #: Every finding code this check can emit (for --list-codes and
+    #: for validating suppression directives in tests).
+    codes: tuple[str, ...]
+
+    def interested(self, path: str) -> bool:
+        """Whether this check wants to visit ``path`` (repo-relative)."""
+        ...
+
+    def run(self, module: ParsedModule) -> Iterable[Finding]:
+        """Visit one parsed module, yielding findings."""
+        ...
+
+
+def parse_module(path: str, source: str) -> ParsedModule:
+    """Parse ``source`` into the shared per-file analysis input.
+
+    Raises :class:`SyntaxError` — the runner reports unparseable files
+    as findings of their own rather than crashing the run.
+    """
+    tree = ast.parse(source, filename=path)
+    return ParsedModule(path=path, source=source, tree=tree)
+
+
+class Suppressions:
+    """Per-file suppression state parsed from ``# repro:`` comments."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        lines = source.splitlines()
+        for number, text in enumerate(lines, start=1):
+            comment = text.partition("#")[2]
+            if not comment:
+                continue
+            match = _DISABLE.search("#" + comment)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            if not codes:
+                continue
+            if match.group("scope"):
+                self._file_wide |= codes
+                continue
+            target = number
+            if _COMMENT_ONLY.match(text):
+                # Standalone directive: applies to the next code line.
+                target = _next_code_line(lines, number)
+            self._by_line.setdefault(target, set()).update(codes)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a directive in its file."""
+        return any(
+            finding.code.upper() in scope or "ALL" in scope
+            for scope in (self._file_wide, self._by_line.get(finding.line, ()))
+        )
+
+    def apply(self, findings: Iterable[Finding]) -> list[Finding]:
+        """The findings that survive this file's directives."""
+        return [finding for finding in findings if not self.suppressed(finding)]
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """First line after ``after`` (1-based) that is not blank/comment."""
+    for number in range(after + 1, len(lines) + 1):
+        text = lines[number - 1]
+        if text.strip() and not _COMMENT_ONLY.match(text):
+            return number
+    return after
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} must be a mapping with version={BASELINE_VERSION}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    baseline = []
+    for entry in entries:
+        try:
+            baseline.append(
+                Finding(
+                    path=str(entry["path"]),
+                    line=int(entry.get("line", 0)),
+                    code=str(entry["code"]),
+                    message=str(entry["message"]),
+                )
+            )
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}: {error}"
+            ) from error
+    return baseline
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the new grandfathered baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_fresh(
+    findings: Iterable[Finding], baseline: Iterable[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (fresh, grandfathered) against a baseline.
+
+    Multiset semantics: each baseline entry absolves at most one
+    finding with the same ``(path, code, message)`` key.
+    """
+    budget = Counter(entry.key() for entry in baseline)
+    fresh: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in sorted(findings):
+        if budget[finding.key()] > 0:
+            budget[finding.key()] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by more than one checker
+# ----------------------------------------------------------------------
+def call_name(node: ast.AST) -> str | None:
+    """Dotted name of a call target: ``foo``, ``mod.foo``, ``self.a.b``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Like :func:`ast.walk` but without descending into nested
+    function/class definitions (one lexical scope at a time)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))

@@ -1,0 +1,392 @@
+"""DETERMINISM: no hash-ordered state may leak into decisions.
+
+Scope: everything under ``src/repro/`` — decisions (cluster
+assignments, link targets, tie-breaks) are made all over the stack,
+and the guarantee the benchmarks gate is *byte-identical* output
+across runs, shard counts and PYTHONHASHSEED values.
+
+Codes:
+
+``DET01`` — **order-sensitive consumption of a set.**  A set-typed
+expression (literal ``{...}``, set comprehension, ``set(...)`` /
+``frozenset(...)`` call, ``.union()``/``.intersection()``/
+``.difference()`` result, or a local variable assigned from one) is
+consumed by an order-sensitive sink — ``list()`` / ``tuple()`` /
+``enumerate()`` / ``zip()`` / ``str.join()`` / ``next(iter(...))`` —
+or iterated by a ``for`` loop whose body appends to a list or yields,
+without an explicit ``sorted(...)``.  Order-free consumers
+(``sum``/``min``/``max``/``len``/``any``/``all``/``set``/
+``frozenset``/``sorted``/membership/further set algebra) are fine:
+sets are encouraged as *containers*; only their *iteration order*
+must never reach an output.  Dict iteration is not flagged —
+insertion order is deterministic in Python 3.7+ and this codebase
+derives it from sorted or input order.
+
+``DET02`` — **``id()``-based keys.**  ``id(x)`` depends on allocation
+addresses; two runs produce different keys and any ordering or
+grouping built on them is unreproducible.  Every call to the builtin
+is flagged (debug-only uses carry an inline suppression).
+
+``DET03`` — **``hash()``-ordered output.**  The builtin ``hash`` is
+PYTHONHASHSEED-salted for str/bytes.  Calls are flagged inside sort
+keys (``sorted``/``.sort``/``min``/``max`` ``key=`` callables) and
+anywhere else outside a ``__hash__`` implementation; stable digests
+(``hashlib``, project ``_stable_hash`` helpers) are different names
+and pass untouched.
+
+``DET04`` — **unseeded randomness.**  Module-level ``random.<fn>()``
+calls share the process-global unseeded generator, as does
+``numpy.random.<fn>()`` legacy style and ``default_rng()`` without a
+seed.  Construct ``random.Random(seed)`` / ``default_rng(seed)``
+instead (the codebase-wide idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from tools.analyzers.core import Finding, ParsedModule, call_name
+
+#: Builtin constructors/algebra whose result is set-typed.
+_SET_CALLS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Call targets that consume an iterable order-sensitively.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "zip", "iter"}
+
+#: Call targets that are order-free (commutative/ordering) consumers.
+_ORDER_FREE_CALLS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "sum",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+    "Counter",
+}
+
+#: ``random`` module functions that draw from the global generator.
+_GLOBAL_RANDOM = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Legacy ``numpy.random`` module-level draws (global RandomState).
+_NUMPY_GLOBAL_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+}
+
+
+class DeterminismCheck:
+    """See the module docstring."""
+
+    name = "determinism"
+    codes = ("DET01", "DET02", "DET03", "DET04")
+
+    def interested(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "src/repro/" in normalized or normalized.startswith("repro/")
+
+    def run(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        findings.extend(_unordered_consumption(module))
+        findings.extend(_id_keys(module))
+        findings.extend(_hash_ordering(module))
+        findings.extend(_unseeded_random(module))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# DET01 — set iteration order leaking into outputs
+# ----------------------------------------------------------------------
+def _is_set_expression(node: ast.AST, set_locals: set[str]) -> bool:
+    """Whether ``node`` is statically known to be set-typed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_locals:
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name is None:
+            return False
+        basename = name.rsplit(".", 1)[-1]
+        if name in _SET_CALLS:
+            return True
+        if basename in _SET_METHODS and isinstance(node.func, ast.Attribute):
+            # s.union(t): set algebra on a known set (or any receiver —
+            # these method names are set/frozenset vocabulary).
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra via operators: only when a side is provably a set.
+        return _is_set_expression(node.left, set_locals) or _is_set_expression(
+            node.right, set_locals
+        )
+    return False
+
+
+def _set_typed_locals(scope: ast.AST) -> set[str]:
+    """Local names assigned (once or repeatedly) from set expressions.
+
+    Conservative: a name also assigned from a non-set expression in the
+    same scope is dropped, so rebinding to a ``sorted(...)`` list
+    clears the taint.
+    """
+    tainted: set[str] = set()
+    cleared: set[str] = set()
+    for node in _scope_walk(scope):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+            if isinstance(node.annotation, ast.Subscript):
+                base = node.annotation.value
+                if isinstance(base, ast.Name) and base.id in (
+                    "set",
+                    "frozenset",
+                ):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            tainted.add(target.id)
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_set_expression(value, tainted):
+                tainted.add(target.id)
+            else:
+                cleared.add(target.id)
+    return tainted - cleared
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _unordered_consumption(module: ParsedModule) -> Iterator[Finding]:
+    scopes: list[ast.AST] = [module.tree]
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    for scope in scopes:
+        set_locals = _set_typed_locals(scope)
+        for node in _scope_walk(scope):
+            yield from _check_sink(module, node, set_locals)
+
+
+def _check_sink(
+    module: ParsedModule, node: ast.AST, set_locals: set[str]
+) -> Iterator[Finding]:
+    def flag(line: int, what: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=line,
+            code="DET01",
+            message=(
+                f"set iteration order reaches an order-sensitive "
+                f"{what}; wrap the set in sorted(...)"
+            ),
+        )
+
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        # "".join(set_expr) — checked on the attribute itself so literal
+        # receivers ('-'.join) count too.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            for arg in node.args[:1]:
+                if _is_set_expression(arg, set_locals):
+                    yield flag(node.lineno, "str.join()")
+            return
+        basename = (name or "").rsplit(".", 1)[-1]
+        if name in _ORDER_SENSITIVE_CALLS or basename == "chain":
+            for arg in node.args:
+                if _is_set_expression(arg, set_locals):
+                    yield flag(node.lineno, f"{name}()")
+            return
+    if isinstance(node, (ast.For, ast.comprehension)):
+        iterator = node.iter
+        if not _is_set_expression(iterator, set_locals):
+            return
+        if isinstance(node, ast.comprehension):
+            # A comprehension over a set builds an ordered container
+            # (list/dict) or another set; only the former leaks order.
+            return  # handled via the parent comprehension node below
+        if _loop_body_is_order_sensitive(node):
+            yield flag(iterator.lineno, "loop accumulation")
+        return
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        for comp in node.generators:
+            # A generator expression feeding an order-free consumer is
+            # fine; that consumer already returned before we got here
+            # only for list comps.  Flag list comps directly; bare
+            # generators are flagged at their consuming call.
+            if isinstance(node, ast.ListComp) and _is_set_expression(
+                comp.iter, set_locals
+            ):
+                yield flag(comp.iter.lineno, "list comprehension")
+
+
+def _loop_body_is_order_sensitive(loop: ast.For) -> bool:
+    """A ``for`` over a set is order-sensitive when its body appends to
+    a list, yields, or string-concatenates onto an accumulator."""
+    for node in ast.walk(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("append", "appendleft", "insert")
+        ):
+            return True
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            # s += ... string/list accumulation.
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# DET02 — id() keys
+# ----------------------------------------------------------------------
+def _id_keys(module: ParsedModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        ):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="DET02",
+                message=(
+                    "id() depends on allocation addresses — keys and "
+                    "orderings built on it differ across runs; use a "
+                    "stable identity (an explicit key, index or "
+                    "frozenset of members)"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# DET03 — hash() ordering
+# ----------------------------------------------------------------------
+def _hash_ordering(module: ParsedModule) -> Iterator[Finding]:
+    # Record which nodes live inside a __hash__ implementation.
+    inside_hash: set[int] = set()
+    for fn in ast.walk(module.tree):
+        if isinstance(fn, ast.FunctionDef) and fn.name == "__hash__":
+            for node in ast.walk(fn):
+                inside_hash.add(id(node))  # repro: disable=DET02 -- AST node identity
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and id(node) not in inside_hash  # repro: disable=DET02 -- same-process membership test
+        ):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="DET03",
+                message=(
+                    "builtin hash() is PYTHONHASHSEED-salted for strings "
+                    "— any ordering or bucketing built on it is "
+                    "unreproducible; use hashlib or a project stable-hash "
+                    "helper"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# DET04 — unseeded randomness
+# ----------------------------------------------------------------------
+def _unseeded_random(module: ParsedModule) -> Iterator[Finding]:
+    # Names bound to the random module by imports.
+    random_aliases = {"random"}
+    numpy_random_aliases = {"numpy.random", "np.random"}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" and alias.asname:
+                    random_aliases.add(alias.asname)
+                if alias.name == "numpy.random" and alias.asname:
+                    numpy_random_aliases.add(alias.asname)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        prefix, _, function = name.rpartition(".")
+        if prefix in random_aliases and function in _GLOBAL_RANDOM:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="DET04",
+                message=(
+                    f"{name}() draws from the process-global unseeded "
+                    f"generator; construct random.Random(seed) and draw "
+                    f"from it"
+                ),
+            )
+        elif prefix in numpy_random_aliases and function in _NUMPY_GLOBAL_RANDOM:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="DET04",
+                message=(
+                    f"{name}() uses numpy's global RandomState; construct "
+                    f"numpy.random.default_rng(seed) and draw from it"
+                ),
+            )
+        elif function == "default_rng" and not node.args and not node.keywords:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="DET04",
+                message=(
+                    "default_rng() without a seed draws OS entropy; pass "
+                    "an explicit seed"
+                ),
+            )

@@ -1,0 +1,416 @@
+"""LOCK: writer-lock discipline in the concurrent layers.
+
+Scope: modules under ``repro/serving/`` and ``repro/cluster/`` — the
+two layers whose correctness story ("readers never observe a half
+applied write", "cluster cuts are consistent") is a locking story.
+
+For every class that *owns* a lock (an ``__init__`` attribute assigned
+from the ``threading.Lock``/``RLock``/``Condition`` family, a
+``_ReadWriteLock``, or any ``*Lock``-named constructor), the checker
+enforces:
+
+``LOCK01`` — **unguarded mutation.**  Outside ``__init__``, assigning
+to instance state (``self.x = ...``, ``self.x += ...``,
+``del self.x``, ``self.x[k] = ...``) or calling a known mutator on an
+instance attribute (``.append``/``.update``/``.popleft``/...) must
+happen lexically inside a ``with self.<lock>``-family context — or
+inside a method the checker resolves as *lock-holding*: a method whose
+every intra-class call site is itself guarded (computed to fixpoint,
+so ``ingest -> with self._lock: self._ingest_locked()`` resolves), or
+whose name ends in ``_locked`` (the project's documented convention
+for callee-side contracts the call graph cannot see, e.g. callbacks).
+
+``LOCK02`` — **acquisition-order inversion.**  Nested ``with`` blocks
+acquiring two owned locks define a precedence edge (outer before
+inner).  If the same pair is also acquired in the opposite order
+anywhere in the module, both sites are flagged — the classic ABBA
+deadlock.  The documented shard-order rule is a special case: a loop
+that enters per-shard locks while iterating ``reversed(...)`` (or a
+descending ``sorted(..., reverse=True)``) is flagged directly, because
+every other acquirer walks shards in ascending order.
+
+The checker is lexical plus one call-graph fixpoint — it cannot see
+locks taken by other objects on the caller's behalf.  Such sites carry
+an inline ``# repro: disable=LOCK01`` with the justification, which is
+exactly the reviewable artifact we want."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from tools.analyzers.core import Finding, ParsedModule, call_name
+
+#: Constructor names that make an attribute a lock (matched on the
+#: rightmost dotted component, so ``threading.RLock`` and a bare
+#: ``RLock`` both count).
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: Method calls on a lock attribute that enter a guarded region when
+#: used as a ``with`` context (``self._rw.read()`` / ``.write()``).
+_GUARD_METHODS = {"read", "write", "acquire", "exclusive"}
+
+#: Mutating methods of the containers instance state is kept in.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Attributes that are read-mostly telemetry mutated only before
+#: publication — none today; mutations of every attribute are checked.
+
+
+class LockDisciplineCheck:
+    """See the module docstring."""
+
+    name = "lock"
+    codes = ("LOCK01", "LOCK02")
+
+    def interested(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "/serving/" in normalized or "/cluster/" in normalized
+
+    def run(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        findings.extend(_order_inversions(module))
+        # The shard-order rule binds classes that enter *other* objects'
+        # locks too (a session façade owns no lock of its own), so this
+        # pass covers the whole module, not just lock-owning classes.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                findings.extend(_check_reversed_shard_loop(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = _owned_locks(cls)
+        if not locks:
+            return
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        lock_holding = _lock_holding_methods(methods, locks)
+        for name, method in methods.items():
+            if name in ("__init__", "__new__", "__post_init__"):
+                continue
+            if name in lock_holding:
+                continue
+            yield from self._check_method(module, cls, method, locks)
+
+    def _check_method(
+        self,
+        module: ParsedModule,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        locks: set[str],
+    ) -> Iterator[Finding]:
+        for node, guarded in _walk_guarded(method, locks):
+            if guarded:
+                continue
+            attribute = _mutated_self_attribute(node)
+            if attribute is None or attribute in locks:
+                continue
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="LOCK01",
+                message=(
+                    f"{cls.name}.{method.name} mutates self.{attribute} "
+                    f"outside any owned lock context "
+                    f"({', '.join(sorted(locks))})"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# Lock inventory and guarded-region tracking
+# ----------------------------------------------------------------------
+def _owned_locks(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` lock attributes assigned in ``__init__``."""
+    locks: set[str] = set()
+    for item in cls.body:
+        if not isinstance(item, ast.FunctionDef) or item.name != "__init__":
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            constructor = call_name(node.value)
+            if constructor is None:
+                continue
+            basename = constructor.rsplit(".", 1)[-1]
+            if basename not in _LOCK_CONSTRUCTORS and not basename.endswith("Lock"):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _guard_lock(item: ast.withitem, locks: set[str]) -> str | None:
+    """The owned lock an ``with`` item acquires, if any.
+
+    Recognizes ``with self._lock:`` and ``with self._rw.read():`` /
+    ``.write()`` / ``.acquire()`` / ``.exclusive()`` shapes.
+    """
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _GUARD_METHODS
+    ):
+        expr = expr.func.value
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in locks
+    ):
+        return expr.attr
+    return None
+
+
+def _walk_guarded(
+    method: ast.AST, locks: set[str]
+) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield ``(node, inside_owned_lock_context)`` for the method body,
+    without descending into nested def/class scopes."""
+
+    def visit(node: ast.AST, guarded: bool) -> Iterator[tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            child_guarded = guarded
+            if isinstance(child, (ast.With, ast.AsyncWith)) and any(
+                _guard_lock(item, locks) for item in child.items
+            ):
+                child_guarded = True
+            yield child, child_guarded
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            yield from visit(child, child_guarded)
+
+    yield from visit(method, False)
+
+
+def _mutated_self_attribute(node: ast.AST) -> str | None:
+    """The ``self.<attr>`` an AST node mutates, or ``None``."""
+
+    def self_attr(expr: ast.AST) -> str | None:
+        # self.attr, self.attr[...] — the owned attribute either way.
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            attribute = self_attr(target)
+            if attribute is not None:
+                return attribute
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return self_attr(node.target)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attribute = self_attr(target)
+            if attribute is not None:
+                return attribute
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATORS
+    ):
+        return self_attr(node.func.value)
+    return None
+
+
+def _lock_holding_methods(
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    locks: set[str],
+) -> set[str]:
+    """Methods that provably run with an owned lock held.
+
+    Seed: the ``*_locked`` naming convention.  Fixpoint: a method all
+    of whose intra-class call sites (``self.m(...)``) are inside an
+    owned-lock context or inside an already lock-holding method.
+    Methods never called from inside the class do not qualify — public
+    entry points must take their own locks.
+    """
+    holding = {name for name in methods if name.endswith("_locked")}
+    # call sites: callee -> list of (caller, guarded_at_site)
+    sites: dict[str, list[tuple[str, bool]]] = {}
+    for caller, body in methods.items():
+        for node, guarded in _walk_guarded(body, locks):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_name(node)
+            if target is None or not target.startswith("self."):
+                continue
+            callee = target.split(".", 1)[1]
+            if "." in callee or callee not in methods:
+                continue
+            sites.setdefault(callee, []).append((caller, guarded))
+    changed = True
+    while changed:
+        changed = False
+        for callee, callers in sites.items():
+            if callee in holding:
+                continue
+            if all(guarded or caller in holding for caller, guarded in callers):
+                holding.add(callee)
+                changed = True
+    return holding
+
+
+# ----------------------------------------------------------------------
+# LOCK02: acquisition-order inversions
+# ----------------------------------------------------------------------
+def _order_inversions(module: ParsedModule) -> Iterator[Finding]:
+    """ABBA pairs across the module, plus reversed shard-order loops."""
+    # Collect (outer, inner, line) acquisition edges for self-owned
+    # locks, per enclosing class (lock names only collide per class).
+    edges: dict[str, list[tuple[str, str, int]]] = {}
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _owned_locks(cls)
+        if not locks:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from _collect_edges(module, cls, method, locks, edges)
+    for _cls_name, pairs in edges.items():
+        seen: dict[tuple[str, str], int] = {}
+        for outer, inner, line in pairs:
+            seen.setdefault((outer, inner), line)
+        for (outer, inner), line in sorted(seen.items(), key=lambda kv: kv[1]):
+            if (inner, outer) in seen and seen[(inner, outer)] < line:
+                yield Finding(
+                    path=module.path,
+                    line=line,
+                    code="LOCK02",
+                    message=(
+                        f"locks {inner!r} then {outer!r} acquired in the "
+                        f"opposite order at line {seen[(inner, outer)]} "
+                        f"(ABBA deadlock)"
+                    ),
+                )
+
+
+def _collect_edges(
+    module: ParsedModule,
+    cls: ast.ClassDef,
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+    locks: set[str],
+    edges: dict[str, list[tuple[str, str, int]]],
+) -> Iterator[Finding]:
+    """Record nested-acquisition edges; flag reversed shard loops."""
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    acquired = _guard_lock(item, locks)
+                    if acquired is not None:
+                        for outer in child_held:
+                            if outer != acquired:
+                                edges.setdefault(cls.name, []).append(
+                                    (outer, acquired, child.lineno)
+                                )
+                        child_held = child_held + (acquired,)
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            yield from visit(child, child_held)
+
+    yield from visit(method, ())
+
+
+def _check_reversed_shard_loop(
+    module: ParsedModule, loop: ast.For
+) -> Iterator[Finding]:
+    """A loop iterating ``reversed(...)`` (or descending ``sorted``)
+    while entering per-element lock contexts violates the shard-order
+    rule: every other acquirer takes shard locks in ascending order."""
+    iterator = loop.iter
+    descending = False
+    if isinstance(iterator, ast.Call):
+        name = call_name(iterator)
+        if name == "reversed":
+            descending = True
+        elif name == "sorted":
+            for keyword in iterator.keywords:
+                if keyword.arg == "reverse" and not (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    descending = True
+    if not descending:
+        return
+    for node in ast.walk(loop):
+        acquires = False
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquires = any(
+                _is_element_lock_entry(item.context_expr) for item in node.items
+            )
+        elif isinstance(node, ast.Call):
+            # stack.enter_context(shard.exclusive()) and friends.
+            name = call_name(node)
+            if name is not None and name.endswith("enter_context"):
+                acquires = any(_is_element_lock_entry(arg) for arg in node.args)
+        if acquires:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                code="LOCK02",
+                message=(
+                    "per-shard locks entered while iterating in "
+                    "descending order — the shard-order rule requires "
+                    "ascending acquisition everywhere"
+                ),
+            )
+            return
+
+
+def _is_element_lock_entry(expr: ast.AST) -> bool:
+    """``element.exclusive()`` / ``.write()`` / ``.read()`` /
+    ``.acquire()`` — entering a lock owned by the loop element."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _GUARD_METHODS
+    )

@@ -1,0 +1,183 @@
+"""File discovery, orchestration and reporting for the analyzers.
+
+The CLI contract (wired into CI as a blocking job)::
+
+    python -m tools.analyzers [--format=text|github] [--baseline FILE]
+                              [--update-baseline] [--list-codes] PATH...
+
+* findings suppressed by ``# repro: disable=`` comments never appear;
+* findings matching the baseline are reported as grandfathered but do
+  not affect the exit code;
+* any *fresh* finding (and any unparseable file, code ``PARSE``) exits
+  non-zero.
+
+``--format=github`` emits ``::error`` workflow commands so findings
+show up as inline annotations on pull requests."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from tools.analyzers.core import (
+    REPO_ROOT,
+    Check,
+    Finding,
+    Suppressions,
+    load_baseline,
+    parse_module,
+    split_fresh,
+    write_baseline,
+)
+from tools.analyzers.determinism import DeterminismCheck
+from tools.analyzers.lock import LockDisciplineCheck
+from tools.analyzers.schema import SchemaContractCheck
+
+#: Default baseline location, committed next to the analyzers.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: The registered checks, in reporting order.  Adding a checker is one
+#: import plus one entry here (see docs/development.md).
+ALL_CHECKS: tuple[Check, ...] = (
+    LockDisciplineCheck(),
+    DeterminismCheck(),
+    SchemaContractCheck(),
+)
+
+
+def discover_files(paths: Iterable[Path]) -> list[Path]:
+    """Python files under ``paths`` (files taken as-is), sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            files.add(path)
+        elif path.is_dir():
+            files.update(path.rglob("*.py"))
+    return sorted(files)
+
+
+def _repo_relative(path: Path) -> str:
+    try:
+        relative = path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        relative = path
+    return str(relative).replace("\\", "/")
+
+
+def run_checks(
+    files: Iterable[Path],
+    checks: Sequence[Check] = ALL_CHECKS,
+) -> list[Finding]:
+    """Run every interested check over every file; suppressions applied."""
+    findings: list[Finding] = []
+    for file_path in files:
+        relative = _repo_relative(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            module = parse_module(relative, source)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=relative,
+                    line=error.lineno or 1,
+                    code="PARSE",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        suppressions = Suppressions(source)
+        for check in checks:
+            if not check.interested(relative):
+                continue
+            findings.extend(suppressions.apply(check.run(module)))
+    return sorted(findings)
+
+
+def _emit(findings: Iterable[Finding], fmt: str, grandfathered: bool = False) -> None:
+    tag = " (baseline)" if grandfathered else ""
+    for finding in findings:
+        if fmt == "github":
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.code}::{finding.message}{tag}"
+            )
+        else:
+            print(
+                f"{finding.path}:{finding.line}: {finding.code} "
+                f"{finding.message}{tag}"
+            )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyzers",
+        description="Project-specific static analysis (LOCK / DET / SCHEMA).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format (github = workflow annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file for grandfathered findings "
+        f"(default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every finding code each checker can emit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_codes:
+        for check in ALL_CHECKS:
+            for code in check.codes:
+                print(f"{code}\t{check.name}")
+        print("PARSE\trunner")
+        return 0
+
+    files = discover_files(Path(p) for p in args.paths)
+    if not files:
+        print("no python files found under the given paths", file=sys.stderr)
+        return 2
+    findings = run_checks(files)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} finding(s) grandfathered")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    fresh, grandfathered = split_fresh(findings, baseline)
+    _emit(grandfathered, args.format, grandfathered=True)
+    _emit(fresh, args.format)
+    checked = len(files)
+    if fresh:
+        print(
+            f"{len(fresh)} fresh finding(s) over {checked} file(s) "
+            f"({len(grandfathered)} grandfathered)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"clean: {checked} file(s), {len(grandfathered)} grandfathered "
+        f"finding(s), 0 fresh"
+    )
+    return 0

@@ -1,0 +1,311 @@
+"""SCHEMA: every serialized envelope honors the wire contract.
+
+Scope: everything under ``src/repro/``.  The contract, set by
+``repro.api.results`` and enforced ad hoc in PRs 1 and 5 until now:
+
+``SCHEMA01`` — **unpaired serializer.**  A class defining ``to_dict``
+must define ``from_dict`` (and vice versa): every payload that can
+leave the process must be reconstructible on the other side.
+
+``SCHEMA02`` — **unversioned envelope.**  Both halves of the pair must
+reference a schema-version constant (any name containing
+``SCHEMA_VERSION``), directly or through a module-local helper called
+from the body (one level deep — the ``_envelope(...)`` /
+``check_envelope(...)`` idiom).  An envelope without a version cannot
+be evolved compatibly.
+
+``SCHEMA03`` — **leaky ``from_dict``.**  ``from_dict`` promises to
+translate malformed input into
+:class:`repro.api.errors.SchemaError`; a raw ``KeyError`` /
+``TypeError`` / ``ValueError`` escaping means the caller cannot tell
+"bad payload" from "engine bug".  The body passes when it contains a
+``try`` block whose handler catches those exceptions and raises a
+``Schema*`` error, or enters a ``with`` guard / calls a module-local
+helper that does (``with _parsing(...):``, ``_require(payload, ...)``).
+
+Helpers are resolved one call level deep: module-local functions
+first, then names imported from sibling project modules (``from
+repro.api.results import _parsing`` parses that file — never executes
+it — and qualifies the imported name the same way).  Helpers that
+cannot be resolved statically should be rare; when legitimate,
+suppress inline with the justification."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from tools.analyzers.core import REPO_ROOT, Finding, ParsedModule, call_name
+
+
+class SchemaContractCheck:
+    """See the module docstring."""
+
+    name = "schema"
+    codes = ("SCHEMA01", "SCHEMA02", "SCHEMA03")
+
+    def __init__(self) -> None:
+        # Parsed-sibling cache: module file -> (version helper names,
+        # guard helper names) defined at its top level.
+        self._sibling_cache: dict[Path, tuple[set[str], set[str]]] = {}
+
+    def interested(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "src/repro/" in normalized or normalized.startswith("repro/")
+
+    def run(self, module: ParsedModule) -> Iterable[Finding]:
+        helpers = _module_helpers(module.tree)
+        version_helpers = {
+            name for name, fn in helpers.items() if _references_version(fn)
+        }
+        guard_helpers = {
+            name for name, fn in helpers.items() if _translates_errors(fn)
+        }
+        imported_version, imported_guard = self._imported_helpers(module)
+        version_helpers |= imported_version
+        guard_helpers |= imported_guard
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(
+                    self._check_class(module, node, version_helpers, guard_helpers)
+                )
+        return findings
+
+    def _check_class(
+        self,
+        module: ParsedModule,
+        cls: ast.ClassDef,
+        version_helpers: set[str],
+        guard_helpers: set[str],
+    ) -> Iterator[Finding]:
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        to_dict = methods.get("to_dict")
+        from_dict = methods.get("from_dict")
+        if to_dict is None and from_dict is None:
+            return
+        if from_dict is None:
+            yield Finding(
+                path=module.path,
+                line=to_dict.lineno,
+                code="SCHEMA01",
+                message=(
+                    f"{cls.name} defines to_dict without a from_dict — "
+                    f"payloads that cross a process boundary must be "
+                    f"reconstructible"
+                ),
+            )
+            to_dict_only = True
+        else:
+            to_dict_only = False
+        if to_dict is None:
+            yield Finding(
+                path=module.path,
+                line=from_dict.lineno,
+                code="SCHEMA01",
+                message=(
+                    f"{cls.name} defines from_dict without a to_dict — "
+                    f"a parser without a producer is dead wire format"
+                ),
+            )
+        for method in (to_dict, from_dict):
+            if method is None:
+                continue
+            if not _versioned(method, version_helpers):
+                yield Finding(
+                    path=module.path,
+                    line=method.lineno,
+                    code="SCHEMA02",
+                    message=(
+                        f"{cls.name}.{method.name} writes or reads an "
+                        f"envelope without referencing a *_SCHEMA_VERSION "
+                        f"constant (directly or via a module helper)"
+                    ),
+                )
+        if (
+            from_dict is not None
+            and not to_dict_only
+            and not _guarded_from_dict(from_dict, guard_helpers)
+        ):
+            yield Finding(
+                path=module.path,
+                line=from_dict.lineno,
+                code="SCHEMA03",
+                message=(
+                    f"{cls.name}.from_dict may leak "
+                    f"KeyError/TypeError/ValueError on malformed "
+                    f"payloads — translate them into SchemaError "
+                    f"(try/except, a _parsing()-style guard, or "
+                    f"guarded accessors)"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Cross-module helper resolution (one hop, parse-only)
+    # ------------------------------------------------------------------
+    def _imported_helpers(
+        self, module: ParsedModule
+    ) -> tuple[set[str], set[str]]:
+        """Local names bound by ``from <project module> import name``
+        whose definitions qualify as version/guard helpers."""
+        version: set[str] = set()
+        guard: set[str] = set()
+        for node in module.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            target = _resolve_module_file(module.path, node.module, node.level)
+            if target is None:
+                continue
+            sibling_version, sibling_guard = self._sibling_helpers(target)
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name in sibling_version:
+                    version.add(local)
+                if alias.name in sibling_guard:
+                    guard.add(local)
+        return version, guard
+
+    def _sibling_helpers(self, target: Path) -> tuple[set[str], set[str]]:
+        cached = self._sibling_cache.get(target)
+        if cached is not None:
+            return cached
+        try:
+            tree = ast.parse(target.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            result: tuple[set[str], set[str]] = (set(), set())
+            self._sibling_cache[target] = result
+            return result
+        helpers = _module_helpers(tree)
+        result = (
+            {name for name, fn in helpers.items() if _references_version(fn)},
+            {name for name, fn in helpers.items() if _translates_errors(fn)},
+        )
+        self._sibling_cache[target] = result
+        return result
+
+
+def _resolve_module_file(
+    analyzed_path: str, module_name: str | None, level: int
+) -> Path | None:
+    """Map an import statement to a project source file, if it names one.
+
+    Absolute imports are tried against every ancestor directory of the
+    analyzed file (so ``repro.api.results`` resolves from
+    ``src/repro/cluster/results.py`` via the ``src`` root); relative
+    imports walk up ``level`` packages from the analyzed file.
+    """
+    analyzed = (REPO_ROOT / analyzed_path).resolve()
+    if level > 0:
+        base = analyzed.parent
+        for _ in range(level - 1):
+            base = base.parent
+        root_candidates = [base]
+    else:
+        root_candidates = list(analyzed.parents)
+    if not module_name:
+        module_parts: list[str] = []
+    else:
+        module_parts = module_name.split(".")
+    for root in root_candidates:
+        candidate = root.joinpath(*module_parts)
+        for target in (
+            candidate.with_suffix(".py"),
+            candidate / "__init__.py",
+        ):
+            if target.is_file() and REPO_ROOT in target.parents:
+                return target
+    return None
+
+
+# ----------------------------------------------------------------------
+def _module_helpers(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Top-level functions of the module, by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _references_version(scope: ast.AST) -> bool:
+    """Whether any name containing SCHEMA_VERSION is read in ``scope``."""
+    for node in ast.walk(scope):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and "SCHEMA_VERSION" in name:
+            return True
+    return False
+
+
+def _called_helpers(scope: ast.AST) -> set[str]:
+    """Bare-name and ``cls.name``/``self.name`` call targets in scope."""
+    called: set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        called.add(name.rsplit(".", 1)[-1])
+    return called
+
+
+def _versioned(method: ast.AST, version_helpers: set[str]) -> bool:
+    if _references_version(method):
+        return True
+    return bool(_called_helpers(method) & version_helpers)
+
+
+def _translates_errors(scope: ast.AST) -> bool:
+    """A try/except catching Key/Type/Value/AttributeError and raising a
+    Schema* error lives in ``scope``."""
+    risky = {"KeyError", "TypeError", "ValueError", "AttributeError", "Exception"}
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            caught: list[str] = []
+            if handler.type is None:
+                caught = ["Exception"]
+            else:
+                types = (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+                for entry in types:
+                    name = call_name(entry) or (
+                        entry.id if isinstance(entry, ast.Name) else None
+                    )
+                    if name is not None:
+                        caught.append(name.rsplit(".", 1)[-1])
+            if not (set(caught) & risky):
+                continue
+            for inner in ast.walk(handler):
+                if isinstance(inner, ast.Raise) and inner.exc is not None:
+                    raised = call_name(inner.exc)
+                    if raised is not None and "Schema" in raised.rsplit(".", 1)[-1]:
+                        return True
+    return False
+
+
+def _guarded_from_dict(method: ast.AST, guard_helpers: set[str]) -> bool:
+    if _translates_errors(method):
+        return True
+    # ``with _parsing(...):`` style guards.
+    for node in ast.walk(method):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                name = call_name(item.context_expr)
+                if name is not None and name.rsplit(".", 1)[-1] in guard_helpers:
+                    return True
+    # Guarded accessor helpers (``_require(payload, "field", ...)``).
+    return bool(_called_helpers(method) & guard_helpers)
