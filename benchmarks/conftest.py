@@ -23,6 +23,16 @@ from repro.datasets import (
     generate_nytimes2018,
     generate_reverb45k,
 )
+from repro.diagnostics.pytest_support import sanitized_test
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_sanitizer():
+    """Benchmarks honor ``REPRO_SANITIZE_LOCKS`` exactly like tests/ do
+    (the CI ``sanitized-stress`` job runs the serving/cluster suites
+    here under the sanitizer)."""
+    with sanitized_test():
+        yield
 
 #: The configuration every benchmark uses (paper constants, bounded LBP).
 BENCH_CONFIG = JOCLConfig(lbp_iterations=20, learn_iterations=10)

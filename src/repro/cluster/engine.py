@@ -673,6 +673,10 @@ class ShardedEngine:
                     shard_batch
                 )
             )
+        # The ingest lock is *deliberately* held across this fan-out:
+        # it serializes whole cluster ingests, and the shard tasks only
+        # take per-shard locks, which no pooled task re-enters.
+        # repro: disable=SAN03 -- ingest lock ordering documented above
         scatter(tasks, max_workers=self._max_workers)
 
     # ------------------------------------------------------------------

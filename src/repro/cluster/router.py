@@ -37,6 +37,7 @@ import hashlib
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
+from repro.api.errors import InvalidRequestError
 from repro.okb.store import OpenKB, PhraseRole
 from repro.okb.triples import OIETriple
 
@@ -219,9 +220,10 @@ _ROUTER_TYPES: dict[str, type[ShardRouter]] = {
 def router_from_state(payload: dict) -> ShardRouter:
     """Reconstruct a router from a cluster manifest payload.
 
-    Raises :class:`ValueError` for unknown types (a third-party router
-    whose class is not importable here); cluster load lets callers pass
-    an explicit ``router`` override in that case.
+    Raises :class:`~repro.api.errors.InvalidRequestError` (a
+    ``ValueError``) for unknown types (a third-party router whose class
+    is not importable here); cluster load lets callers pass an explicit
+    ``router`` override in that case.
 
     Example::
 
@@ -234,7 +236,7 @@ def router_from_state(payload: dict) -> ShardRouter:
     router_type = payload.get("type")
     router_cls = _ROUTER_TYPES.get(router_type)
     if router_cls is None:
-        raise ValueError(
+        raise InvalidRequestError(
             f"unknown shard router type {router_type!r}; expected one of "
             f"{sorted(_ROUTER_TYPES)} (pass an explicit router to load a "
             f"cluster saved with a custom router)"

@@ -1,0 +1,62 @@
+"""Test-time concurrency diagnostics for the serving/cluster stack.
+
+The package pairs with the static analyzers (``tools/analyzers``): the
+LOCK checker proves what it can about lock discipline from source, and
+exports its guarded-by map (``--emit-lock-model``); this runtime
+sanitizer (:func:`lock_sanitizer`) enforces the *same* map on live
+objects under real thread interleavings, and adds the checks that need
+execution — lock-order cycles across distinct call paths (``SAN01``),
+guarded-state mutations on concrete instances (``SAN02``), and locks
+held across blocking pool fan-outs (``SAN03``).
+
+This is a diagnostics layer, not part of the serving data path: nothing
+in ``repro`` imports it at runtime, and with the sanitizer inactive the
+patched constructors are never installed.  Enable it in the test suites
+with ``REPRO_SANITIZE_LOCKS=1`` (see :mod:`.pytest_support`).
+
+Example::
+
+    from repro.diagnostics import lock_sanitizer
+
+    with lock_sanitizer(model="lock-model.json") as sanitizer:
+        exercise_service_under_threads()
+    assert sanitizer.findings == []
+"""
+
+from repro.diagnostics.model import (
+    LOCK_MODEL_VERSION,
+    GuardedClassSpec,
+    LockModel,
+    LockModelError,
+    load_lock_model,
+)
+from repro.diagnostics.report import (
+    SAN01,
+    SAN02,
+    SAN03,
+    SANITIZER_CODES,
+    SanitizerFinding,
+    format_findings,
+)
+from repro.diagnostics.sanitizer import (
+    LockSanitizer,
+    SanitizerError,
+    lock_sanitizer,
+)
+
+__all__ = [
+    "GuardedClassSpec",
+    "LOCK_MODEL_VERSION",
+    "LockModel",
+    "LockModelError",
+    "LockSanitizer",
+    "SAN01",
+    "SAN02",
+    "SAN03",
+    "SANITIZER_CODES",
+    "SanitizerError",
+    "SanitizerFinding",
+    "format_findings",
+    "load_lock_model",
+    "lock_sanitizer",
+]

@@ -1,0 +1,125 @@
+"""The lock model: which attributes are locks, and who guards what.
+
+The model is *exported by the static LOCK checker* (``python -m
+tools.analyzers --emit-lock-model=PATH src``) — the call-graph
+fixpoint that powers LOCK01 also computes, per lock-owning class,
+which instance attributes are guarded by which locks.  The runtime
+sanitizer loads that JSON and enforces the same map on live objects,
+so the static and dynamic halves can never drift apart: there is one
+source of truth, and it is the analyzed source itself.
+
+Payload shape (``LOCK_MODEL_VERSION`` = 1)::
+
+    {"version": 1, "classes": [{
+        "module": "repro.serving.service",
+        "qualname": "JOCLService",
+        "locks": {"_rw": "_ReadWriteLock", "_stats_lock": "Lock"},
+        "guarded": {"_engine": ["_rw"], "_writes": ["_stats_lock"]},
+    }, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Kept in lockstep with ``tools.analyzers.lock.LOCK_MODEL_VERSION``.
+LOCK_MODEL_VERSION = 1
+
+#: Constructors from the ``threading`` module the sanitizer can wrap at
+#: construction time; anything else is a guard class (``_ReadWriteLock``)
+#: whose guard methods are patched instead.
+THREADING_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+class LockModelError(ValueError):
+    """A lock-model payload that cannot be parsed or has the wrong shape."""
+
+
+@dataclass(frozen=True)
+class GuardedClassSpec:
+    """One lock-owning class: its lock attributes and guarded state."""
+
+    #: Importable module holding the class (``repro.serving.service``).
+    module: str
+    #: Class name within the module (dotted for nested classes).
+    qualname: str
+    #: Lock attribute -> constructor basename (``Lock``, ``Condition``,
+    #: ``_ReadWriteLock``, ...).
+    locks: dict[str, str]
+    #: Guarded attribute -> the lock attributes its mutations hold.
+    guarded: dict[str, tuple[str, ...]]
+
+
+@dataclass
+class LockModel:
+    """A set of :class:`GuardedClassSpec`, loadable from the exported JSON."""
+
+    specs: list[GuardedClassSpec] = field(default_factory=list)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> LockModel:
+        """Parse the ``--emit-lock-model`` JSON payload.
+
+        Raises :class:`LockModelError` on a malformed or
+        version-incompatible payload.
+        """
+        if not isinstance(payload, dict):
+            raise LockModelError(
+                f"lock model must be a mapping, got {type(payload).__name__}"
+            )
+        if payload.get("version") != LOCK_MODEL_VERSION:
+            raise LockModelError(
+                f"lock model version {payload.get('version')!r} is not "
+                f"the supported {LOCK_MODEL_VERSION}"
+            )
+        entries = payload.get("classes", [])
+        if not isinstance(entries, list):
+            raise LockModelError("lock model 'classes' must be a list")
+        specs = []
+        for entry in entries:
+            try:
+                specs.append(
+                    GuardedClassSpec(
+                        module=str(entry["module"]),
+                        qualname=str(entry["qualname"]),
+                        locks={
+                            str(attr): str(ctor)
+                            for attr, ctor in dict(entry["locks"]).items()
+                        },
+                        guarded={
+                            str(attr): tuple(str(g) for g in guards)
+                            for attr, guards in dict(
+                                entry.get("guarded", {})
+                            ).items()
+                        },
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise LockModelError(
+                    f"malformed lock-model entry {entry!r}: {error}"
+                ) from error
+        return cls(specs=specs)
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> LockModel:
+        """Load the JSON file ``--emit-lock-model`` wrote."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise LockModelError(
+                f"cannot read lock model {path}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise LockModelError(
+                f"lock model {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_payload(payload)
+
+
+def load_lock_model(path: str | Path) -> LockModel:
+    """Convenience alias for :meth:`LockModel.from_json_file`."""
+    return LockModel.from_json_file(path)

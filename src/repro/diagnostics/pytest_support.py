@@ -1,0 +1,124 @@
+"""Opt-in pytest wiring for the concurrency sanitizer.
+
+The test suites enable the sanitizer through one environment variable
+rather than a pytest plugin, so plain ``pytest`` invocations (and the
+benchmark harness, which has its own ``conftest``) need no registration
+magic:
+
+``REPRO_SANITIZE_LOCKS``
+    unset / ``""`` / ``0``
+        Sanitizer off (the default; zero overhead).
+    ``1`` / ``text``
+        Every test runs under :func:`~repro.diagnostics.lock_sanitizer`;
+        findings fail the test, printed as ``path:line: CODE message``.
+    ``github``
+        Same, but findings are printed as ``::error`` workflow commands
+        so CI annotates the offending source lines (the
+        ``sanitized-stress`` job).
+
+``REPRO_LOCK_MODEL``
+    Path to a lock-model JSON previously exported with ``python -m
+    tools.analyzers --emit-lock-model=PATH src``.  When unset, the
+    model is exported once per process by running the analyzer in a
+    subprocess (never by importing ``tools`` — repo tooling stays out
+    of the ``repro`` package's import graph); if the repo checkout is
+    not available (installed package), the sanitizer still runs the
+    lock-order and pool checks, only the guarded-state map is skipped.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` declare a thin
+autouse fixture delegating to :func:`sanitized_test`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.diagnostics.model import LockModel, LockModelError, load_lock_model
+from repro.diagnostics.report import format_findings
+from repro.diagnostics.sanitizer import lock_sanitizer
+
+_MODES = {"": None, "0": None, "off": None, "1": "text", "text": "text", "github": "github"}
+
+#: Sentinel distinguishing "not built yet" from "built, unavailable".
+_UNSET = object()
+_session_model: object = _UNSET
+
+
+def sanitizer_mode() -> str | None:
+    """The requested output mode (``text``/``github``) or ``None`` (off).
+
+    Unknown values enable the sanitizer in ``text`` mode rather than
+    silently disabling it — an opt-in that looks set should never be a
+    no-op.
+    """
+    value = os.environ.get("REPRO_SANITIZE_LOCKS", "").strip().lower()
+    return _MODES.get(value, "text")
+
+
+def session_lock_model() -> LockModel | None:
+    """The lock model for this test process (built once, then cached)."""
+    global _session_model
+    if _session_model is _UNSET:
+        _session_model = _build_model()
+    return _session_model  # type: ignore[return-value]
+
+
+def _build_model() -> LockModel | None:
+    explicit = os.environ.get("REPRO_LOCK_MODEL")
+    if explicit:
+        return load_lock_model(explicit)
+    repo_root = Path(__file__).resolve().parents[3]
+    if not (repo_root / "tools" / "analyzers").is_dir():
+        return None
+    with tempfile.TemporaryDirectory(prefix="repro-lock-model-") as tmp:
+        target = Path(tmp) / "lock-model.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "tools.analyzers",
+                f"--emit-lock-model={target}",
+                "src",
+            ],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            raise LockModelError(
+                f"lock-model export failed ({result.returncode}): "
+                f"{result.stderr.strip() or result.stdout.strip()}"
+            )
+        return load_lock_model(target)
+
+
+@contextmanager
+def sanitized_test() -> Iterator[None]:
+    """Wrap one test in the sanitizer when ``REPRO_SANITIZE_LOCKS`` asks.
+
+    Findings are printed in the configured format and raised as an
+    ``AssertionError`` so the enclosing test fails — from a fixture's
+    teardown half, pytest reports that as a test error with the printed
+    annotations right above it.
+    """
+    mode = sanitizer_mode()
+    if mode is None:
+        yield
+        return
+    with lock_sanitizer(model=session_lock_model()) as sanitizer:
+        yield
+    findings = sanitizer.findings
+    if findings:
+        for line in format_findings(findings, fmt=mode):
+            print(line)
+        raise AssertionError(
+            f"concurrency sanitizer recorded {len(findings)} finding(s); "
+            f"see the {', '.join(sorted({f.code for f in findings}))} "
+            f"lines above"
+        )

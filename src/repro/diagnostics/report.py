@@ -1,0 +1,139 @@
+"""Sanitizer findings: record shape, output formats, suppressions.
+
+The runtime sanitizer reports through the same conventions as the
+static analyzers (``tools/analyzers``): findings are ``(path, line,
+code, message)`` records, rendered as ``path:line: CODE message`` text
+or ``::error`` GitHub workflow commands, and silenced by the exact
+same ``# repro: disable=CODE`` comment syntax — a site that is fine to
+hold a lock across a fan-out carries one reviewable justification that
+both the static checker and the sanitizer honor.
+
+The suppression scanner is deliberately re-implemented here rather
+than imported: ``tools/`` is repo tooling, not part of the installed
+``repro`` package, so ``src/`` must never import it.  The syntax and
+semantics mirror ``tools.analyzers.core.Suppressions`` line for line
+(same-line directive, standalone directive applying to the next code
+line, ``disable-file=``, the ``all`` keyword).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Lock-order cycle (potential ABBA deadlock), including the
+#: descending-shard-order special case.
+SAN01 = "SAN01"
+#: Guarded attribute mutated without its owning lock held.
+SAN02 = "SAN02"
+#: Lock held across a blocking submit to the shared fan-out pool.
+SAN03 = "SAN03"
+
+#: Every code the sanitizer can emit.
+SANITIZER_CODES = (SAN01, SAN02, SAN03)
+
+#: ``# repro: disable=CODE1,CODE2 [-- justification]`` — kept in sync
+#: with ``tools.analyzers.core._DISABLE``.
+_DISABLE = re.compile(
+    r"#\s*repro:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)(?:\s*(?:--.*)?)?$"
+)
+
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True, order=True)
+class SanitizerFinding:
+    """One runtime finding, anchored to the source line that acted.
+
+    Structurally identical to the static analyzers'
+    ``tools.analyzers.core.Finding`` so both render through the same
+    CI annotation machinery.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+
+def format_findings(
+    findings: Iterable[SanitizerFinding], fmt: str = "text"
+) -> list[str]:
+    """Render findings as ``text`` lines or ``github`` annotations."""
+    lines = []
+    for finding in sorted(findings):
+        if fmt == "github":
+            lines.append(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.code}::{finding.message}"
+            )
+        else:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.code} "
+                f"{finding.message}"
+            )
+    return lines
+
+
+@lru_cache(maxsize=512)
+def _file_suppressions(
+    abs_path: str,
+) -> tuple[frozenset[str], dict[int, frozenset[str]]]:
+    """``(file_wide_codes, line -> codes)`` parsed from one source file.
+
+    Cached per path: sources do not change during a test run, and the
+    sanitizer may consult the same file on every mutation.
+    """
+    try:
+        with open(abs_path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError):
+        return frozenset(), {}
+    file_wide: set[str] = set()
+    by_line: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for number, text in enumerate(lines, start=1):
+        comment = text.partition("#")[2]
+        if not comment:
+            continue
+        match = _DISABLE.search("#" + comment)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        }
+        if not codes:
+            continue
+        if match.group("scope"):
+            file_wide |= codes
+            continue
+        target = number
+        if _COMMENT_ONLY.match(text):
+            target = _next_code_line(lines, number)
+        by_line.setdefault(target, set()).update(codes)
+    return frozenset(file_wide), {
+        line: frozenset(codes) for line, codes in by_line.items()
+    }
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """First line after ``after`` (1-based) that is not blank/comment."""
+    for number in range(after + 1, len(lines) + 1):
+        text = lines[number - 1]
+        if text.strip() and not _COMMENT_ONLY.match(text):
+            return number
+    return after
+
+
+def suppressed_at(abs_path: str, line: int, code: str) -> bool:
+    """Whether a finding of ``code`` at ``abs_path:line`` is silenced."""
+    file_wide, by_line = _file_suppressions(abs_path)
+    for scope in (file_wide, by_line.get(line, frozenset())):
+        if code.upper() in scope or "ALL" in scope:
+            return True
+    return False

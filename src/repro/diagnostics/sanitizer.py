@@ -1,0 +1,757 @@
+"""The test-time concurrency sanitizer (``lock_sanitizer()``).
+
+ThreadSanitizer-style dynamic checking for the serving/cluster stack,
+active only inside the :func:`lock_sanitizer` context:
+
+* ``threading.Lock`` / ``RLock`` / ``Condition`` *construction* inside
+  repro code is patched to return instrumented wrappers that record
+  per-thread acquisition stacks into one global lock-order graph;
+* classes named by the static lock model (:mod:`.model`) get their
+  ``__init__`` and ``__setattr__`` patched: locks are labeled with
+  their owning attribute (``JOCLService._rw#0``, numbered in
+  construction order — the shard order), and every mutation of a
+  guarded attribute checks that one of its guard locks is held;
+* guard classes that are not ``threading`` primitives (the serving
+  layer's ``_ReadWriteLock``) have their ``read()``/``write()``/
+  ``exclusive()`` context managers wrapped so they join the same
+  held-stack bookkeeping;
+* the shared fan-out pool (:func:`repro.runtime.pool.scatter`)
+  notifies the sanitizer before blocking on a pool, catching locks
+  held across a submit.
+
+Findings (suppressable with the analyzers' ``# repro: disable=`` comment
+syntax, see :mod:`.report`):
+
+``SAN01``
+    A lock acquisition closes a cycle in the lock-order graph — the
+    classic ABBA pair, caught even when the interleaving never actually
+    deadlocks — or acquires a same-group lock (same class+attribute)
+    with a *lower* construction ordinal while holding a higher one,
+    the runtime form of the cluster's ascending-shard-order rule.
+``SAN02``
+    A guarded attribute was mutated while none of its guard locks was
+    held by the mutating thread.  The guarded-by map is the static
+    LOCK checker's export, not a second hand-written list.
+``SAN03``
+    The thread entering a blocking pool fan-out holds tracked locks; a
+    task needing any of them would deadlock the pool.
+
+Overhead stays well under the ~3x budget on the stress suites: the
+wrappers add a few dict operations per acquisition, the mutation check
+is two dict lookups, and no tracebacks are captured — sites are read
+off the live frame stack only when a finding is recorded.
+
+Example::
+
+    from repro.diagnostics import lock_sanitizer
+
+    with lock_sanitizer() as sanitizer:
+        a, b = sanitizer.Lock(), sanitizer.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:   # ABBA against the order recorded above
+                pass
+    assert [f.code for f in sanitizer.findings] == ["SAN01"]
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import importlib
+import os
+import sys
+import threading
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from typing import Any
+
+from repro.diagnostics.model import (
+    THREADING_CONSTRUCTORS,
+    GuardedClassSpec,
+    LockModel,
+)
+from repro.diagnostics.report import (
+    SAN01,
+    SAN02,
+    SAN03,
+    SanitizerFinding,
+    suppressed_at,
+)
+from repro.runtime import pool as _pool
+
+#: Real constructors, captured at import time so the sanitizer's own
+#: bookkeeping (and wrapped inner locks) never recurse into the patch.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+#: Guard-class context-manager methods the sanitizer knows how to wrap.
+_GUARD_METHODS = ("read", "write", "exclusive")
+
+#: Files whose frames are bookkeeping, not user code: used to anchor
+#: findings at the first *external* frame.
+_INTERNAL_FILES = (
+    os.path.dirname(os.path.abspath(__file__)) + os.sep,
+    os.path.abspath(threading.__file__),
+    os.path.abspath(contextlib.__file__),
+    os.path.abspath(_pool.__file__),
+)
+
+
+class SanitizerError(RuntimeError):
+    """The sanitizer cannot honor its configuration (e.g. a lock model
+    naming a module or class that does not resolve)."""
+
+
+class _LockInfo:
+    """Registry entry for one tracked lock object."""
+
+    __slots__ = ("key", "type_name", "ordinal", "label", "group", "seq")
+
+    def __init__(self, key: int, type_name: str, ordinal: int) -> None:
+        self.key = key
+        self.type_name = type_name
+        self.ordinal = ordinal
+        self.label: str | None = None
+        self.group: str | None = None
+        self.seq: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.type_name}#{self.ordinal}"
+
+
+class _SanitizedLock:
+    """``threading.Lock`` wrapper feeding the sanitizer's held-stack."""
+
+    def __init__(self, inner: Any, sanitizer: LockSanitizer) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._note_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._pop(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> _SanitizedLock:
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<sanitized {type(self._inner).__name__} {self._inner!r}>"
+
+
+class _SanitizedRLock(_SanitizedLock):
+    """Reentrant variant: every acquire pushes, every release pops, and
+    reentrant acquisitions record no order edges (see ``_note_acquire``)."""
+
+
+class _SanitizedCondition:
+    """``threading.Condition`` wrapper; ``wait()`` releases the lock, so
+    the held-stack entry is popped for the duration of the wait."""
+
+    def __init__(self, inner: Any, sanitizer: LockSanitizer) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+
+    def acquire(self, *args: Any) -> bool:
+        self._sanitizer._note_acquire(self)
+        acquired = self._inner.acquire(*args)
+        if acquired:
+            self._sanitizer._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._pop(self)
+
+    def __enter__(self) -> _SanitizedCondition:
+        self._sanitizer._note_acquire(self)
+        self._inner.__enter__()
+        self._sanitizer._push(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> Any:
+        self._sanitizer._pop(self)
+        return self._inner.__exit__(exc_type, exc_value, traceback)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        self._sanitizer._pop(self)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self._sanitizer._push(self)
+
+    def wait_for(self, predicate: Any, timeout: float | None = None) -> Any:
+        self._sanitizer._pop(self)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self._sanitizer._push(self)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+class _GuardContext:
+    """Wraps a guard-class context manager (``_ReadWriteLock.read()``)
+    so entering/leaving it maintains the held-stack for the *guard
+    object itself* — one node per RW lock, whatever the mode."""
+
+    __slots__ = ("_cm", "_lock", "_sanitizer")
+
+    def __init__(self, cm: Any, lock: Any, sanitizer: LockSanitizer) -> None:
+        self._cm = cm
+        self._lock = lock
+        self._sanitizer = sanitizer
+
+    def __enter__(self) -> Any:
+        self._sanitizer._note_acquire(self._lock)
+        value = self._cm.__enter__()
+        self._sanitizer._push(self._lock)
+        return value
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> Any:
+        self._sanitizer._pop(self._lock)
+        return self._cm.__exit__(exc_type, exc_value, traceback)
+
+
+class LockSanitizer:
+    """The sanitizer state machine; use via :func:`lock_sanitizer`.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.diagnostics.model.LockModel` (or the payload
+        dict / JSON path for one) exported by ``python -m
+        tools.analyzers --emit-lock-model``.  Optional: without it the
+        order graph (SAN01) and pool checks (SAN03) still run; the
+        guarded-by checks (SAN02) need the map.
+    extra:
+        ``{cls: {"locks": {...}, "guarded": {...}}}`` — additional
+        classes to instrument, resolved directly instead of through an
+        import path.  Meant for test fixtures.
+    module_prefixes:
+        Dotted-module prefixes whose ``threading`` constructions are
+        wrapped (default: repro code).  The sanitizer itself is always
+        exempt.
+    """
+
+    def __init__(
+        self,
+        model: LockModel | Mapping[str, Any] | str | os.PathLike | None = None,
+        extra: Mapping[type, Mapping[str, Any]] | None = None,
+        module_prefixes: Sequence[str] = ("repro",),
+    ) -> None:
+        self._model = _coerce_model(model)
+        self._extra = dict(extra or {})
+        self._prefixes = tuple(module_prefixes)
+        self._active = False
+        self._mutex = _REAL_RLOCK()
+        self._tls = threading.local()
+        self._findings: list[SanitizerFinding] = []
+        self._finding_keys: set[tuple[str, str, int]] = set()
+        #: lock key -> {successor key: site} — the global order graph.
+        self._graph: dict[int, dict[int, str]] = {}
+        self._info: dict[int, _LockInfo] = {}
+        self._refs: list[Any] = []  # keep ids stable while active
+        self._group_counts: dict[str, int] = {}
+        self._guard_classes: set[type] = set()
+        self._undo: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def findings(self) -> list[SanitizerFinding]:
+        """Findings recorded so far (deduplicated per code and site)."""
+        with self._mutex:
+            return sorted(self._findings)
+
+    def Lock(self) -> _SanitizedLock:
+        """An instrumented ``threading.Lock`` (for fixtures and docs)."""
+        return _SanitizedLock(_REAL_LOCK(), self)
+
+    def RLock(self) -> _SanitizedRLock:
+        """An instrumented ``threading.RLock``."""
+        return _SanitizedRLock(_REAL_RLOCK(), self)
+
+    def Condition(self) -> _SanitizedCondition:
+        """An instrumented ``threading.Condition``."""
+        return _SanitizedCondition(_REAL_CONDITION(), self)
+
+    def label(self, lock: Any, group: str) -> None:
+        """Label ``lock`` as the next member of ``group``.
+
+        Members of one group (one class+attribute pair, e.g. per-shard
+        session locks) are sequence-numbered in labeling order and must
+        be acquired in ascending order when nested — the shard-order
+        rule.  Instrumented classes are labeled automatically after
+        ``__init__``; this is the manual hook for fixtures.
+        """
+        self._label(lock, group)
+
+    def start(self) -> None:
+        """Activate: patch constructors, model classes, the pool hook."""
+        if self._active:
+            return
+        self._active = True
+        self._patch_threading()
+        for cls, spec in self._resolve_classes():
+            self._patch_model_class(cls, spec)
+            self._patch_spec_guard_classes(cls, spec)
+        _pool._SCATTER_OBSERVERS.append(self._on_scatter)
+        self._undo.append(
+            lambda: _pool._SCATTER_OBSERVERS.remove(self._on_scatter)
+        )
+
+    def stop(self) -> None:
+        """Deactivate and unpatch everything, in reverse patch order."""
+        if not self._active:
+            return
+        self._active = False
+        while self._undo:
+            self._undo.pop()()
+        self._guard_classes.clear()
+
+    # ------------------------------------------------------------------
+    # Model resolution and patching
+    # ------------------------------------------------------------------
+    def _resolve_classes(self) -> Iterator[tuple[type, GuardedClassSpec]]:
+        for spec in self._model.specs if self._model else ():
+            try:
+                module = importlib.import_module(spec.module)
+            except ImportError as error:
+                raise SanitizerError(
+                    f"lock model names module {spec.module!r} which does "
+                    f"not import: {error}"
+                ) from error
+            obj: Any = module
+            for part in spec.qualname.split("."):
+                obj = getattr(obj, part, None)
+            if not isinstance(obj, type):
+                raise SanitizerError(
+                    f"lock model names {spec.module}.{spec.qualname} "
+                    f"which does not resolve to a class"
+                )
+            yield obj, spec
+        for cls, payload in self._extra.items():
+            yield (
+                cls,
+                GuardedClassSpec(
+                    module=cls.__module__,
+                    qualname=cls.__qualname__,
+                    locks=dict(payload.get("locks", {})),
+                    guarded={
+                        attr: tuple(guards)
+                        for attr, guards in dict(
+                            payload.get("guarded", {})
+                        ).items()
+                    },
+                ),
+            )
+
+    def _patch_threading(self) -> None:
+        sanitizer = self
+
+        def factory(real: Any, wrapper: type) -> Any:
+            def construct(*args: Any, **kwargs: Any) -> Any:
+                inner = real(*args, **kwargs)
+                caller = sys._getframe(1).f_globals.get("__name__", "")
+                if sanitizer._active and sanitizer._instruments(caller):
+                    return wrapper(inner, sanitizer)
+                return inner
+
+            return construct
+
+        originals = (threading.Lock, threading.RLock, threading.Condition)
+        threading.Lock = factory(_REAL_LOCK, _SanitizedLock)
+        threading.RLock = factory(_REAL_RLOCK, _SanitizedRLock)
+        threading.Condition = factory(_REAL_CONDITION, _SanitizedCondition)
+
+        def undo() -> None:
+            threading.Lock, threading.RLock, threading.Condition = originals
+
+        self._undo.append(undo)
+
+    def _instruments(self, module: str) -> bool:
+        if not module or module.startswith("repro.diagnostics"):
+            return False
+        return module.startswith(self._prefixes)
+
+    def _patch_model_class(self, cls: type, spec: GuardedClassSpec) -> None:
+        sanitizer = self
+        init_in_dict = "__init__" in cls.__dict__
+        setattr_in_dict = "__setattr__" in cls.__dict__
+        current_init = cls.__init__
+        current_setattr = cls.__setattr__
+
+        @functools.wraps(current_init)
+        def patched_init(instance: Any, *args: Any, **kwargs: Any) -> None:
+            constructing = sanitizer._constructing()
+            # repro: disable=DET02 -- runtime identity of a live object, never serialized or ordered
+            constructing.append(id(instance))
+            try:
+                current_init(instance, *args, **kwargs)
+            finally:
+                constructing.pop()
+            sanitizer._register_instance(instance, spec)
+
+        def patched_setattr(instance: Any, name: str, value: Any) -> None:
+            if sanitizer._active and name in spec.guarded:
+                sanitizer._check_guarded_mutation(instance, spec, name)
+            current_setattr(instance, name, value)
+
+        cls.__init__ = patched_init  # type: ignore[method-assign]
+        cls.__setattr__ = patched_setattr  # type: ignore[method-assign]
+
+        def undo() -> None:
+            if init_in_dict:
+                cls.__init__ = current_init  # type: ignore[method-assign]
+            else:
+                del cls.__init__
+            if setattr_in_dict:
+                cls.__setattr__ = current_setattr  # type: ignore[method-assign]
+            else:
+                del cls.__setattr__
+
+        self._undo.append(undo)
+
+    def _patch_spec_guard_classes(
+        self, cls: type, spec: GuardedClassSpec
+    ) -> None:
+        """Patch non-``threading`` guard classes (``_ReadWriteLock``) so
+        even instances that predate the sanitizer are tracked."""
+        module = sys.modules.get(cls.__module__)
+        for constructor in set(spec.locks.values()):
+            if constructor in THREADING_CONSTRUCTORS or module is None:
+                continue
+            guard_cls = getattr(module, constructor, None)
+            if isinstance(guard_cls, type):
+                self._patch_guard_class(guard_cls)
+
+    def _patch_guard_class(self, guard_cls: type) -> None:
+        if guard_cls in self._guard_classes:
+            return
+        self._guard_classes.add(guard_cls)
+        sanitizer = self
+        for method_name in _GUARD_METHODS:
+            original = guard_cls.__dict__.get(method_name)
+            if original is None or not callable(original):
+                continue
+
+            def make(original: Any) -> Any:
+                @functools.wraps(original)
+                def guard(lock_self: Any, *args: Any, **kwargs: Any) -> Any:
+                    cm = original(lock_self, *args, **kwargs)
+                    if not sanitizer._active:
+                        return cm
+                    return _GuardContext(cm, lock_self, sanitizer)
+
+                return guard
+
+            setattr(guard_cls, method_name, make(original))
+
+            def undo(
+                guard_cls: type = guard_cls,
+                method_name: str = method_name,
+                original: Any = original,
+            ) -> None:
+                setattr(guard_cls, method_name, original)
+
+            self._undo.append(undo)
+
+    def _register_instance(self, instance: Any, spec: GuardedClassSpec) -> None:
+        if not self._active:
+            return
+        for attr in spec.locks:
+            lock = getattr(instance, attr, None)
+            if lock is not None:
+                self._label(lock, f"{spec.qualname}.{attr}")
+
+    # ------------------------------------------------------------------
+    # Held-stack bookkeeping and the order graph
+    # ------------------------------------------------------------------
+    def _held(self) -> list[Any]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def _constructing(self) -> list[int]:
+        constructing = getattr(self._tls, "constructing", None)
+        if constructing is None:
+            constructing = self._tls.constructing = []
+        return constructing
+
+    def _push(self, lock: Any) -> None:
+        if self._active:
+            self._held().append(lock)
+
+    def _pop(self, lock: Any) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                return
+
+    def _ensure_info(self, lock: Any) -> _LockInfo:
+        # Lock *identity* is the right key for a runtime registry: the
+        # sanitizer pins a strong reference, ids stay unique while
+        # active, and nothing keyed on them is serialized or ordered.
+        # repro: disable=DET02 -- runtime identity of a pinned live lock
+        key = id(lock)
+        with self._mutex:
+            info = self._info.get(key)
+            if info is None:
+                inner = getattr(lock, "_inner", lock)
+                info = _LockInfo(key, type(inner).__name__, len(self._info))
+                self._info[key] = info
+                self._refs.append(lock)
+            return info
+
+    def _label(self, lock: Any, group: str) -> None:
+        info = self._ensure_info(lock)
+        with self._mutex:
+            if info.label is not None:
+                return
+            seq = self._group_counts.get(group, 0)
+            self._group_counts[group] = seq + 1
+            info.group = group
+            info.seq = seq
+            info.label = f"{group}#{seq}"
+
+    def _note_acquire(self, lock: Any) -> None:
+        """Record intent to acquire: order edges from every held lock,
+        cycle detection, and the same-group ordering rule.  Called
+        *before* blocking, so a true deadlock still gets its finding."""
+        if not self._active:
+            return
+        held = self._held()
+        if any(entry is lock for entry in held):
+            return  # reentrant (RLock/Condition): no new edges
+        info = self._ensure_info(lock)
+        site = None
+        with self._mutex:
+            for holder in held:
+                held_info = self._ensure_info(holder)
+                if site is None:
+                    site = self._external_site()
+                self._check_group_order(held_info, info, site)
+                self._add_edge(held_info, info, site)
+
+    def _check_group_order(
+        self,
+        held_info: _LockInfo,
+        new_info: _LockInfo,
+        site: tuple[str, str, int],
+    ) -> None:
+        if (
+            held_info.group is None
+            or held_info.group != new_info.group
+            or held_info.seq is None
+            or new_info.seq is None
+            or held_info.seq <= new_info.seq
+        ):
+            return
+        self._record(
+            SAN01,
+            site,
+            f"{new_info.name} acquired while holding {held_info.name}: "
+            f"same-group locks must be taken in ascending construction "
+            f"(shard) order — every other acquirer walks shards upward",
+        )
+
+    def _add_edge(
+        self,
+        src: _LockInfo,
+        dst: _LockInfo,
+        site: tuple[str, str, int],
+    ) -> None:
+        successors = self._graph.setdefault(src.key, {})
+        if dst.key in successors:
+            return
+        successors[dst.key] = f"{site[1]}:{site[2]}"
+        cycle = self._find_path(dst.key, src.key)
+        if cycle is None:
+            return
+        names = [self._info[key].name for key in [src.key, *cycle]]
+        reverse_site = self._graph.get(dst.key, {}).get(src.key)
+        where = f" (opposite order recorded at {reverse_site})" if reverse_site else ""
+        self._record(
+            SAN01,
+            site,
+            f"acquiring {dst.name} while holding {src.name} closes the "
+            f"lock-order cycle {' -> '.join(names)} — potential ABBA "
+            f"deadlock{where}",
+        )
+
+    def _find_path(self, start: int, goal: int) -> list[int] | None:
+        """DFS path ``start -> ... -> goal`` in the order graph."""
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for successor in self._graph.get(node, {}):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, path + [successor]))
+        return None
+
+    # ------------------------------------------------------------------
+    # SAN02: guarded-state mutations
+    # ------------------------------------------------------------------
+    def _check_guarded_mutation(
+        self, instance: Any, spec: GuardedClassSpec, name: str
+    ) -> None:
+        constructing = getattr(self._tls, "constructing", None)
+        # repro: disable=DET02 -- runtime identity of a live object, never serialized or ordered
+        if constructing and id(instance) in constructing:
+            return
+        guards = spec.guarded.get(name, ())
+        held = self._held()
+        checkable = False
+        guard_locks = []
+        for guard_attr in guards:
+            lock = getattr(instance, guard_attr, None)
+            if lock is None:
+                continue
+            if any(entry is lock for entry in held):
+                return
+            guard_locks.append(guard_attr)
+            if self._tracked(lock):
+                checkable = True
+        if not checkable:
+            # Every guard is an uninstrumented (pre-sanitizer) primitive:
+            # acquisitions were invisible, so absence of evidence is not
+            # evidence of absence.
+            return
+        self._record(
+            SAN02,
+            self._external_site(),
+            f"{spec.qualname}.{name} mutated without holding "
+            f"{' or '.join(guard_locks)} (guarded-by map exported by the "
+            f"static LOCK checker)",
+        )
+
+    def _tracked(self, lock: Any) -> bool:
+        if isinstance(
+            lock, (_SanitizedLock, _SanitizedCondition)
+        ):
+            return True
+        return type(lock) in self._guard_classes
+
+    # ------------------------------------------------------------------
+    # SAN03: blocking pool fan-out with locks held
+    # ------------------------------------------------------------------
+    def _on_scatter(self, n_tasks: int) -> None:
+        if not self._active:
+            return
+        held = self._held()
+        if not held:
+            return
+        names = sorted({self._ensure_info(lock).name for lock in held})
+        self._record(
+            SAN03,
+            self._external_site(),
+            f"blocking fan-out of {n_tasks} task(s) on the shared pool "
+            f"while holding {', '.join(names)} — a task needing any of "
+            f"these locks deadlocks the pool",
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _external_site(self) -> tuple[str, str, int]:
+        """``(abs_path, display_path, line)`` of the first frame outside
+        the sanitizer/threading/pool plumbing."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            filename = os.path.abspath(frame.f_code.co_filename)
+            if not _internal_file(filename):
+                display = os.path.relpath(filename, os.getcwd())
+                if display.startswith(".."):
+                    display = filename
+                return filename, display.replace(os.sep, "/"), frame.f_lineno
+            frame = frame.f_back
+        return "<unknown>", "<unknown>", 0
+
+    def _record(
+        self, code: str, site: tuple[str, str, int], message: str
+    ) -> None:
+        abs_path, display, line = site
+        if suppressed_at(abs_path, line, code):
+            return
+        key = (code, display, line)
+        with self._mutex:
+            if key in self._finding_keys:
+                return
+            self._finding_keys.add(key)
+            self._findings.append(
+                SanitizerFinding(
+                    path=display, line=line, code=code, message=message
+                )
+            )
+
+
+def _internal_file(filename: str) -> bool:
+    return any(
+        filename.startswith(prefix) if prefix.endswith(os.sep)
+        else filename == prefix
+        for prefix in _INTERNAL_FILES
+    )
+
+
+def _coerce_model(
+    model: LockModel | Mapping[str, Any] | str | os.PathLike | None,
+) -> LockModel | None:
+    if model is None or isinstance(model, LockModel):
+        return model
+    if isinstance(model, (str, os.PathLike)):
+        return LockModel.from_json_file(model)
+    return LockModel.from_payload(dict(model))
+
+
+@contextmanager
+def lock_sanitizer(
+    model: LockModel | Mapping[str, Any] | str | os.PathLike | None = None,
+    extra: Mapping[type, Mapping[str, Any]] | None = None,
+    module_prefixes: Sequence[str] = ("repro",),
+) -> Iterator[LockSanitizer]:
+    """Run a block under the concurrency sanitizer; see the module
+    docstring and :class:`LockSanitizer` for parameters.
+
+    Example::
+
+        with lock_sanitizer(model="lock-model.json") as sanitizer:
+            run_stress_test()
+        assert sanitizer.findings == []
+    """
+    sanitizer = LockSanitizer(
+        model=model, extra=extra, module_prefixes=module_prefixes
+    )
+    sanitizer.start()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.stop()

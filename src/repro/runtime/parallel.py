@@ -163,9 +163,20 @@ class ParallelRuntime(PartitionedRuntime):
             computed = [_run_unit(payload) for payload in payloads]
         else:
             with self._make_executor(pool_size) as executor:
-                # executor.map preserves input order: merge order == plan
-                # order, whatever the completion order was.
-                computed = list(executor.map(_run_unit, payloads))
+                # Futures in submission order: merge order == plan order,
+                # whatever the completion order was.  On the first unit
+                # failure the queued remainder is cancelled, so the
+                # context manager's join waits only for units already
+                # running — the pool never outlives the error.
+                futures = [
+                    executor.submit(_run_unit, payload) for payload in payloads
+                ]
+                try:
+                    computed = [future.result() for future in futures]
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
         for (position, _unit), part in zip(pending, computed, strict=True):
             results[position] = part
         return results

@@ -35,7 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.api.engine import JOCLEngine
-from repro.api.errors import CheckpointError
+from repro.api.errors import CheckpointError, InvalidRequestError
 from repro.api.results import EngineReport, EngineStats, ResolveResult
 from repro.okb.triples import OIETriple
 from repro.persist.store import StateStore
@@ -160,7 +160,9 @@ class JOCLService:
         max_batch_size: int = 64,
     ) -> None:
         if max_batch_size < 1:
-            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+            raise InvalidRequestError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
         self._engine = engine
         self._store = store
         self._max_batch = max_batch_size

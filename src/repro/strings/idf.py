@@ -84,9 +84,13 @@ def idf_token_overlap(first: str, second: str, stats: IdfStatistics) -> float:
     union = words_a | words_b
     if not union:
         return 0.0
+    # Sorted iteration: float addition is not associative, so summing
+    # in set (hash) order makes the score depend on PYTHONHASHSEED and
+    # on which operand came first — overlap(a, b) could differ from
+    # overlap(b, a) in the last ulp.  Sorting pins one order for both.
     intersection = words_a & words_b
-    numerator = sum(stats.weight(word) for word in intersection)
-    denominator = sum(stats.weight(word) for word in union)
+    numerator = sum(stats.weight(word) for word in sorted(intersection))
+    denominator = sum(stats.weight(word) for word in sorted(union))
     if denominator == 0.0:
         return 0.0
     return numerator / denominator

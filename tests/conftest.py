@@ -13,9 +13,22 @@ from repro.ckb.anchors import AnchorStatistics
 from repro.ckb.kb import CuratedKB, Entity, Fact, Relation
 from repro.core.side_info import SideInformation
 from repro.datasets import ReVerb45KConfig, generate_reverb45k
+from repro.diagnostics.pytest_support import sanitized_test
 from repro.okb.store import OpenKB
 from repro.okb.triples import OIETriple, TripleGold
 from repro.paraphrase.ppdb import ParaphraseDB
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_sanitizer():
+    """Run every test under the lock sanitizer when asked.
+
+    Off by default; ``REPRO_SANITIZE_LOCKS=1|text|github`` turns it on
+    (the CI ``sanitized-stress`` job).  See
+    :mod:`repro.diagnostics.pytest_support`.
+    """
+    with sanitized_test():
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,198 @@
+"""EXC checker fixtures: true positives, true negatives, the repo gate.
+
+Each fixture is a minimal module exercising one pattern the checker
+must flag (or must not).  Paths are synthetic but inside the checker's
+scope (``src/repro/api/``)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from tools.analyzers.core import Suppressions, parse_module
+from tools.analyzers.exceptions import ExceptionContractCheck
+from tools.analyzers.runner import run_checks
+
+CHECK = ExceptionContractCheck()
+
+
+def findings_of(source: str, path: str = "src/repro/api/fixture.py"):
+    source = textwrap.dedent(source)
+    module = parse_module(path, source)
+    return Suppressions(source).apply(list(CHECK.run(module)))
+
+
+def codes_of(source: str, path: str = "src/repro/api/fixture.py"):
+    return [finding.code for finding in findings_of(source, path)]
+
+
+# ----------------------------------------------------------------------
+# Scope
+# ----------------------------------------------------------------------
+def test_only_public_surface_packages_are_in_scope():
+    assert CHECK.interested("src/repro/api/engine.py")
+    assert CHECK.interested("src/repro/serving/service.py")
+    assert CHECK.interested("src/repro/cluster/router.py")
+    assert not CHECK.interested("src/repro/okb/store.py")
+    assert not CHECK.interested("src/repro/runtime/pool.py")
+    assert not CHECK.interested("tools/analyzers/core.py")
+
+
+# ----------------------------------------------------------------------
+# True positives
+# ----------------------------------------------------------------------
+RAW_RAISE_IN_PUBLIC_METHOD = """
+    class Engine:
+        def resolve(self, mention):
+            if not mention:
+                raise ValueError("mention must be non-empty")
+            return mention
+"""
+
+
+def test_tp_public_method_raising_raw_builtin():
+    findings = findings_of(RAW_RAISE_IN_PUBLIC_METHOD)
+    assert [f.code for f in findings] == ["EXC01"]
+    assert "Engine.resolve" in findings[0].message
+    assert "ValueError" in findings[0].message
+
+
+RAW_RAISE_IN_MODULE_FUNCTION = """
+    def router_from_state(payload):
+        if "type" not in payload:
+            raise KeyError("type")
+        return payload["type"]
+"""
+
+
+def test_tp_public_module_function_raising_raw_builtin():
+    assert codes_of(RAW_RAISE_IN_MODULE_FUNCTION) == ["EXC01"]
+
+
+RAW_RAISE_IN_NESTED_DEF = """
+    class Service:
+        def checkpoint(self, store):
+            def ensure(value):
+                if value is None:
+                    raise RuntimeError("no store configured")
+                return value
+
+            return ensure(store)
+"""
+
+
+def test_tp_nested_def_inside_public_method_is_included():
+    findings = findings_of(RAW_RAISE_IN_NESTED_DEF)
+    assert [f.code for f in findings] == ["EXC01"]
+    assert "Service.checkpoint" in findings[0].message
+
+
+RAW_RAISE_IN_DUNDER = """
+    class Service:
+        def __init__(self, max_batch_size):
+            if max_batch_size < 1:
+                raise ValueError("max_batch_size must be >= 1")
+"""
+
+
+def test_tp_dunder_init_counts_as_public():
+    assert codes_of(RAW_RAISE_IN_DUNDER) == ["EXC01"]
+
+
+# ----------------------------------------------------------------------
+# True negatives
+# ----------------------------------------------------------------------
+PROJECT_ERROR_RAISE = """
+    from repro.api.errors import InvalidRequestError
+
+    class Engine:
+        def resolve(self, mention):
+            if not mention:
+                raise InvalidRequestError("mention must be non-empty")
+            return mention
+"""
+
+
+def test_tn_project_hierarchy_raise_is_fine():
+    assert codes_of(PROJECT_ERROR_RAISE) == []
+
+
+PRIVATE_HELPERS = """
+    class Engine:
+        def _validate(self, mention):
+            if not mention:
+                raise ValueError("mention must be non-empty")
+
+    class _Support:
+        def check(self):
+            raise RuntimeError("internal invariant")
+
+    def _ensure(value):
+        if value is None:
+            raise KeyError("value")
+"""
+
+
+def test_tn_private_functions_classes_and_methods_are_not_flagged():
+    assert codes_of(PRIVATE_HELPERS) == []
+
+
+RERAISE_AND_VARIABLE = """
+    class Engine:
+        def resolve(self, mention):
+            try:
+                return self._decode(mention)
+            except KeyError as error:
+                err = error
+                raise err
+
+        def run(self):
+            try:
+                return self._go()
+            except Exception:
+                raise
+"""
+
+
+def test_tn_reraise_of_caught_variable_and_bare_raise_never_fire():
+    assert codes_of(RERAISE_AND_VARIABLE) == []
+
+
+NOT_IMPLEMENTED_CONTRACT = """
+    class Runtime:
+        def execute(self, plan):
+            raise NotImplementedError
+"""
+
+
+def test_tn_not_implemented_error_declares_an_abstract_contract():
+    assert codes_of(NOT_IMPLEMENTED_CONTRACT) == []
+
+
+def test_tn_out_of_scope_path_is_never_visited():
+    assert not CHECK.interested("src/repro/core/model.py")
+
+
+# ----------------------------------------------------------------------
+# Suppression integration
+# ----------------------------------------------------------------------
+def test_inline_suppression_silences_exc01():
+    source = RAW_RAISE_IN_PUBLIC_METHOD.replace(
+        'raise ValueError("mention must be non-empty")',
+        'raise ValueError("x")  # repro: disable=EXC01 -- doc example',
+    )
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# The repo gate: the public surface is already clean (no baseline debt)
+# ----------------------------------------------------------------------
+def test_repo_public_surface_has_no_exc01_findings():
+    repo_src = Path(__file__).resolve().parents[1] / "src"
+    files = sorted(repo_src.rglob("*.py"))
+    findings = [
+        finding
+        for finding in run_checks(files, checks=[CHECK])
+        if finding.code == "EXC01"
+    ]
+    assert findings == []

@@ -21,7 +21,8 @@ from tools.analyzers.core import (
 from tools.analyzers.runner import ALL_CHECKS, main, run_checks
 
 #: One finding per checker: LOCK01 (unguarded mutation), DET02 (id()
-#: key), SCHEMA01 (unpaired serializer).
+#: key), SCHEMA01 (unpaired serializer), EXC01 (raw builtin raise at a
+#: public boundary).
 ONE_PER_CHECKER = textwrap.dedent(
     """
     import threading
@@ -33,9 +34,19 @@ ONE_PER_CHECKER = textwrap.dedent(
         def __init__(self):
             self._lock = threading.Lock()
             self._engine = None
+            self._count = 0
 
         def swap(self, engine):
             self._engine = engine
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def resolve(self, mention):
+            if not mention:
+                raise ValueError("mention must be non-empty")
+            return mention
 
         def tag(self, item):
             return id(item)
@@ -65,7 +76,7 @@ def codes(findings):
 
 def test_each_checker_fires_once_on_the_shared_fixture(fixture_file):
     findings = run_checks([fixture_file])
-    assert codes(findings) == ["DET02", "LOCK01", "SCHEMA01"]
+    assert codes(findings) == ["DET02", "EXC01", "LOCK01", "SCHEMA01"]
     owners = {code for check in ALL_CHECKS for code in check.codes}
     assert {finding.code for finding in findings} <= owners
 
@@ -79,7 +90,7 @@ def test_same_line_directive_suppresses_only_that_code(fixture_file):
         "self._engine = engine  # repro: disable=LOCK01 -- swap is CAS-safe",
     )
     fixture_file.write_text(source, encoding="utf-8")
-    assert codes(run_checks([fixture_file])) == ["DET02", "SCHEMA01"]
+    assert codes(run_checks([fixture_file])) == ["DET02", "EXC01", "SCHEMA01"]
 
 
 def test_standalone_directive_applies_to_the_next_code_line(fixture_file):
@@ -89,7 +100,7 @@ def test_standalone_directive_applies_to_the_next_code_line(fixture_file):
         "        self._engine = engine",
     )
     fixture_file.write_text(source, encoding="utf-8")
-    assert codes(run_checks([fixture_file])) == ["DET02", "SCHEMA01"]
+    assert codes(run_checks([fixture_file])) == ["DET02", "EXC01", "SCHEMA01"]
 
 
 def test_directive_on_the_wrong_line_does_not_suppress(fixture_file):
@@ -105,7 +116,7 @@ def test_directive_on_the_wrong_line_does_not_suppress(fixture_file):
 def test_file_wide_directive_and_all_keyword(fixture_file):
     source = "# repro: disable-file=DET02 -- debug tags only\n" + ONE_PER_CHECKER
     fixture_file.write_text(source, encoding="utf-8")
-    assert codes(run_checks([fixture_file])) == ["LOCK01", "SCHEMA01"]
+    assert codes(run_checks([fixture_file])) == ["EXC01", "LOCK01", "SCHEMA01"]
 
     fixture_file.write_text(
         "# repro: disable-file=all -- vendored fixture\n" + ONE_PER_CHECKER,
@@ -174,7 +185,7 @@ def test_cli_exits_nonzero_on_fresh_findings(fixture_file, tmp_path, capsys):
     empty = tmp_path / "empty.json"
     assert main([str(fixture_file), "--baseline", str(empty)]) == 1
     err = capsys.readouterr().err
-    assert "3 fresh finding(s)" in err
+    assert "4 fresh finding(s)" in err
 
 
 def test_cli_exits_zero_when_baseline_covers_everything(fixture_file, tmp_path, capsys):
@@ -182,7 +193,7 @@ def test_cli_exits_zero_when_baseline_covers_everything(fixture_file, tmp_path, 
     assert main([str(fixture_file), "--baseline", str(baseline), "--update-baseline"]) == 0
     assert main([str(fixture_file), "--baseline", str(baseline)]) == 0
     out = capsys.readouterr().out
-    assert "3 grandfathered" in out
+    assert "4 grandfathered" in out
 
 
 def test_cli_github_format_emits_workflow_commands(fixture_file, tmp_path, capsys):
@@ -212,6 +223,32 @@ def test_cli_list_codes_covers_every_registered_code(capsys):
         for code in check.codes:
             assert code in out
     assert "PARSE" in out
+
+
+# ----------------------------------------------------------------------
+# The lock-model export
+# ----------------------------------------------------------------------
+def test_cli_emit_lock_model_writes_guarded_map(fixture_file, tmp_path, capsys):
+    target = tmp_path / "lock-model.json"
+    assert main([str(fixture_file), f"--emit-lock-model={target}"]) == 0
+    assert "lock model" in capsys.readouterr().out
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    entries = {entry["qualname"]: entry for entry in payload["classes"]}
+    service = entries["Service"]
+    assert service["locks"] == {"_lock": "Lock"}
+    # _count is mutated only under _lock; _engine has an unguarded
+    # mutation site (the LOCK01 above), so the model must NOT claim it.
+    assert service["guarded"] == {"_count": ["_lock"]}
+
+
+def test_cli_emit_lock_model_rejects_unparseable_sources(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "serving" / "broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    target = tmp_path / "lock-model.json"
+    assert main([str(bad), f"--emit-lock-model={target}"]) == 1
+    assert not target.exists()
 
 
 # ----------------------------------------------------------------------

@@ -356,3 +356,103 @@ class TestShardedDataset:
     def test_relation_slices_must_fit_catalog(self):
         with pytest.raises(ValueError):
             ShardedOKBConfig(n_shards=9, relations_per_shard=3)
+
+
+# ----------------------------------------------------------------------
+# Executor lifecycle: pools shut down (and cancel) on every error path
+# ----------------------------------------------------------------------
+class TestExecutorLifecycle:
+    @staticmethod
+    def _leaked_since(baseline):
+        import threading
+
+        return [
+            thread
+            for thread in threading.enumerate()
+            if thread.ident not in baseline and thread.is_alive()
+        ]
+
+    def test_scatter_propagates_first_failure_in_submission_order(self):
+        from repro.runtime.pool import scatter
+
+        def boom(message):
+            raise RuntimeError(message)
+
+        with pytest.raises(RuntimeError, match="first"):
+            scatter(
+                [
+                    lambda: 1,
+                    lambda: boom("first"),
+                    lambda: boom("second"),
+                ],
+                max_workers=3,
+            )
+
+    def test_scatter_failure_leaves_no_pool_threads_behind(self):
+        import threading
+
+        from repro.runtime.pool import scatter
+
+        baseline = {thread.ident for thread in threading.enumerate()}
+        with pytest.raises(RuntimeError, match="injected"):
+            scatter(
+                [lambda: 1]
+                + [lambda: (_ for _ in ()).throw(RuntimeError("injected"))]
+                + [lambda: 2, lambda: 3],
+                max_workers=2,
+            )
+        assert self._leaked_since(baseline) == []
+
+    def test_scatter_cancels_the_queued_remainder_after_a_failure(self):
+        import threading
+        import time
+
+        from repro.runtime.pool import scatter
+
+        ran = []
+        first_counter_done = threading.Event()
+
+        def failing():
+            # Fail only once the other worker is demonstrably churning,
+            # so cancellation has a queue to act on.
+            assert first_counter_done.wait(5)
+            raise RuntimeError("boom")
+
+        def counter(index):
+            time.sleep(0.005)
+            ran.append(index)
+            first_counter_done.set()
+
+        tasks = [failing] + [
+            lambda index=index: counter(index) for index in range(100)
+        ]
+        with pytest.raises(RuntimeError, match="boom"):
+            scatter(tasks, max_workers=2)
+        assert ran  # work had started before the failure surfaced
+        assert len(ran) < 100  # ... and the queued remainder was cancelled
+
+    def test_parallel_runtime_failure_shuts_down_and_recovers(
+        self, islands_graph, monkeypatch
+    ):
+        import threading
+
+        import repro.runtime.parallel as parallel_mod
+
+        real_run_unit = parallel_mod._run_unit
+
+        def injected_failure(payload):
+            raise RuntimeError("injected unit failure")
+
+        monkeypatch.setattr(parallel_mod, "_run_unit", injected_failure)
+        runtime = ParallelRuntime(max_workers=3)
+        baseline = {thread.ident for thread in threading.enumerate()}
+        with pytest.raises(RuntimeError, match="injected unit failure"):
+            runtime.run(InferenceTask(graph=islands_graph))
+        assert self._leaked_since(baseline) == []
+
+        # The runtime instance stays serviceable: pools are per-run, so
+        # a failed run must not poison the next one.
+        monkeypatch.setattr(parallel_mod, "_run_unit", real_run_unit)
+        outcome = runtime.run(InferenceTask(graph=islands_graph))
+        assert outcome.profile.n_components == 4
+        assert self._leaked_since(baseline) == []

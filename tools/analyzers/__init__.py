@@ -21,9 +21,12 @@ This package machine-enforces them.  Architecture:
   the :class:`Check` protocol, ``# repro: disable=`` suppression
   comments, and the baseline file for grandfathered findings;
 * :mod:`tools.analyzers.lock`, :mod:`tools.analyzers.determinism`,
-  :mod:`tools.analyzers.schema` — the three project checkers;
-* :mod:`tools.analyzers.runner` — file discovery, orchestration and
-  the ``--format=text|github`` reporters.
+  :mod:`tools.analyzers.schema`, :mod:`tools.analyzers.exceptions` —
+  the project checkers;
+* :mod:`tools.analyzers.runner` — file discovery, orchestration, the
+  ``--format=text|github`` reporters and ``--emit-lock-model`` (the
+  lock-ownership export the ``repro.diagnostics`` runtime sanitizer
+  consumes).
 
 Run it the way CI does::
 
@@ -43,20 +46,28 @@ from tools.analyzers.core import (
     parse_module,
 )
 from tools.analyzers.determinism import DeterminismCheck
-from tools.analyzers.lock import LockDisciplineCheck
+from tools.analyzers.exceptions import ExceptionContractCheck
+from tools.analyzers.lock import (
+    LOCK_MODEL_VERSION,
+    LockDisciplineCheck,
+    build_lock_model,
+)
 from tools.analyzers.runner import ALL_CHECKS, main, run_checks
 from tools.analyzers.schema import SchemaContractCheck
 
 __all__ = [
     "ALL_CHECKS",
+    "LOCK_MODEL_VERSION",
     "BaselineError",
     "Check",
     "DeterminismCheck",
+    "ExceptionContractCheck",
     "Finding",
     "LockDisciplineCheck",
     "ParsedModule",
     "SchemaContractCheck",
     "Suppressions",
+    "build_lock_model",
     "main",
     "parse_module",
     "run_checks",

@@ -1,0 +1,121 @@
+"""EXC: public entry points raise the project hierarchy, not builtins.
+
+Scope: ``repro/api/``, ``repro/serving/`` and ``repro/cluster/`` — the
+three packages whose callables are the product's contract.  That
+contract (``repro.api.errors``) promises every failure a caller can
+meet is a :class:`~repro.api.errors.JOCLAPIError` subclass, so callers
+can catch one root type and tell "bad request" from "engine bug" from
+"bad checkpoint".  SCHEMA03 enforces this for ``from_dict``; this
+checker generalizes it to the whole public surface:
+
+``EXC01`` — **raw builtin exception at a public boundary.**  A public
+module-level function, or a public method of a public class, directly
+raises a builtin exception type (``ValueError``, ``KeyError``,
+``RuntimeError``, ...).  Fix by raising the matching
+``repro.api.errors`` type — note ``InvalidRequestError`` *is* a
+``ValueError``, so argument-validation call sites that catch
+``ValueError`` keep working.
+
+Approximations, on purpose: the check is lexical (no call graph), so
+raw raises inside private helpers called from public methods are not
+flagged — the reviewer owns those — and ``raise err`` of a caught
+variable or a bare re-``raise`` never fires.  ``NotImplementedError``
+is exempt: it is the documented way to declare an abstract contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from tools.analyzers.core import Finding, ParsedModule, call_name
+
+#: Builtin exception types a public boundary must translate.
+_RAW_BUILTINS = {
+    "ArithmeticError",
+    "AssertionError",
+    "AttributeError",
+    "Exception",
+    "IOError",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "OSError",
+    "OverflowError",
+    "RuntimeError",
+    "StopIteration",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+}
+
+
+def _is_public(name: str) -> bool:
+    """Public per convention; dunders (``__init__``) count as public."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+class ExceptionContractCheck:
+    """See the module docstring."""
+
+    name = "exceptions"
+    codes = ("EXC01",)
+
+    def interested(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if not ("src/repro/" in normalized or normalized.startswith("repro/")):
+            return False
+        return any(
+            f"/{package}/" in normalized or normalized.endswith(f"/{package}.py")
+            for package in ("api", "serving", "cluster")
+        )
+
+    def run(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name):
+                    findings.extend(_raw_raises(module, node, node.name))
+            elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(item.name):
+                        findings.extend(
+                            _raw_raises(module, item, f"{node.name}.{item.name}")
+                        )
+        return findings
+
+
+def _raw_raises(
+    module: ParsedModule,
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualifier: str,
+) -> Iterator[Finding]:
+    """Every ``raise <raw builtin>(...)`` anywhere in ``function``.
+
+    Nested defs are included: their exceptions surface through the
+    public entry point that defines (and almost always calls) them.
+    """
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        name = call_name(node.exc)
+        if name is None:
+            continue
+        basename = name.rsplit(".", 1)[-1]
+        if basename not in _RAW_BUILTINS:
+            continue
+        yield Finding(
+            path=module.path,
+            line=node.lineno,
+            code="EXC01",
+            message=(
+                f"{qualifier} raises raw {basename} at a public boundary — "
+                f"raise the matching repro.api.errors type instead "
+                f"(InvalidRequestError is a ValueError, so ValueError "
+                f"call sites keep working)"
+            ),
+        )

@@ -32,7 +32,15 @@ every other acquirer walks shards in ascending order.
 The checker is lexical plus one call-graph fixpoint — it cannot see
 locks taken by other objects on the caller's behalf.  Such sites carry
 an inline ``# repro: disable=LOCK01`` with the justification, which is
-exactly the reviewable artifact we want."""
+exactly the reviewable artifact we want.
+
+Beyond findings, the same analysis exports a **lock model**
+(:func:`build_lock_model`, surfaced as ``--emit-lock-model=PATH`` on
+the runner): per lock-owning class, which attributes are locks (and
+their constructor), and which attributes are guarded by which locks —
+the map the runtime sanitizer (``repro.diagnostics``) enforces on
+every mutation, so the static fixpoint and the runtime checks share
+one source of truth."""
 
 from __future__ import annotations
 
@@ -194,28 +202,40 @@ def _guard_lock(item: ast.withitem, locks: set[str]) -> str | None:
     return None
 
 
-def _walk_guarded(
+def _walk_held(
     method: ast.AST, locks: set[str]
-) -> Iterator[tuple[ast.AST, bool]]:
-    """Yield ``(node, inside_owned_lock_context)`` for the method body,
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield ``(node, owned_locks_held_lexically)`` for the method body,
     without descending into nested def/class scopes."""
 
-    def visit(node: ast.AST, guarded: bool) -> Iterator[tuple[ast.AST, bool]]:
+    def visit(
+        node: ast.AST, held: tuple[str, ...]
+    ) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
         for child in ast.iter_child_nodes(node):
-            child_guarded = guarded
-            if isinstance(child, (ast.With, ast.AsyncWith)) and any(
-                _guard_lock(item, locks) for item in child.items
-            ):
-                child_guarded = True
-            yield child, child_guarded
+            child_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    acquired = _guard_lock(item, locks)
+                    if acquired is not None and acquired not in child_held:
+                        child_held = child_held + (acquired,)
+            yield child, child_held
             if isinstance(
                 child,
                 (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
             ):
                 continue
-            yield from visit(child, child_guarded)
+            yield from visit(child, child_held)
 
-    yield from visit(method, False)
+    yield from visit(method, ())
+
+
+def _walk_guarded(
+    method: ast.AST, locks: set[str]
+) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield ``(node, inside_owned_lock_context)`` for the method body,
+    without descending into nested def/class scopes."""
+    for node, held in _walk_held(method, locks):
+        yield node, bool(held)
 
 
 def _mutated_self_attribute(node: ast.AST) -> str | None:
@@ -414,3 +434,169 @@ def _is_element_lock_entry(expr: ast.AST) -> bool:
         and isinstance(expr.func, ast.Attribute)
         and expr.func.attr in _GUARD_METHODS
     )
+
+
+# ----------------------------------------------------------------------
+# Lock-model export (consumed by repro.diagnostics at test time)
+# ----------------------------------------------------------------------
+#: Bump when the JSON shape below changes incompatibly.
+LOCK_MODEL_VERSION = 1
+
+
+def build_lock_model(modules: Iterable[ParsedModule]) -> dict:
+    """The lock-ownership model of every lock-owning class, as JSON data.
+
+    Shape (``version`` + one entry per class)::
+
+        {"version": 1, "classes": [{
+            "module": "repro.serving.service",
+            "qualname": "JOCLService",
+            "path": "src/repro/serving/service.py",
+            "locks": {"_rw": "_ReadWriteLock", "_stats_lock": "Lock"},
+            "guarded": {"_engine": ["_rw"], "_writes": ["_stats_lock"]},
+        }, ...]}
+
+    ``guarded`` maps each instance attribute to the owned locks held at
+    every one of its mutation sites (lexical ``with`` contexts plus the
+    entry-held fixpoint over intra-class call sites).  Attributes with
+    any mutation site where no owned lock is provably held are left
+    out: those are LOCK01's to report statically, and exporting them
+    would make the runtime checker fire on ground the static pass
+    already owns (or deliberately suppressed).
+    """
+    classes = []
+    for module in modules:
+        dotted = _module_dotted_name(module.path)
+        if dotted is None:
+            continue
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _owned_lock_constructors(cls)
+            if not locks:
+                continue
+            guarded = _guarded_attributes(cls, set(locks))
+            classes.append(
+                {
+                    "module": dotted,
+                    "qualname": cls.name,
+                    "path": module.path,
+                    "locks": dict(sorted(locks.items())),
+                    "guarded": {
+                        attr: sorted(guards)
+                        for attr, guards in sorted(guarded.items())
+                    },
+                }
+            )
+    classes.sort(key=lambda entry: (entry["module"], entry["qualname"]))
+    return {"version": LOCK_MODEL_VERSION, "classes": classes}
+
+
+def _module_dotted_name(path: str) -> str | None:
+    """``src/repro/serving/service.py`` -> ``repro.serving.service``."""
+    parts = path.replace("\\", "/").strip("/").split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or None
+
+
+def _owned_lock_constructors(cls: ast.ClassDef) -> dict[str, str]:
+    """Like :func:`_owned_locks`, but mapping each lock attribute to the
+    basename of the constructor that built it (``Lock``, ``Condition``,
+    ``_ReadWriteLock``, ...)."""
+    locks: dict[str, str] = {}
+    for item in cls.body:
+        if not isinstance(item, ast.FunctionDef) or item.name != "__init__":
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            constructor = call_name(node.value)
+            if constructor is None:
+                continue
+            basename = constructor.rsplit(".", 1)[-1]
+            if basename not in _LOCK_CONSTRUCTORS and not basename.endswith("Lock"):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks[target.attr] = basename
+    return locks
+
+
+def _entry_held(
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    locks: set[str],
+) -> dict[str, frozenset[str]]:
+    """Locks provably held at each method's entry.
+
+    The which-locks refinement of :func:`_lock_holding_methods`: the
+    intersection, over every intra-class call site of a method, of the
+    locks held lexically at the site plus the locks held at the
+    caller's own entry — iterated to (least) fixpoint from the empty
+    set, so the result is sound: a lock appears only when every path
+    into the method provably holds it.  Methods with no intra-class
+    call sites (public entry points, ``*_locked`` callbacks the call
+    graph cannot see) get the empty set.
+    """
+    sites: dict[str, list[tuple[str, frozenset[str]]]] = {}
+    for caller, body in methods.items():
+        for node, held in _walk_held(body, locks):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_name(node)
+            if target is None or not target.startswith("self."):
+                continue
+            callee = target.split(".", 1)[1]
+            if "." in callee or callee not in methods:
+                continue
+            sites.setdefault(callee, []).append((caller, frozenset(held)))
+    entry: dict[str, frozenset[str]] = {name: frozenset() for name in methods}
+    changed = True
+    while changed:
+        changed = False
+        for callee, callers in sites.items():
+            candidates = [held | entry[caller] for caller, held in callers]
+            merged = frozenset.intersection(*candidates)
+            if merged != entry[callee]:
+                entry[callee] = merged
+                changed = True
+    return entry
+
+
+def _guarded_attributes(cls: ast.ClassDef, locks: set[str]) -> dict[str, set[str]]:
+    """Instance attributes of ``cls`` mapped to their guarding locks."""
+    methods = {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    entry = _entry_held(methods, locks)
+    guarded: dict[str, set[str]] = {}
+    unguarded_somewhere: set[str] = set()
+    for name, method in methods.items():
+        if name in ("__init__", "__new__", "__post_init__"):
+            continue
+        base = entry.get(name, frozenset())
+        for node, held in _walk_held(method, locks):
+            attribute = _mutated_self_attribute(node)
+            if attribute is None or attribute in locks:
+                continue
+            effective = set(held) | set(base)
+            if effective:
+                guarded.setdefault(attribute, set()).update(effective)
+            else:
+                unguarded_somewhere.add(attribute)
+    for attribute in unguarded_somewhere:
+        guarded.pop(attribute, None)
+    return guarded

@@ -17,6 +17,7 @@ show up as inline annotations on pull requests."""
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -32,7 +33,8 @@ from tools.analyzers.core import (
     write_baseline,
 )
 from tools.analyzers.determinism import DeterminismCheck
-from tools.analyzers.lock import LockDisciplineCheck
+from tools.analyzers.exceptions import ExceptionContractCheck
+from tools.analyzers.lock import LockDisciplineCheck, build_lock_model
 from tools.analyzers.schema import SchemaContractCheck
 
 #: Default baseline location, committed next to the analyzers.
@@ -44,6 +46,7 @@ ALL_CHECKS: tuple[Check, ...] = (
     LockDisciplineCheck(),
     DeterminismCheck(),
     SchemaContractCheck(),
+    ExceptionContractCheck(),
 )
 
 
@@ -110,6 +113,29 @@ def _emit(findings: Iterable[Finding], fmt: str, grandfathered: bool = False) ->
             )
 
 
+def _emit_lock_model(files: Iterable[Path], target: Path) -> int:
+    """Write the LOCK checker's ownership model for ``files`` as JSON."""
+    lock_check = LockDisciplineCheck()
+    modules = []
+    for file_path in files:
+        relative = _repo_relative(file_path)
+        if not lock_check.interested(relative):
+            continue
+        try:
+            modules.append(
+                parse_module(relative, file_path.read_text(encoding="utf-8"))
+            )
+        except SyntaxError as error:
+            print(f"{relative}: does not parse: {error.msg}", file=sys.stderr)
+            return 1
+    model = build_lock_model(modules)
+    target.write_text(
+        json.dumps(model, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"lock model: {len(model['classes'])} class(es) -> {target}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analyzers",
@@ -144,6 +170,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print every finding code each checker can emit",
     )
+    parser.add_argument(
+        "--emit-lock-model",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the LOCK checker's lock-ownership model (lock "
+        "attributes + guarded-by map) as JSON to PATH and exit — the "
+        "input the repro.diagnostics runtime sanitizer enforces",
+    )
     args = parser.parse_args(argv)
 
     if args.list_codes:
@@ -157,6 +192,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not files:
         print("no python files found under the given paths", file=sys.stderr)
         return 2
+
+    if args.emit_lock_model is not None:
+        return _emit_lock_model(files, args.emit_lock_model)
+
     findings = run_checks(files)
 
     if args.update_baseline:
