@@ -10,9 +10,13 @@ decisions on both store backends.
 
 Also measured: checkpoint save cost per backend, and micro-batched
 :class:`repro.serving.JOCLService` resolve throughput under 8 threads
-vs the naive single-threaded per-call loop (recorded, not gated — the
-GIL bounds pure-Python gains; the win is shared decodes under
-contention).
+on the **windowed** batching path vs the naive single-threaded
+per-call loop.  Raw req/s is recorded, not gated (the GIL bounds
+pure-Python gains) — but the *coalescing* is gated: the batching
+window must put a material fraction of concurrent requests into
+shared decode batches, so the 66/720-coalesced regression this repo
+once shipped (eager leaders draining batches of one) can never
+silently return.
 
 Results land in ``benchmarks/BENCH_serving.json`` (machine-readable,
 tracked across PRs and uploaded as a CI artifact) alongside the
@@ -47,6 +51,13 @@ REPEATS = 3
 MIN_RESTORE_SPEEDUP = 3.0
 
 N_RESOLVER_THREADS = 8
+
+#: The serving batching window and the coalescing floor it is gated on:
+#: at least this fraction of threaded requests must land in shared
+#: (size > 1) decode batches.  The eager path historically managed
+#: 66/720 ~= 9%; the window holds ~100% under this contention.
+SERVING_WINDOW_MS = 2.0
+MIN_COALESCED_FRACTION = 0.5
 
 
 def _decisions(report):
@@ -95,7 +106,9 @@ def _throughput_suite(workload):
     naive_wall = time.perf_counter() - start
 
     service = JOCLService(
-        workload.engine(CONFIG, IncrementalRuntime()), max_batch_size=32
+        workload.engine(CONFIG, IncrementalRuntime()),
+        max_batch_size=32,
+        batch_window_ms=SERVING_WINDOW_MS,
     )
     answers = [None] * len(mentions)
     errors = []
@@ -130,9 +143,17 @@ def _throughput_suite(workload):
         "service_wall_s": round(service_wall, 6),
         "service_req_per_s": round(len(mentions) / service_wall, 1),
         "threads": N_RESOLVER_THREADS,
+        "batch_window_ms": SERVING_WINDOW_MS,
         "decode_batches": stats.batches,
         "coalesced_requests": stats.coalesced_requests,
+        "coalesced_fraction": round(
+            stats.coalesced_requests / len(mentions), 4
+        ),
+        "deduplicated_requests": stats.deduplicated_requests,
         "max_batch": stats.max_batch,
+        "p50_ms": round(stats.p50_ms, 3),
+        "p95_ms": round(stats.p95_ms, 3),
+        "p99_ms": round(stats.p99_ms, 3),
         "answers_identical": True,
     }
 
@@ -249,10 +270,12 @@ def test_checkpoint_restore_vs_cold_rebuild(benchmark, tmp_path):
     payload["serving"] = serving
     lines.append(
         f"  serving: naive loop {serving['naive_req_per_s']:8.1f} req/s   "
-        f"threaded service {serving['service_req_per_s']:8.1f} req/s  "
+        f"windowed service {serving['service_req_per_s']:8.1f} req/s  "
         f"({serving['n_requests']} requests, "
         f"{serving['decode_batches']} decode batches, "
-        f"max batch {serving['max_batch']})"
+        f"{serving['coalesced_requests']} coalesced, "
+        f"max batch {serving['max_batch']}, "
+        f"p99 {serving['p99_ms']:.1f} ms)"
     )
     BENCH_JSON_PATH.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
@@ -266,6 +289,13 @@ def test_checkpoint_restore_vs_cold_rebuild(benchmark, tmp_path):
             f"{stats['n_components'] - stats['reused_components']} "
             f"components; restored runtime state should splice all of them"
         )
+    assert serving["coalesced_fraction"] >= MIN_COALESCED_FRACTION, (
+        f"only {serving['coalesced_requests']}/{serving['n_requests']} "
+        f"threaded requests landed in shared decode batches "
+        f"({serving['coalesced_fraction']:.1%}); the windowed serving "
+        f"path must coalesce >= {MIN_COALESCED_FRACTION:.0%} — the eager "
+        f"batches-of-one regression is back"
+    )
     file_stats = largest["backends"]["file"]
     speedup = largest["cold_wall_s"] / file_stats["restore_wall_s"]
     assert speedup >= MIN_RESTORE_SPEEDUP, (

@@ -1,0 +1,93 @@
+"""The HTTP/JSON serving front-end: the network edge of the system.
+
+Everything below this package is in-process; this is where the
+reproduction meets a socket.  Three layers, each usable alone:
+
+* :mod:`repro.http.envelopes` — the wire contract: schema-versioned
+  request/response dataclasses (``HTTP_SCHEMA_VERSION``) and the
+  mapping from the :mod:`repro.api.errors` hierarchy onto structured
+  JSON error bodies with HTTP status codes;
+* :class:`ServingApp` (:mod:`repro.http.app`) — the transport-agnostic
+  router: ``(method, path, body)`` in, ``(status, payload, headers)``
+  out, over one :class:`repro.serving.JOCLService` or
+  :class:`repro.serving.JOCLClusterService`;
+* :class:`HTTPServingServer` (:mod:`repro.http.server`) — the asyncio
+  HTTP/1.1 transport: a background event loop feeding a worker pool,
+  with bounded in-flight backpressure (429 + ``Retry-After``),
+  per-request timeouts (504) and graceful drain-on-shutdown.
+
+The front-end is what finally makes the serving layer's micro-batching
+pay: concurrent network arrivals pile up in the session queue, and the
+``batch_window_ms`` knob (:class:`repro.serving.JOCLService`) holds
+the leader briefly so they coalesce into shared decode batches —
+:mod:`repro.http.loadgen` generates exactly that traffic (closed- and
+open-loop, mixed read/write, hot-key skew) and
+``benchmarks/test_http_serving.py`` gates the win in
+``BENCH_http.json``.
+
+Endpoints (all JSON; see ``docs/serving.md``):
+
+========================  ======================================
+``POST /v1/resolve``      one mention -> joint answer
+``POST /v1/resolve_many`` mention batch -> answers in order
+``POST /v1/ingest``       OIE triple records -> incremental ingest
+``POST /v1/run_joint``    full joint inference report
+``POST /v1/checkpoint``   snapshot to the session's state store
+``POST /v1/rollback``     swap serving back to a snapshot
+``GET /v1/stats``         engine + serving + transport telemetry
+``GET /healthz``          liveness and the draining flag
+========================  ======================================
+"""
+
+from repro.http.app import ServingApp
+from repro.http.envelopes import (
+    HTTP_SCHEMA_VERSION,
+    CheckpointResponse,
+    ErrorResponse,
+    HealthResponse,
+    IngestRequest,
+    IngestResponse,
+    ResolveManyRequest,
+    ResolveManyResponse,
+    ResolveRequest,
+    ResolveResponse,
+    RollbackRequest,
+    RollbackResponse,
+    RunJointResponse,
+    StatsResponse,
+    error_response,
+)
+from repro.http.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    PlannedRequest,
+    build_request_plan,
+    run_load,
+)
+from repro.http.server import HTTPServingServer, ServerConfig
+
+__all__ = [
+    "HTTP_SCHEMA_VERSION",
+    "CheckpointResponse",
+    "ErrorResponse",
+    "HTTPServingServer",
+    "HealthResponse",
+    "IngestRequest",
+    "IngestResponse",
+    "LoadGenConfig",
+    "LoadReport",
+    "PlannedRequest",
+    "ResolveManyRequest",
+    "ResolveManyResponse",
+    "ResolveRequest",
+    "ResolveResponse",
+    "RollbackRequest",
+    "RollbackResponse",
+    "RunJointResponse",
+    "ServerConfig",
+    "ServingApp",
+    "StatsResponse",
+    "build_request_plan",
+    "error_response",
+    "run_load",
+]

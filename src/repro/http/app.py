@@ -1,0 +1,243 @@
+"""The transport-agnostic request router of the HTTP front-end.
+
+:class:`ServingApp` turns one ``(method, path, body-bytes)`` triple
+into one ``(status, payload, headers)`` response, with every domain
+call delegated to the wrapped session layer — a single-engine
+:class:`repro.serving.JOCLService` or a sharded
+:class:`repro.serving.JOCLClusterService`; the app itself holds no
+engine state and no locks.  Keeping the router free of sockets makes
+the whole endpoint surface unit-testable in-process and lets any
+transport (the bundled asyncio server, a WSGI shim, a test harness)
+reuse it unchanged.
+
+Dispatch discipline:
+
+* request bodies are parsed through the schema-versioned envelopes of
+  :mod:`repro.http.envelopes`; malformed JSON, a wrong
+  ``schema_version`` or a missing field is a structured 400, never a
+  traceback;
+* every exception the session layer raises is mapped through
+  :func:`repro.http.envelopes.error_response` — the
+  :mod:`repro.api.errors` hierarchy onto 4xx/5xx codes, anything
+  unexpected onto an opaque 500;
+* answers are byte-identical to the in-process path: response payloads
+  nest the exact ``to_dict()`` the service's own results produce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Callable, Mapping
+
+from repro.api.errors import CheckpointError, SchemaError
+from repro.http.envelopes import (
+    CheckpointResponse,
+    ErrorResponse,
+    HealthResponse,
+    IngestRequest,
+    IngestResponse,
+    ResolveManyRequest,
+    ResolveManyResponse,
+    ResolveRequest,
+    ResolveResponse,
+    RollbackRequest,
+    RollbackResponse,
+    RunJointResponse,
+    StatsResponse,
+    error_response,
+)
+from repro.serving.cluster_service import JOCLClusterService
+from repro.serving.service import JOCLService
+
+#: ``(status, payload, extra response headers)`` — what every handler
+#: returns and every transport serializes.
+Response = tuple[int, dict, dict[str, str]]
+
+_NO_HEADERS: dict[str, str] = {}
+
+
+def _parse_body(body: bytes) -> object:
+    """Decode a request body to JSON; empty means an empty mapping."""
+    if not body:
+        return {}
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SchemaError(f"request body is not valid JSON: {error}") from error
+
+
+class ServingApp:
+    """Route HTTP/JSON requests onto one serving session.
+
+    Parameters
+    ----------
+    service:
+        The session layer to serve — a :class:`JOCLService` or a
+        :class:`JOCLClusterService`.  The app adds no locking of its
+        own: the session layer already owns the read/write discipline
+        and the micro-batching window.
+    server_gauges:
+        Optional zero-argument callable returning the transport's
+        telemetry mapping (in-flight requests, draining flag, ...);
+        the bundled :class:`repro.http.HTTPServingServer` wires its own
+        gauges in, and the ``stats``/``healthz`` endpoints surface
+        them.
+
+    Example::
+
+        app = ServingApp(JOCLService(engine, store=store))
+        status, payload, _ = app.handle(
+            "POST", "/v1/resolve",
+            json.dumps(ResolveRequest("umd", "entity").to_dict()).encode(),
+        )
+    """
+
+    def __init__(
+        self,
+        service: JOCLService | JOCLClusterService,
+        server_gauges: Callable[[], Mapping[str, object]] | None = None,
+    ) -> None:
+        self._service = service
+        self._server_gauges = server_gauges
+        self._routes: dict[str, tuple[str, Callable[[bytes], Response]]] = {
+            "/v1/resolve": ("POST", self._resolve),
+            "/v1/resolve_many": ("POST", self._resolve_many),
+            "/v1/ingest": ("POST", self._ingest),
+            "/v1/run_joint": ("POST", self._run_joint),
+            "/v1/checkpoint": ("POST", self._checkpoint),
+            "/v1/rollback": ("POST", self._rollback),
+            "/v1/stats": ("GET", self._stats),
+            "/healthz": ("GET", self._healthz),
+        }
+
+    @property
+    def service(self) -> JOCLService | JOCLClusterService:
+        """The wrapped session layer."""
+        return self._service
+
+    @property
+    def endpoints(self) -> tuple[tuple[str, str], ...]:
+        """The routing table as ``(method, path)`` pairs."""
+        return tuple(
+            (method, path) for path, (method, _) in self._routes.items()
+        )
+
+    def attach_server_gauges(
+        self, gauges: Callable[[], Mapping[str, object]]
+    ) -> None:
+        """Wire the owning transport's telemetry into ``stats``/``healthz``."""
+        self._server_gauges = gauges
+
+    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Serve one request; never raises.
+
+        Unknown paths are structured 404s, a known path with the wrong
+        method a 405 with an ``Allow`` header, and any exception out of
+        parsing or the session layer the mapped error body.
+        """
+        route = self._routes.get(path)
+        if route is None:
+            return self._error(
+                ErrorResponse(
+                    status=404,
+                    code="unknown_endpoint",
+                    message=f"no endpoint at {path!r}",
+                )
+            )
+        allowed, handler = route
+        if method != allowed:
+            status, payload, _ = self._error(
+                ErrorResponse(
+                    status=405,
+                    code="method_not_allowed",
+                    message=f"{path} accepts {allowed}, not {method}",
+                )
+            )
+            return status, payload, {"Allow": allowed}
+        try:
+            return handler(body)
+        except BaseException as error:  # noqa: B036 - boundary: never a traceback
+            return self._error(error_response(error))
+
+    @staticmethod
+    def _error(error: ErrorResponse) -> Response:
+        return error.status, error.to_dict(), _NO_HEADERS
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+    def _resolve(self, body: bytes) -> Response:
+        request = ResolveRequest.from_dict(_parse_body(body))
+        answer = self._service.resolve(request.mention, request.kind)
+        return 200, ResolveResponse(result=answer.to_dict()).to_dict(), _NO_HEADERS
+
+    def _resolve_many(self, body: bytes) -> Response:
+        request = ResolveManyRequest.from_dict(_parse_body(body))
+        answers = self._service.resolve_many(list(request.mentions), request.kind)
+        return (
+            200,
+            ResolveManyResponse(
+                results=tuple(answer.to_dict() for answer in answers)
+            ).to_dict(),
+            _NO_HEADERS,
+        )
+
+    def _ingest(self, body: bytes) -> Response:
+        request = IngestRequest.from_dict(_parse_body(body))
+        outcome = self._service.ingest(list(request.triples))
+        if isinstance(outcome, int):
+            response = IngestResponse(ingested=outcome)
+        else:  # the cluster session returns a routed IngestReport
+            response = IngestResponse(
+                ingested=outcome.n_triples, report=outcome.to_dict()
+            )
+        return 200, response.to_dict(), _NO_HEADERS
+
+    def _run_joint(self, body: bytes) -> Response:
+        report = self._service.run_joint()
+        return (
+            200,
+            RunJointResponse(report=report.to_dict()).to_dict(),
+            _NO_HEADERS,
+        )
+
+    def _checkpoint(self, body: bytes) -> Response:
+        if isinstance(self._service, JOCLService):
+            response = CheckpointResponse(snapshot=self._service.checkpoint())
+        else:
+            response = CheckpointResponse(manifest=self._service.save())
+        return 200, response.to_dict(), _NO_HEADERS
+
+    def _rollback(self, body: bytes) -> Response:
+        request = RollbackRequest.from_dict(_parse_body(body))
+        if not isinstance(self._service, JOCLService):
+            raise CheckpointError(
+                "a cluster session has no rollback endpoint: restore a "
+                "cluster checkpoint with ShardedEngine.load and start a "
+                "fresh service over it"
+            )
+        snapshot = self._service.rollback(request.snapshot)
+        return 200, RollbackResponse(snapshot=snapshot).to_dict(), _NO_HEADERS
+
+    def _serving_sections(self) -> tuple[dict, ...]:
+        stats = self._service.serving_stats()
+        sections = stats if isinstance(stats, list) else [stats]
+        return tuple(dataclasses.asdict(section) for section in sections)
+
+    def _stats(self, body: bytes) -> Response:
+        gauges = dict(self._server_gauges()) if self._server_gauges else {}
+        response = StatsResponse(
+            engine=self._service.stats().to_dict(),
+            serving=self._serving_sections(),
+            server=gauges,
+        )
+        return 200, response.to_dict(), _NO_HEADERS
+
+    def _healthz(self, body: bytes) -> Response:
+        gauges = dict(self._server_gauges()) if self._server_gauges else {}
+        draining = bool(gauges.get("draining", False))
+        response = HealthResponse(
+            status="draining" if draining else "ok", draining=draining
+        )
+        return 200, response.to_dict(), _NO_HEADERS

@@ -1,0 +1,530 @@
+"""Schema-versioned JSON envelopes of the HTTP serving front-end.
+
+Every payload that crosses the HTTP boundary — requests in, responses
+out — is a frozen dataclass here with a ``to_dict()`` / ``from_dict()``
+pair carrying :data:`HTTP_SCHEMA_VERSION` and a ``type`` discriminator,
+exactly the contract :mod:`repro.api.results` set for in-process
+payloads (and the SCHEMA analyzers enforce): a client on the other side
+of the wire can evolve independently as long as it speaks the declared
+version, and a malformed body raises
+:class:`repro.api.errors.SchemaError` instead of leaking a half-parsed
+object or a raw ``KeyError``.
+
+The module also owns the **error mapping**: :func:`error_response`
+translates the :mod:`repro.api.errors` hierarchy into structured
+:class:`ErrorResponse` bodies with HTTP status codes — a traceback
+never crosses the wire, and an exception type the hierarchy does not
+know is reported as an opaque ``internal`` error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.errors import (
+    CheckpointError,
+    EngineStateError,
+    IngestError,
+    InvalidRequestError,
+    JOCLAPIError,
+    SchemaError,
+    SchemaVersionError,
+    TrainingError,
+    UnknownMentionError,
+)
+from repro.okb.triples import OIETriple
+
+#: Version of the wire format produced by every ``to_dict`` below.
+#: Bump on any backward-incompatible payload change.
+HTTP_SCHEMA_VERSION = 1
+
+
+def _envelope(type_name: str) -> dict:
+    return {"schema_version": HTTP_SCHEMA_VERSION, "type": type_name}
+
+
+def check_envelope(payload: object, expected_type: str) -> Mapping:
+    """Validate the common HTTP payload envelope; return the mapping.
+
+    Raises :class:`SchemaError` when the payload is not a mapping or is
+    of the wrong request/response type, :class:`SchemaVersionError`
+    when the declared schema version is not the one this build speaks.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"expected a mapping payload, got {type(payload).__name__}"
+        )
+    version = payload.get("schema_version")
+    if version != HTTP_SCHEMA_VERSION:
+        raise SchemaVersionError(version, HTTP_SCHEMA_VERSION)
+    found_type = payload.get("type")
+    if found_type != expected_type:
+        raise SchemaError(
+            f"payload type {found_type!r} does not match expected "
+            f"{expected_type!r}"
+        )
+    return payload
+
+
+def _require(payload: Mapping, key: str, type_name: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise SchemaError(f"{type_name} payload is missing field {key!r}") from None
+
+
+@contextmanager
+def _parsing(type_name: str) -> Iterator[None]:
+    """Translate body-parse failures into :class:`SchemaError`."""
+    try:
+        yield
+    except SchemaError:
+        raise
+    except (TypeError, ValueError, KeyError, AttributeError) as error:
+        raise SchemaError(f"malformed {type_name} payload: {error}") from error
+
+
+def _optional_kind(payload: Mapping, type_name: str) -> str | None:
+    kind = payload.get("kind")
+    if kind is not None and not isinstance(kind, str):
+        raise SchemaError(
+            f"{type_name} payload field 'kind' must be a string or null, "
+            f"got {type(kind).__name__}"
+        )
+    return kind
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResolveRequest:
+    """``POST /v1/resolve`` body: one mention, optional slot kind."""
+
+    TYPE = "resolve_request"
+
+    mention: str
+    kind: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(mention=self.mention, kind=self.kind)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> ResolveRequest:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            mention = _require(payload, "mention", cls.TYPE)
+            if not isinstance(mention, str):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'mention' must be a string, "
+                    f"got {type(mention).__name__}"
+                )
+            return cls(mention=mention, kind=_optional_kind(payload, cls.TYPE))
+
+
+@dataclass(frozen=True)
+class ResolveManyRequest:
+    """``POST /v1/resolve_many`` body: a mention batch, one shared kind."""
+
+    TYPE = "resolve_many_request"
+
+    mentions: tuple[str, ...]
+    kind: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(mentions=list(self.mentions), kind=self.kind)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> ResolveManyRequest:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            mentions = _require(payload, "mentions", cls.TYPE)
+            if isinstance(mentions, str) or not all(
+                isinstance(mention, str) for mention in mentions
+            ):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'mentions' must be a list of "
+                    f"strings"
+                )
+            return cls(
+                mentions=tuple(mentions),
+                kind=_optional_kind(payload, cls.TYPE),
+            )
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """``POST /v1/ingest`` body: a batch of OIE triple records."""
+
+    TYPE = "ingest_request"
+
+    triples: tuple[OIETriple, ...]
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(triples=[triple.to_record() for triple in self.triples])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> IngestRequest:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            records = _require(payload, "triples", cls.TYPE)
+            if isinstance(records, (str, Mapping)):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'triples' must be a list of "
+                    f"triple records"
+                )
+            return cls(
+                triples=tuple(
+                    OIETriple.from_record(record) for record in records
+                )
+            )
+
+
+@dataclass(frozen=True)
+class RollbackRequest:
+    """``POST /v1/rollback`` body; ``snapshot=None`` means the store's
+    current checkpoint."""
+
+    TYPE = "rollback_request"
+
+    snapshot: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(snapshot=self.snapshot)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> RollbackRequest:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            snapshot = payload.get("snapshot")
+            if snapshot is not None and not isinstance(snapshot, str):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'snapshot' must be a string "
+                    f"or null, got {type(snapshot).__name__}"
+                )
+            return cls(snapshot=snapshot)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResolveResponse:
+    """``/v1/resolve`` answer: one nested
+    :meth:`repro.api.results.ResolveResult.to_dict` payload."""
+
+    TYPE = "resolve_response"
+
+    result: dict
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(result=self.result)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> ResolveResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(result=dict(_require(payload, "result", cls.TYPE)))
+
+
+@dataclass(frozen=True)
+class ResolveManyResponse:
+    """``/v1/resolve_many`` answer: nested resolve-result payloads, in
+    request order."""
+
+    TYPE = "resolve_many_response"
+
+    results: tuple[dict, ...]
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(results=list(self.results))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> ResolveManyResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                results=tuple(
+                    dict(result)
+                    for result in _require(payload, "results", cls.TYPE)
+                )
+            )
+
+
+@dataclass(frozen=True)
+class IngestResponse:
+    """``/v1/ingest`` answer.
+
+    ``ingested`` is the number of triples applied; ``report`` nests the
+    cluster's routed :meth:`repro.cluster.IngestReport.to_dict` when the
+    server fronts a :class:`repro.serving.JOCLClusterService` (``None``
+    for a single-engine session).
+    """
+
+    TYPE = "ingest_response"
+
+    ingested: int
+    report: dict | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(ingested=self.ingested, report=self.report)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> IngestResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            report = payload.get("report")
+            return cls(
+                ingested=int(_require(payload, "ingested", cls.TYPE)),
+                report=None if report is None else dict(report),
+            )
+
+
+@dataclass(frozen=True)
+class RunJointResponse:
+    """``/v1/run_joint`` answer: the nested engine/cluster report payload."""
+
+    TYPE = "run_joint_response"
+
+    report: dict
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(report=self.report)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> RunJointResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(report=dict(_require(payload, "report", cls.TYPE)))
+
+
+@dataclass(frozen=True)
+class CheckpointResponse:
+    """``/v1/checkpoint`` answer.
+
+    A single-engine session returns the ``snapshot`` id; a cluster
+    session returns the cluster ``manifest`` (its shard snapshot map).
+    Exactly one of the two is non-``None``.
+    """
+
+    TYPE = "checkpoint_response"
+
+    snapshot: str | None = None
+    manifest: dict | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(snapshot=self.snapshot, manifest=self.manifest)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> CheckpointResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            snapshot = payload.get("snapshot")
+            manifest = payload.get("manifest")
+            if snapshot is not None and not isinstance(snapshot, str):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'snapshot' must be a string "
+                    f"or null, got {type(snapshot).__name__}"
+                )
+            return cls(
+                snapshot=snapshot,
+                manifest=None if manifest is None else dict(manifest),
+            )
+
+
+@dataclass(frozen=True)
+class RollbackResponse:
+    """``/v1/rollback`` answer: the snapshot id now serving."""
+
+    TYPE = "rollback_response"
+
+    snapshot: str
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(snapshot=self.snapshot)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> RollbackResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            snapshot = _require(payload, "snapshot", cls.TYPE)
+            if not isinstance(snapshot, str):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'snapshot' must be a string, "
+                    f"got {type(snapshot).__name__}"
+                )
+            return cls(snapshot=snapshot)
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """``/v1/stats`` answer.
+
+    ``engine`` nests the engine's own stats payload
+    (:class:`repro.api.results.EngineStats` or
+    :class:`repro.cluster.ClusterStats` ``to_dict``); ``serving`` the
+    per-session micro-batching/latency telemetry (one mapping per
+    session — a single-engine service contributes exactly one, a
+    cluster one per shard); ``server`` the transport gauges
+    (``in_flight``, ``max_in_flight``, ``draining``, ...) of the HTTP
+    process, empty when the app runs without one.
+    """
+
+    TYPE = "stats_response"
+
+    engine: dict
+    serving: tuple[dict, ...]
+    server: dict
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(
+            engine=self.engine,
+            serving=list(self.serving),
+            server=self.server,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> StatsResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                engine=dict(_require(payload, "engine", cls.TYPE)),
+                serving=tuple(
+                    dict(entry)
+                    for entry in _require(payload, "serving", cls.TYPE)
+                ),
+                server=dict(_require(payload, "server", cls.TYPE)),
+            )
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """``/healthz`` answer: liveness plus the draining flag."""
+
+    TYPE = "health_response"
+
+    status: str
+    draining: bool = False
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(status=self.status, draining=self.draining)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> HealthResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            status = _require(payload, "status", cls.TYPE)
+            if not isinstance(status, str):
+                raise SchemaError(
+                    f"{cls.TYPE} payload field 'status' must be a string, "
+                    f"got {type(status).__name__}"
+                )
+            return cls(
+                status=status, draining=bool(payload.get("draining", False))
+            )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Structured error body; every non-2xx response carries one.
+
+    ``status`` is the HTTP status code the body shipped under, ``code``
+    a stable machine-readable discriminator (clients branch on it, not
+    on the message), ``message`` human-readable context —
+    **never** a traceback.  ``retry_after_s`` accompanies 429/503 so
+    clients can back off without parsing headers.
+    """
+
+    TYPE = "error_response"
+
+    status: int
+    code: str
+    message: str
+    retry_after_s: float | None = None
+
+    def to_dict(self) -> dict:
+        payload = _envelope(self.TYPE)
+        payload.update(
+            status=self.status,
+            code=self.code,
+            message=self.message,
+            retry_after_s=self.retry_after_s,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> ErrorResponse:
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            retry_after = payload.get("retry_after_s")
+            return cls(
+                status=int(_require(payload, "status", cls.TYPE)),
+                code=str(_require(payload, "code", cls.TYPE)),
+                message=str(_require(payload, "message", cls.TYPE)),
+                retry_after_s=(
+                    None if retry_after is None else float(retry_after)
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+#: Most-specific-first mapping of the :mod:`repro.api.errors` hierarchy
+#: onto (HTTP status, stable error code).  ``JOCLAPIError`` last: any
+#: API error a future subclass adds still maps to a structured 500
+#: instead of a traceback.
+ERROR_STATUS: tuple[tuple[type[BaseException], int, str], ...] = (
+    (SchemaVersionError, 400, "schema_version"),
+    (SchemaError, 400, "schema"),
+    (InvalidRequestError, 400, "invalid_request"),
+    (UnknownMentionError, 404, "unknown_mention"),
+    (IngestError, 409, "ingest_conflict"),
+    (CheckpointError, 409, "checkpoint"),
+    (EngineStateError, 409, "engine_state"),
+    (TrainingError, 422, "training"),
+    (JOCLAPIError, 500, "api_error"),
+)
+
+
+def error_response(error: BaseException) -> ErrorResponse:
+    """Map an exception onto the structured error body it ships as.
+
+    :mod:`repro.api.errors` subclasses keep their message (they are
+    written for callers); anything else is reported as an opaque
+    ``internal`` error so unexpected exceptions never leak internals
+    across the process boundary.
+    """
+    for exc_type, status, code in ERROR_STATUS:
+        if isinstance(error, exc_type):
+            return ErrorResponse(status=status, code=code, message=str(error))
+    return ErrorResponse(
+        status=500, code="internal", message="internal server error"
+    )

@@ -1,0 +1,379 @@
+"""Closed- and open-loop load generation against the HTTP front-end.
+
+The in-process benchmarks never created the traffic shape the
+micro-batching machinery was built for: synchronous callers issue one
+request, wait, issue the next — so nothing piles up and the leader
+drains batches of one.  This module produces *concurrent arrivals*:
+
+* **closed loop** — ``concurrency`` workers each drive a persistent
+  connection as fast as responses come back (throughput is bounded by
+  latency: the classic saturation probe);
+* **open loop** — requests are dispatched on a Poisson-ish schedule at
+  ``arrival_rate_per_s`` regardless of completions (the latency-under-
+  load probe: queueing delay shows up in the percentiles instead of
+  throttling the generator).  Latency is measured from the *scheduled*
+  arrival, so coordinated omission does not flatter the tail.
+
+Traffic is a deterministic mix rendered up front by
+:func:`build_request_plan` from a seeded RNG: reads (``resolve`` with a
+configurable hot-key skew — hot keys are what in-batch deduplication
+coalesces) and writes (``ingest`` batches supplied by the caller,
+spread evenly through the stream).  Per-request latency, status and
+kind are recorded; :class:`LoadReport` aggregates throughput,
+error counts and p50/p95/p99 percentiles (same nearest-rank convention
+as :class:`repro.serving.ServingStats`) into a schema-versioned
+payload ``BENCH_http.json`` embeds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.api.errors import InvalidRequestError
+from repro.http.envelopes import (
+    HTTP_SCHEMA_VERSION,
+    IngestRequest,
+    ResolveRequest,
+    check_envelope,
+    _parsing,
+    _require,
+)
+from repro.okb.triples import OIETriple
+from repro.serving.service import latency_percentile
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One pre-rendered request of a load plan."""
+
+    #: ``"read"`` or ``"write"`` — what the aggregates bucket by.
+    kind: str
+    method: str
+    path: str
+    #: Pre-serialized JSON body (rendering stays out of the timed loop).
+    body: bytes
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Knobs of one load run.
+
+    ``concurrency`` drives the closed loop (ignored open-loop except as
+    the dispatch pool size); ``arrival_rate_per_s`` drives the open
+    loop.  ``write_fraction`` of the plan are ingest requests (needs
+    ``write_batches``); reads draw a mention from the hot set with
+    probability ``hot_fraction``.
+    """
+
+    mode: str = "closed"
+    n_requests: int = 200
+    concurrency: int = 8
+    arrival_rate_per_s: float = 200.0
+    write_fraction: float = 0.0
+    hot_fraction: float = 0.8
+    hot_keys: int = 4
+    seed: int = 0
+    timeout_s: float = 30.0
+
+    def validated(self) -> LoadGenConfig:
+        """Return self after range-checking every knob."""
+        if self.mode not in ("closed", "open"):
+            raise InvalidRequestError(
+                f"mode must be 'closed' or 'open', got {self.mode!r}"
+            )
+        if self.n_requests < 1:
+            raise InvalidRequestError(
+                f"n_requests must be >= 1, got {self.n_requests}"
+            )
+        if self.concurrency < 1:
+            raise InvalidRequestError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.mode == "open" and self.arrival_rate_per_s <= 0:
+            raise InvalidRequestError(
+                f"arrival_rate_per_s must be > 0, got {self.arrival_rate_per_s}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise InvalidRequestError(
+                f"write_fraction must be within [0, 1], got {self.write_fraction}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise InvalidRequestError(
+                f"hot_fraction must be within [0, 1], got {self.hot_fraction}"
+            )
+        if self.hot_keys < 1:
+            raise InvalidRequestError(
+                f"hot_keys must be >= 1, got {self.hot_keys}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregates of one load run, embedded in ``BENCH_http.json``."""
+
+    TYPE = "load_report"
+
+    mode: str
+    n_requests: int
+    wall_s: float
+    req_per_s: float
+    ok: int
+    reads: int
+    writes: int
+    #: status code -> count for every non-2xx response.
+    errors: dict[int, int]
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    def to_dict(self) -> dict:
+        """Schema-versioned payload (the ``BENCH_http.json`` shape)."""
+        payload = {"schema_version": HTTP_SCHEMA_VERSION, "type": self.TYPE}
+        payload.update(
+            mode=self.mode,
+            n_requests=self.n_requests,
+            wall_s=self.wall_s,
+            req_per_s=self.req_per_s,
+            ok=self.ok,
+            reads=self.reads,
+            writes=self.writes,
+            errors={str(status): count for status, count in self.errors.items()},
+            p50_ms=self.p50_ms,
+            p95_ms=self.p95_ms,
+            p99_ms=self.p99_ms,
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> LoadReport:
+        """Parse a :meth:`to_dict` payload; :class:`SchemaError` on
+        malformed input."""
+        payload = check_envelope(payload, cls.TYPE)
+        with _parsing(cls.TYPE):
+            return cls(
+                mode=str(_require(payload, "mode", cls.TYPE)),
+                n_requests=int(_require(payload, "n_requests", cls.TYPE)),
+                wall_s=float(_require(payload, "wall_s", cls.TYPE)),
+                req_per_s=float(_require(payload, "req_per_s", cls.TYPE)),
+                ok=int(_require(payload, "ok", cls.TYPE)),
+                reads=int(_require(payload, "reads", cls.TYPE)),
+                writes=int(_require(payload, "writes", cls.TYPE)),
+                errors={
+                    int(status): int(count)
+                    for status, count in _require(
+                        payload, "errors", cls.TYPE
+                    ).items()
+                },
+                p50_ms=float(_require(payload, "p50_ms", cls.TYPE)),
+                p95_ms=float(_require(payload, "p95_ms", cls.TYPE)),
+                p99_ms=float(_require(payload, "p99_ms", cls.TYPE)),
+            )
+
+
+def build_request_plan(
+    mentions: Sequence[tuple[str, str | None]],
+    config: LoadGenConfig,
+    write_batches: Sequence[Sequence[OIETriple]] = (),
+) -> list[PlannedRequest]:
+    """Render the deterministic request stream of one load run.
+
+    ``mentions`` are the resolvable ``(mention, kind)`` pairs; the
+    first ``config.hot_keys`` of them form the hot set a read targets
+    with probability ``config.hot_fraction`` (the rest draw uniformly
+    from the full list).  Writes consume ``write_batches`` in order,
+    spread evenly across the stream; the plan holds exactly
+    ``min(round(n_requests * write_fraction), len(write_batches))``
+    of them.  Same arguments, same plan — byte for byte.
+    """
+    config = config.validated()
+    if not mentions:
+        raise InvalidRequestError("mentions must not be empty")
+    rng = random.Random(config.seed)
+    n_writes = min(
+        round(config.n_requests * config.write_fraction), len(write_batches)
+    )
+    write_positions = {
+        (index + 1) * config.n_requests // (n_writes + 1)
+        for index in range(n_writes)
+    }
+    hot = list(mentions[: config.hot_keys])
+    plan: list[PlannedRequest] = []
+    next_write = 0
+    for position in range(config.n_requests):
+        if position in write_positions:
+            body = json.dumps(
+                IngestRequest(
+                    triples=tuple(write_batches[next_write])
+                ).to_dict()
+            ).encode("utf-8")
+            plan.append(PlannedRequest("write", "POST", "/v1/ingest", body))
+            next_write += 1
+            continue
+        if rng.random() < config.hot_fraction:
+            mention, kind = hot[rng.randrange(len(hot))]
+        else:
+            mention, kind = mentions[rng.randrange(len(mentions))]
+        body = json.dumps(ResolveRequest(mention, kind).to_dict()).encode(
+            "utf-8"
+        )
+        plan.append(PlannedRequest("read", "POST", "/v1/resolve", body))
+    return plan
+
+
+class _WorkerLog:
+    """Per-worker request log; merged after the join (no shared state,
+    no locks, deterministic aggregates)."""
+
+    __slots__ = ("latencies_ms", "statuses", "kinds", "error")
+
+    def __init__(self) -> None:
+        self.latencies_ms: list[float] = []
+        self.statuses: list[int] = []
+        self.kinds: list[str] = []
+        self.error: BaseException | None = None
+
+
+def _send_one(
+    connection: http.client.HTTPConnection, request: PlannedRequest
+) -> int:
+    connection.request(
+        request.method,
+        request.path,
+        body=request.body,
+        headers={"Content-Type": "application/json"},
+    )
+    response = connection.getresponse()
+    response.read()  # drain so the connection can be reused
+    return response.status
+
+
+def _closed_loop(
+    host: str, port: int, plan: Sequence[PlannedRequest], config: LoadGenConfig
+) -> tuple[list[_WorkerLog], float]:
+    logs = [_WorkerLog() for _ in range(config.concurrency)]
+    barrier = threading.Barrier(config.concurrency + 1)
+
+    def worker(offset: int) -> None:
+        log = logs[offset]
+        connection = http.client.HTTPConnection(
+            host, port, timeout=config.timeout_s
+        )
+        try:
+            barrier.wait()
+            for index in range(offset, len(plan), config.concurrency):
+                request = plan[index]
+                start = time.perf_counter()
+                status = _send_one(connection, request)
+                log.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+                log.statuses.append(status)
+                log.kinds.append(request.kind)
+        except BaseException as error:  # surfaced by run_load
+            log.error = error
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,), daemon=True)
+        for offset in range(config.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return logs, time.perf_counter() - start
+
+
+def _open_loop(
+    host: str, port: int, plan: Sequence[PlannedRequest], config: LoadGenConfig
+) -> tuple[list[_WorkerLog], float]:
+    """Dispatch on a fixed-rate schedule; latency from scheduled start."""
+    logs = [_WorkerLog() for _ in range(len(plan))]
+    interval = 1.0 / config.arrival_rate_per_s
+    threads = []
+    start = time.perf_counter()
+
+    def fire(index: int, scheduled: float) -> None:
+        log = logs[index]
+        connection = http.client.HTTPConnection(
+            host, port, timeout=config.timeout_s
+        )
+        try:
+            request = plan[index]
+            status = _send_one(connection, request)
+            log.latencies_ms.append((time.perf_counter() - scheduled) * 1000.0)
+            log.statuses.append(status)
+            log.kinds.append(request.kind)
+        except BaseException as error:
+            log.error = error
+        finally:
+            connection.close()
+
+    for index in range(len(plan)):
+        scheduled = start + index * interval
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(
+            target=fire, args=(index, scheduled), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return logs, time.perf_counter() - start
+
+
+def run_load(
+    host: str,
+    port: int,
+    plan: Sequence[PlannedRequest],
+    config: LoadGenConfig,
+) -> LoadReport:
+    """Execute a plan against a live server; aggregate into a report.
+
+    A transport-level failure (connection refused, socket timeout)
+    raises; HTTP-level errors (4xx/5xx, including 429 backpressure
+    rejections) are *recorded* in :attr:`LoadReport.errors` — a load
+    run is expected to observe them.
+    """
+    config = config.validated()
+    if not plan:
+        raise InvalidRequestError("the request plan is empty")
+    if config.mode == "closed":
+        logs, wall_s = _closed_loop(host, port, plan, config)
+    else:
+        logs, wall_s = _open_loop(host, port, plan, config)
+    for log in logs:
+        if log.error is not None:
+            raise log.error
+    latencies = sorted(
+        latency for log in logs for latency in log.latencies_ms
+    )
+    statuses = [status for log in logs for status in log.statuses]
+    kinds = [kind for log in logs for kind in log.kinds]
+    errors: dict[int, int] = {}
+    for status in statuses:
+        if not 200 <= status < 300:
+            errors[status] = errors.get(status, 0) + 1
+    return LoadReport(
+        mode=config.mode,
+        n_requests=len(statuses),
+        wall_s=round(wall_s, 6),
+        req_per_s=round(len(statuses) / wall_s, 1) if wall_s else 0.0,
+        ok=sum(1 for status in statuses if 200 <= status < 300),
+        reads=sum(1 for kind in kinds if kind == "read"),
+        writes=sum(1 for kind in kinds if kind == "write"),
+        errors=dict(sorted(errors.items())),
+        p50_ms=round(latency_percentile(latencies, 0.50), 3),
+        p95_ms=round(latency_percentile(latencies, 0.95), 3),
+        p99_ms=round(latency_percentile(latencies, 0.99), 3),
+    )

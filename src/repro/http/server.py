@@ -1,0 +1,454 @@
+"""The asyncio HTTP/1.1 transport of the serving front-end.
+
+Pure stdlib: :func:`asyncio.start_server` streams on the network side,
+a :class:`concurrent.futures.ThreadPoolExecutor` on the engine side.
+The event loop never runs engine code — every request is handed to the
+executor, so concurrent arrivals genuinely pile up inside the session
+layer's micro-batching queue and the batching window has traffic to
+coalesce (the whole point of the front-end: synchronous in-process
+callers never produced that contention).
+
+Robustness controls, all configurable through :class:`ServerConfig`:
+
+* **backpressure** — at most ``max_in_flight`` requests execute at
+  once; excess arrivals are answered immediately with a structured
+  ``429`` carrying a ``Retry-After`` header instead of queueing without
+  bound;
+* **per-request timeout** — a request that exceeds
+  ``request_timeout_s`` is answered with a ``504`` (the worker thread
+  finishes in the background; its result is discarded);
+* **graceful drain** — :meth:`HTTPServingServer.stop` stops accepting,
+  lets every in-flight request finish and be answered (bounded by
+  ``drain_timeout_s``), then closes idle connections; requests arriving
+  on kept-alive connections during the drain get a structured ``503``.
+
+The loop runs on a dedicated background thread
+(:meth:`HTTPServingServer.start` returns once the port is bound), so
+tests, examples and the load harness drive a real network server
+in-process.  All cross-thread signalling goes through
+``call_soon_threadsafe`` and :class:`threading.Event` — the server owns
+no locks, and every piece of mutable server state is touched only on
+the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.api.errors import EngineStateError, InvalidRequestError
+from repro.http.app import ServingApp
+from repro.http.envelopes import ErrorResponse
+
+#: HTTP reason phrases for the statuses the front-end emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Transport knobs of one :class:`HTTPServingServer`."""
+
+    #: Bind address; the default keeps the server loopback-only.
+    host: str = "127.0.0.1"
+    #: Bind port; 0 lets the OS pick (read it back from
+    #: :attr:`HTTPServingServer.port` after :meth:`~HTTPServingServer.start`).
+    port: int = 0
+    #: Requests executing concurrently before new arrivals get a 429.
+    max_in_flight: int = 64
+    #: Seconds a single request may run before its caller gets a 504.
+    request_timeout_s: float = 30.0
+    #: Seconds :meth:`HTTPServingServer.stop` waits for in-flight
+    #: requests before closing connections anyway.
+    drain_timeout_s: float = 10.0
+    #: Cap on request body size; larger bodies get a 413.
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Seconds clients are told to back off in 429/503 ``Retry-After``.
+    retry_after_s: float = 0.05
+
+    def validated(self) -> ServerConfig:
+        """Return self after range-checking every knob."""
+        if self.max_in_flight < 1:
+            raise InvalidRequestError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.request_timeout_s <= 0:
+            raise InvalidRequestError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if self.max_body_bytes < 1:
+            raise InvalidRequestError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        return self
+
+
+def _discard_result(future: asyncio.Future) -> None:
+    """Retrieve a timed-out worker's eventual outcome so it is neither
+    delivered nor logged as a never-retrieved exception."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _BadRequest(Exception):
+    """A connection-level protocol problem; maps to a 4xx + close."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class HTTPServingServer:
+    """One HTTP/JSON serving process over a :class:`ServingApp`.
+
+    Example::
+
+        server = HTTPServingServer(ServingApp(service))
+        server.start()                      # background loop, port bound
+        ...                                 # clients hit server.port
+        server.stop()                       # drain in-flight, then close
+
+    Also usable as a context manager (``with HTTPServingServer(app) as
+    server:``); the sockets and the worker pool are released on exit.
+    """
+
+    def __init__(
+        self, app: ServingApp, config: ServerConfig | None = None
+    ) -> None:
+        self._app = app
+        self._config = (config or ServerConfig()).validated()
+        app.attach_server_gauges(self.gauges)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._start_error: BaseException | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._port: int | None = None
+        # Loop-thread-only state below: the event loop is the monitor.
+        self._in_flight = 0
+        self._requests_served = 0
+        self._rejected_busy = 0
+        self._timed_out = 0
+        self._draining = False
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.max_in_flight,
+            thread_name_prefix="repro-http",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> HTTPServingServer:
+        """Bind and serve on a background event-loop thread.
+
+        Returns once the listening socket is bound (so :attr:`port` is
+        readable); raises the bind error otherwise.
+        """
+        if self._thread is not None:
+            raise EngineStateError("this server has already been started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-http-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            self._thread.join()
+            raise EngineStateError(
+                f"HTTP server failed to start: {self._start_error}"
+            ) from self._start_error
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close.
+
+        Idempotent; returns after the loop thread exits and the worker
+        pool is shut down.
+        """
+        loop, thread = self._loop, self._thread
+        if thread is None or self._stopped.is_set():
+            return
+        if loop is not None and self._shutdown is not None:
+            loop.call_soon_threadsafe(self._shutdown.set)
+        thread.join()
+        self._stopped.set()
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> HTTPServingServer:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._port is None:
+            raise EngineStateError("server is not started; call start() first")
+        return self._port
+
+    @property
+    def host(self) -> str:
+        """The configured bind address."""
+        return self._config.host
+
+    @property
+    def app(self) -> ServingApp:
+        """The request router being served."""
+        return self._app
+
+    @property
+    def config(self) -> ServerConfig:
+        """The transport configuration."""
+        return self._config
+
+    def gauges(self) -> dict:
+        """Transport telemetry for the ``stats``/``healthz`` endpoints.
+
+        Gauges are plain int/bool reads of loop-thread state — racy by
+        a request or two when read off-loop, which telemetry tolerates.
+        """
+        return {
+            "in_flight": self._in_flight,
+            "max_in_flight": self._config.max_in_flight,
+            "requests_served": self._requests_served,
+            "rejected_busy": self._rejected_busy,
+            "timed_out": self._timed_out,
+            "draining": self._draining,
+        }
+
+    # ------------------------------------------------------------------
+    # Event-loop side
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # pragma: no cover - bind failures
+            self._start_error = error
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._config.host,
+            port=self._config.port,
+            limit=max(65536, self._config.max_body_bytes + 65536),
+        )
+        self._port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await self._drain_in_flight()
+            for writer in list(self._connections):
+                writer.close()
+            # Last: on 3.12+ wait_closed() waits for every connection
+            # handler, which the writer.close() calls above unblock.
+            await server.wait_closed()
+
+    async def _drain_in_flight(self) -> None:
+        """Wait (bounded) for executing requests to finish and answer."""
+        deadline = (
+            asyncio.get_running_loop().time() + self._config.drain_timeout_s
+        )
+        while self._in_flight and (
+            asyncio.get_running_loop().time() < deadline
+        ):
+            await asyncio.sleep(0.005)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    await self._write_response(
+                        writer,
+                        error.status,
+                        ErrorResponse(
+                            status=error.status,
+                            code=error.code,
+                            message=str(error),
+                        ).to_dict(),
+                        {},
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:  # clean EOF between requests
+                    return
+                method, path, body, keep_alive = request
+                status, payload, headers = await self._dispatch(
+                    method, path, body
+                )
+                keep_alive = keep_alive and not self._draining
+                await self._write_response(
+                    writer, status, payload, headers, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away mid-exchange; nothing to answer
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str]]:
+        config = self._config
+        if self._draining:
+            error = ErrorResponse(
+                status=503,
+                code="shutting_down",
+                message="server is draining; retry against another replica",
+                retry_after_s=config.retry_after_s,
+            )
+            return error.status, error.to_dict(), self._retry_headers()
+        if self._in_flight >= config.max_in_flight:
+            self._rejected_busy += 1
+            error = ErrorResponse(
+                status=429,
+                code="overloaded",
+                message=(
+                    f"{config.max_in_flight} requests already in flight; "
+                    f"retry after {config.retry_after_s}s"
+                ),
+                retry_after_s=config.retry_after_s,
+            )
+            return error.status, error.to_dict(), self._retry_headers()
+        assert self._loop is not None
+        self._in_flight += 1
+        try:
+            future = self._loop.run_in_executor(
+                self._executor, self._app.handle, method, path, body
+            )
+            try:
+                status, payload, headers = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=config.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self._timed_out += 1
+                future.add_done_callback(_discard_result)
+                error = ErrorResponse(
+                    status=504,
+                    code="timeout",
+                    message=(
+                        f"request exceeded the {config.request_timeout_s}s "
+                        f"serving deadline"
+                    ),
+                )
+                return error.status, error.to_dict(), {}
+            self._requests_served += 1
+            return status, payload, headers
+        finally:
+            self._in_flight -= 1
+
+    def _retry_headers(self) -> dict[str, str]:
+        return {"Retry-After": f"{self._config.retry_after_s:.3f}"}
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes, bool] | None:
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF.
+
+        Returns ``(method, path, body, keep_alive)``; raises
+        :class:`_BadRequest` on protocol violations.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise _BadRequest(
+                400, "bad_request", "truncated HTTP request head"
+            ) from error
+        except asyncio.LimitOverrunError as error:
+            raise _BadRequest(
+                413, "headers_too_large", "request head exceeds the limit"
+            ) from error
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(
+                400, "bad_request", f"malformed request line {lines[0]!r}"
+            )
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, separator, value = line.partition(":")
+            if not separator:
+                raise _BadRequest(
+                    400, "bad_request", f"malformed header line {line!r}"
+                )
+            headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0]
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as error:
+            raise _BadRequest(
+                400, "bad_request", "malformed Content-Length header"
+            ) from error
+        if length < 0:
+            raise _BadRequest(
+                400, "bad_request", "negative Content-Length header"
+            )
+        if length > self._config.max_body_bytes:
+            raise _BadRequest(
+                413,
+                "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self._config.max_body_bytes}-byte cap",
+            )
+        body = await reader.readexactly(length) if length else b""
+        if version == "HTTP/1.0":
+            keep_alive = headers.get("connection", "").lower() == "keep-alive"
+        else:
+            keep_alive = headers.get("connection", "").lower() != "close"
+        return method, path, body, keep_alive
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        headers: dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -12,7 +12,14 @@ durability story.  :class:`JOCLService` is that session layer:
 * **micro-batching** — in-flight ``resolve`` calls are coalesced by a
   leader thread into one shared decode pass (the ``resolve_many``
   amortization, applied transparently to concurrent single-mention
-  traffic);
+  traffic); a configurable ``batch_window_ms`` holds the queue open a
+  few milliseconds so concurrent arrivals land in *full* batches, and
+  duplicate ``(mention, kind)`` requests inside a batch share one
+  engine resolve;
+* **telemetry** — :meth:`JOCLService.serving_stats` reports batching
+  counters, queue-depth gauges and p50/p95/p99 request-latency
+  percentiles over a sliding reservoir
+  (:func:`latency_percentile` is the shared nearest-rank helper);
 * **durability** — ``checkpoint()`` snapshots the engine into a
   :class:`repro.persist.StateStore`; ``rollback()`` restores any
   snapshot into a *fresh* engine off-lock and atomically swaps it in,
@@ -31,6 +38,11 @@ exclusion is the consistent cut of :meth:`JOCLClusterService.save`.
 """
 
 from repro.serving.cluster_service import JOCLClusterService
-from repro.serving.service import JOCLService, ServingStats
+from repro.serving.service import JOCLService, ServingStats, latency_percentile
 
-__all__ = ["JOCLClusterService", "JOCLService", "ServingStats"]
+__all__ = [
+    "JOCLClusterService",
+    "JOCLService",
+    "ServingStats",
+    "latency_percentile",
+]

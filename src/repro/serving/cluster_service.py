@@ -88,6 +88,10 @@ class JOCLClusterService:
         Default :class:`~repro.persist.StateStore` for :meth:`save`.
     max_batch_size:
         Per-shard micro-batching cap (see :class:`JOCLService`).
+    batch_window_ms:
+        Per-shard batching window (see :class:`JOCLService`): how long
+        a shard's leader holds its queue open so concurrent resolves
+        coalesce; 0 keeps the historical eager drain.
 
     Example::
 
@@ -102,11 +106,16 @@ class JOCLClusterService:
         cluster: ShardedEngine,
         store: StateStore | None = None,
         max_batch_size: int = 64,
+        batch_window_ms: float = 0.0,
     ) -> None:
         self._cluster = cluster
         self._store = store
         self._services = [
-            JOCLService(engine, max_batch_size=max_batch_size)
+            JOCLService(
+                engine,
+                max_batch_size=max_batch_size,
+                batch_window_ms=batch_window_ms,
+            )
             for engine in cluster.shards
         ]
         self._shard_views = [

@@ -16,6 +16,17 @@ Two locks and a queue:
   dictionary walk — not N.  Followers wake up with their answer already
   filled in.
 
+The leader optionally *waits* before draining: with a non-zero
+``batch_window_ms`` it holds the queue open until either
+``max_batch_size`` requests are pending or the window expires, so
+concurrent arrivals actually coalesce instead of being served in
+batches of one (``BENCH_serving.json`` documented the regression: with
+an eager leader only 66/720 requests ever shared a batch).  Within a
+batch, duplicate ``(mention, kind)`` requests are answered by **one**
+shared resolve — identical inputs against an identical engine state
+produce the identical (frozen) answer, so hot-key traffic pays for its
+unique mentions only.
+
 No background threads: batching is caller-driven (leader/follower), so
 there is nothing to start, stop, or leak — a service is ready on
 construction and needs no shutdown.
@@ -28,9 +39,11 @@ request in the batch with the same error.
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -91,6 +104,19 @@ class _ReadWriteLock:
                 self._cond.notify_all()
 
 
+def latency_percentile(sorted_samples: Sequence[float], quantile: float) -> float:
+    """The ``quantile`` (0..1) of pre-sorted latency samples, in the
+    samples' own unit, by the nearest-rank method (the convention load
+    harnesses report: p99 of 100 samples is the 99th smallest, not an
+    interpolation past the data).  Returns 0.0 on no samples."""
+    if not sorted_samples:
+        return 0.0
+    if not 0.0 <= quantile <= 1.0:
+        raise InvalidRequestError(f"quantile must be within [0, 1], got {quantile}")
+    rank = max(1, math.ceil(quantile * len(sorted_samples)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
 class _PendingResolve:
     """One enqueued ``resolve`` request and its eventual outcome."""
 
@@ -114,6 +140,10 @@ class ServingStats:
     batches: int = 0
     #: Requests that shared a batch with at least one other request.
     coalesced_requests: int = 0
+    #: Requests answered by a resolve computed for an identical
+    #: ``(mention, kind)`` request in the same batch (hot-key sharing);
+    #: always <= ``coalesced_requests``.
+    deduplicated_requests: int = 0
     #: Largest batch observed.
     max_batch: int = 0
     #: Serialized write operations (``ingest`` + ``fit``).
@@ -122,6 +152,19 @@ class ServingStats:
     checkpoints: int = 0
     #: Rollback swaps performed.
     rollbacks: int = 0
+    #: ``resolve`` requests currently queued (gauge, sampled at the
+    #: moment :meth:`JOCLService.serving_stats` ran).
+    queue_depth: int = 0
+    #: Largest queue depth ever observed at enqueue time.
+    max_queue_depth: int = 0
+    #: How many of the most recent ``resolve`` calls the latency
+    #: percentiles below summarize (bounded reservoir).
+    latency_samples: int = 0
+    #: Median / tail ``resolve`` latency in milliseconds, enqueue to
+    #: answer (includes the batching-window wait); 0.0 until sampled.
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
 
 class JOCLService:
@@ -139,10 +182,19 @@ class JOCLService:
     max_batch_size:
         Cap on how many queued ``resolve`` requests one leader serves
         in a single decode pass.
+    batch_window_ms:
+        How long a leader holds the queue open waiting for it to fill
+        before serving (0, the default, keeps the historical eager
+        drain).  A few milliseconds under concurrent load turns
+        batches-of-one into full batches: the window closes early the
+        moment ``max_batch_size`` requests are pending, so saturated
+        traffic never waits the full window, and a lone request pays at
+        most the window in extra latency.
 
     Every answer is byte-identical to what a single-threaded loop over
-    :meth:`repro.api.JOCLEngine.resolve` would return — batching and
-    concurrency change scheduling, never results.
+    :meth:`repro.api.JOCLEngine.resolve` would return — batching,
+    windowing, in-batch deduplication and concurrency change
+    scheduling, never results.
 
     Example::
 
@@ -153,31 +205,46 @@ class JOCLService:
         service.rollback(snapshot)                  # zero-downtime swap
     """
 
+    #: Size of the latency reservoir behind the percentile fields of
+    #: :class:`ServingStats` — the most recent N ``resolve`` latencies.
+    LATENCY_RESERVOIR = 4096
+
     def __init__(
         self,
         engine: JOCLEngine,
         store: StateStore | None = None,
         max_batch_size: int = 64,
+        batch_window_ms: float = 0.0,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidRequestError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
+        if batch_window_ms < 0:
+            raise InvalidRequestError(
+                f"batch_window_ms must be >= 0, got {batch_window_ms}"
+            )
         self._engine = engine
         self._store = store
         self._max_batch = max_batch_size
+        self._window_s = batch_window_ms / 1000.0
         self._rw = _ReadWriteLock()
         self._leader_lock = threading.Lock()
-        self._queue_lock = threading.Lock()
+        # Guards the request queue; leaders wait on it for the batching
+        # window, enqueuers notify it.
+        self._queue_cond = threading.Condition()
         self._pending: deque[_PendingResolve] = deque()
+        self._max_queue_depth = 0
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._batches = 0
         self._coalesced = 0
+        self._deduplicated = 0
         self._max_batch_seen = 0
         self._writes = 0
         self._checkpoints = 0
         self._rollbacks = 0
+        self._latencies: deque[float] = deque(maxlen=self.LATENCY_RESERVOIR)
 
     @property
     def engine(self) -> JOCLEngine:
@@ -212,9 +279,12 @@ class JOCLService:
         decode batches (see the module docstring); the answer is the
         one a serial ``engine.resolve(mention, kind)`` would give.
         """
+        start = time.perf_counter()
         entry = _PendingResolve(mention, kind)
-        with self._queue_lock:
+        with self._queue_cond:
             self._pending.append(entry)
+            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
+            self._queue_cond.notify_all()
         # Leader/follower: whoever gets the leader lock serves a batch
         # from the queue head; FIFO order bounds how often a caller can
         # find its own entry still queued afterwards.
@@ -222,15 +292,25 @@ class JOCLService:
             with self._leader_lock:
                 if not entry.event.is_set():
                     self._serve_one_batch()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        with self._stats_lock:
+            self._latencies.append(elapsed_ms)
         if entry.error is not None:
             raise entry.error
         assert entry.result is not None
         return entry.result
 
     def _serve_one_batch(self) -> None:
-        """Leader body: drain up to ``max_batch_size`` requests, serve
-        them against one shared decoding."""
-        with self._queue_lock:
+        """Leader body: hold the queue open for the batching window,
+        drain up to ``max_batch_size`` requests, serve them against one
+        shared decoding (one resolve per distinct mention)."""
+        deadline = time.monotonic() + self._window_s
+        with self._queue_cond:
+            while 0 < len(self._pending) < self._max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._queue_cond.wait(remaining)
             batch = [
                 self._pending.popleft()
                 for _ in range(min(len(self._pending), self._max_batch))
@@ -238,11 +318,17 @@ class JOCLService:
         if not batch:
             return
         try:
+            # One resolve per distinct (mention, kind): duplicates in
+            # the same batch share the frozen answer object.
+            groups: dict[tuple[str, str | None], list[_PendingResolve]] = {}
+            for entry in batch:
+                groups.setdefault((entry.mention, entry.kind), []).append(entry)
             with self._stats_lock:
                 self._requests += len(batch)
                 self._batches += 1
                 if len(batch) > 1:
                     self._coalesced += len(batch)
+                self._deduplicated += len(batch) - len(groups)
                 self._max_batch_seen = max(self._max_batch_seen, len(batch))
             with self._rw.read():
                 engine = self._engine
@@ -254,14 +340,19 @@ class JOCLService:
                         entry.error = error
                         entry.event.set()
                     return
-                for entry in batch:
+                for (mention, kind), entries in groups.items():
                     try:
-                        entry.result = engine._resolve_one(
-                            output, generator, entry.mention, entry.kind
+                        result = engine._resolve_one(
+                            output, generator, mention, kind
                         )
                     except BaseException as error:
-                        entry.error = error
-                    entry.event.set()
+                        for entry in entries:
+                            entry.error = error
+                            entry.event.set()
+                        continue
+                    for entry in entries:
+                        entry.result = result
+                        entry.event.set()
         finally:
             # The drained entries left the queue; if anything above was
             # interrupted (KeyboardInterrupt while waiting out a writer,
@@ -301,16 +392,27 @@ class JOCLService:
             return self._engine.last_profile()
 
     def serving_stats(self) -> ServingStats:
-        """Micro-batching and session telemetry."""
+        """Micro-batching, latency-percentile and session telemetry."""
+        with self._queue_cond:
+            queue_depth = len(self._pending)
+            max_queue_depth = self._max_queue_depth
         with self._stats_lock:
+            samples = sorted(self._latencies)
             return ServingStats(
                 requests=self._requests,
                 batches=self._batches,
                 coalesced_requests=self._coalesced,
+                deduplicated_requests=self._deduplicated,
                 max_batch=self._max_batch_seen,
                 writes=self._writes,
                 checkpoints=self._checkpoints,
                 rollbacks=self._rollbacks,
+                queue_depth=queue_depth,
+                max_queue_depth=max_queue_depth,
+                latency_samples=len(samples),
+                p50_ms=latency_percentile(samples, 0.50),
+                p95_ms=latency_percentile(samples, 0.95),
+                p99_ms=latency_percentile(samples, 0.99),
             )
 
     # ------------------------------------------------------------------

@@ -132,6 +132,9 @@ def test_public_surface_is_fully_documented():
     from repro.api import engine as engine_module
     from repro.cluster import engine as cluster_module
     from repro.cluster import results, router
+    from repro.http import app as http_app
+    from repro.http import loadgen as http_loadgen
+    from repro.http import server as http_server
     from repro.persist import store
     from repro.serving import cluster_service, service
 
@@ -139,6 +142,7 @@ def test_public_surface_is_fully_documented():
     for module in (
         engine_module, service, cluster_service, store,
         cluster_module, results, router,
+        http_app, http_server, http_loadgen,
     ):
         for name, obj in vars(module).items():
             if name.startswith("_") or not inspect.isclass(obj):
@@ -186,6 +190,8 @@ EXAMPLE_BEARING = [
     ("repro.cluster", "VocabularyAffinityRouter"),
     ("repro.cluster", "ClusterReport"),
     ("repro.cluster", "IngestReport"),
+    ("repro.http", "ServingApp"),
+    ("repro.http", "HTTPServingServer"),
 ]
 
 #: Methods whose docstrings must carry an example.

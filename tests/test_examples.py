@@ -75,3 +75,20 @@ def test_checkpoint_serving_example_runs(capsys):
     assert "decisions identical = True" in printed
     assert "identical to serial loop = True" in printed
     assert "rolled back" in printed
+
+
+def test_http_serving_example_runs(capsys):
+    """The network walkthrough actually exercises its claims: wire
+    answers identical to the in-process engine, the batching window
+    coalescing concurrent load, the durability cycle over HTTP, and a
+    clean drain on shutdown."""
+    path = Path(__file__).parent.parent / "examples" / "http_serving.py"
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    printed = capsys.readouterr().out
+    assert "HTTP answer identical to in-process = True" in printed
+    assert "coalesced under load = True" in printed
+    assert "rolled back" in printed
+    assert "drained cleanly = True" in printed

@@ -1,0 +1,667 @@
+"""HTTP front-end tests: wire envelopes, the router, the asyncio
+transport, and the load harness.
+
+``TestWireEquivalence`` is the CI http-serving equivalence gate: a
+mixed request stream replayed over a real socket must produce answers
+byte-identical to the in-process :class:`repro.serving.JOCLService`
+path.  Backpressure (429), per-request timeouts (504) and
+drain-on-shutdown (503) are driven deterministically through a stub
+service whose handler blocks on an event — no sleeps in the asserts.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.errors import (
+    CheckpointError,
+    EngineStateError,
+    IngestError,
+    InvalidRequestError,
+    JOCLAPIError,
+    SchemaError,
+    SchemaVersionError,
+    TrainingError,
+    UnknownMentionError,
+)
+from repro.cluster import ShardedEngine
+from repro.core import JOCLConfig
+from repro.datasets import (
+    StreamingIngestConfig,
+    generate_streaming_ingest,
+    shard_partition,
+)
+from repro.http import (
+    HTTP_SCHEMA_VERSION,
+    CheckpointResponse,
+    ErrorResponse,
+    HealthResponse,
+    HTTPServingServer,
+    IngestRequest,
+    IngestResponse,
+    LoadGenConfig,
+    LoadReport,
+    ResolveManyRequest,
+    ResolveManyResponse,
+    ResolveRequest,
+    ResolveResponse,
+    RollbackRequest,
+    RollbackResponse,
+    RunJointResponse,
+    ServerConfig,
+    ServingApp,
+    StatsResponse,
+    build_request_plan,
+    error_response,
+    run_load,
+)
+from repro.http.envelopes import ERROR_STATUS
+from repro.persist import FileStateStore
+from repro.runtime import IncrementalRuntime
+from repro.serving import JOCLClusterService, JOCLService
+
+FAST = JOCLConfig(lbp_iterations=20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_streaming_ingest(
+        StreamingIngestConfig(n_shards=4, triples_per_shard=25, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def mentions(workload):
+    """(mention, kind) queries covering all three slots."""
+    queries = []
+    for triple in workload.seed_triples[:40]:
+        queries.append((triple.subject, "np"))
+        queries.append((triple.predicate, "relation"))
+        queries.append((triple.object, None))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def service(workload):
+    """One warm windowed session shared by the read-only tests."""
+    session = JOCLService(
+        workload.engine(FAST, IncrementalRuntime()), batch_window_ms=2.0
+    )
+    session.resolve(workload.seed_triples[0].subject, "np")  # warm decode
+    return session
+
+
+@pytest.fixture(scope="module")
+def app(service):
+    return ServingApp(service)
+
+
+def post(app, path, payload):
+    return app.handle("POST", path, json.dumps(payload).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+class TestEnvelopes:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            ResolveRequest("university of maryland", "np"),
+            ResolveRequest("umd"),
+            ResolveManyRequest(("a", "b"), None),
+            RollbackRequest("snap-3"),
+            RollbackRequest(),
+            ResolveResponse(result={"mention": "umd"}),
+            ResolveManyResponse(results=({"a": 1}, {"b": 2})),
+            IngestResponse(ingested=3),
+            IngestResponse(ingested=2, report={"n_triples": 2}),
+            RunJointResponse(report={"iterations": 4}),
+            CheckpointResponse(snapshot="snap-1"),
+            CheckpointResponse(manifest={"shards": []}),
+            RollbackResponse(snapshot="snap-1"),
+            StatsResponse(engine={"n": 1}, serving=({"requests": 2},), server={}),
+            HealthResponse(status="ok"),
+            HealthResponse(status="draining", draining=True),
+            ErrorResponse(status=429, code="overloaded", message="x", retry_after_s=0.05),
+        ],
+    )
+    def test_round_trip(self, message):
+        payload = message.to_dict()
+        assert payload["schema_version"] == HTTP_SCHEMA_VERSION
+        assert payload["type"] == type(message).TYPE
+        assert type(message).from_dict(json.loads(json.dumps(payload))) == message
+
+    def test_ingest_request_round_trip(self, workload):
+        request = IngestRequest(triples=tuple(workload.seed_triples[:3]))
+        restored = IngestRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
+        assert restored == request
+
+    def test_wrong_schema_version(self):
+        payload = ResolveRequest("umd").to_dict()
+        payload["schema_version"] = HTTP_SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            ResolveRequest.from_dict(payload)
+
+    def test_wrong_type_discriminator(self):
+        with pytest.raises(SchemaError):
+            ResolveRequest.from_dict(RollbackRequest().to_dict())
+
+    def test_non_mapping_payload(self):
+        with pytest.raises(SchemaError):
+            ResolveRequest.from_dict(["not", "a", "mapping"])
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("mention"),
+            lambda p: p.update(mention=7),
+            lambda p: p.update(kind=7),
+        ],
+    )
+    def test_malformed_resolve_fields(self, mutate):
+        payload = ResolveRequest("umd", "np").to_dict()
+        mutate(payload)
+        with pytest.raises(SchemaError):
+            ResolveRequest.from_dict(payload)
+
+    def test_mentions_must_be_a_list_of_strings(self):
+        payload = ResolveManyRequest(("a",)).to_dict()
+        payload["mentions"] = "abc"  # a string is iterable; still rejected
+        with pytest.raises(SchemaError):
+            ResolveManyRequest.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        ("error", "status", "code"),
+        [
+            (SchemaVersionError(2, 1), 400, "schema_version"),
+            (SchemaError("bad"), 400, "schema"),
+            (InvalidRequestError("bad"), 400, "invalid_request"),
+            (UnknownMentionError("zzz"), 404, "unknown_mention"),
+            (IngestError("clash"), 409, "ingest_conflict"),
+            (CheckpointError("no store"), 409, "checkpoint"),
+            (EngineStateError("not fitted"), 409, "engine_state"),
+            (TrainingError("diverged"), 422, "training"),
+            (JOCLAPIError("generic"), 500, "api_error"),
+        ],
+    )
+    def test_error_mapping(self, error, status, code):
+        response = error_response(error)
+        assert (response.status, response.code) == (status, code)
+        assert str(error) in response.message
+
+    def test_unexpected_exception_is_opaque(self):
+        response = error_response(RuntimeError("secret internal detail"))
+        assert (response.status, response.code) == (500, "internal")
+        assert "secret" not in response.message
+
+    def test_error_table_is_most_specific_first(self):
+        """A subclass listed after its base would be unreachable."""
+        seen: list[type] = []
+        for exc_type, _, _ in ERROR_STATUS:
+            assert not any(issubclass(exc_type, earlier) for earlier in seen)
+            seen.append(exc_type)
+
+
+# ----------------------------------------------------------------------
+# The router, in-process (no sockets)
+# ----------------------------------------------------------------------
+class TestServingApp:
+    def test_resolve_matches_in_process_answer(self, app, service, mentions):
+        mention, kind = mentions[0]
+        status, payload, _ = post(app, "/v1/resolve", ResolveRequest(mention, kind).to_dict())
+        assert status == 200
+        expected = service.resolve(mention, kind).to_dict()
+        assert ResolveResponse.from_dict(payload).result == expected
+
+    def test_resolve_many_preserves_order(self, app, service, mentions):
+        surfaces = [mention for mention, _ in mentions[:6]]
+        status, payload, _ = post(
+            app, "/v1/resolve_many", ResolveManyRequest(tuple(surfaces), None).to_dict()
+        )
+        assert status == 200
+        expected = [r.to_dict() for r in service.resolve_many(surfaces)]
+        assert list(ResolveManyResponse.from_dict(payload).results) == expected
+
+    def test_malformed_json_is_a_structured_400(self, app):
+        status, payload, _ = app.handle("POST", "/v1/resolve", b"{not json")
+        error = ErrorResponse.from_dict(payload)
+        assert (status, error.code) == (400, "schema")
+
+    def test_wrong_schema_version_is_a_structured_400(self, app):
+        body = ResolveRequest("umd").to_dict()
+        body["schema_version"] = 99
+        status, payload, _ = post(app, "/v1/resolve", body)
+        assert (status, ErrorResponse.from_dict(payload).code) == (400, "schema_version")
+
+    def test_unknown_mention_is_404(self, app):
+        status, payload, _ = post(
+            app, "/v1/resolve", ResolveRequest("no such surface form").to_dict()
+        )
+        assert (status, ErrorResponse.from_dict(payload).code) == (404, "unknown_mention")
+
+    def test_unknown_endpoint_is_404(self, app):
+        status, payload, _ = app.handle("POST", "/v1/nope", b"{}")
+        assert (status, ErrorResponse.from_dict(payload).code) == (404, "unknown_endpoint")
+
+    def test_wrong_method_is_405_with_allow(self, app):
+        status, payload, headers = app.handle("GET", "/v1/resolve", b"")
+        assert (status, headers["Allow"]) == (405, "POST")
+        assert ErrorResponse.from_dict(payload).code == "method_not_allowed"
+
+    def test_unexpected_service_error_is_opaque_500(self, workload, monkeypatch):
+        session = JOCLService(workload.engine(FAST, IncrementalRuntime()))
+        failing = ServingApp(session)
+        monkeypatch.setattr(
+            session, "resolve", lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        status, payload, _ = post(failing, "/v1/resolve", ResolveRequest("x").to_dict())
+        error = ErrorResponse.from_dict(payload)
+        assert (status, error.code) == (500, "internal")
+        assert "boom" not in error.message
+
+    def test_stats_and_healthz(self, app):
+        status, payload, _ = app.handle("GET", "/v1/stats", b"")
+        stats = StatsResponse.from_dict(payload)
+        assert status == 200
+        assert stats.engine["n_triples"] > 0
+        assert len(stats.serving) == 1
+        assert stats.serving[0]["requests"] >= 1
+        assert stats.server == {}  # no transport attached in-process
+        status, payload, _ = app.handle("GET", "/healthz", b"")
+        assert (status, HealthResponse.from_dict(payload).status) == (200, "ok")
+
+    def test_ingest_checkpoint_rollback_cycle(self, tmp_path, workload):
+        store = FileStateStore(tmp_path / "http-store")
+        session = JOCLService(
+            workload.engine(FAST, IncrementalRuntime()), store=store
+        )
+        mutable = ServingApp(session)
+        status, payload, _ = post(mutable, "/v1/checkpoint", {})
+        snapshot = CheckpointResponse.from_dict(payload).snapshot
+        assert status == 200 and snapshot
+
+        batch = workload.batches[0]
+        status, payload, _ = post(
+            mutable, "/v1/ingest", IngestRequest(tuple(batch)).to_dict()
+        )
+        assert status == 200
+        assert IngestResponse.from_dict(payload).ingested == len(batch)
+
+        status, payload, _ = post(
+            mutable, "/v1/rollback", RollbackRequest(snapshot).to_dict()
+        )
+        assert status == 200
+        assert RollbackResponse.from_dict(payload).snapshot == snapshot
+        status, payload, _ = post(mutable, "/v1/run_joint", {})
+        assert status == 200
+        report = RunJointResponse.from_dict(payload).report
+        assert report["canonicalization"]["clusters"]
+
+    def test_checkpoint_without_store_is_409(self, app):
+        status, payload, _ = post(app, "/v1/checkpoint", {})
+        assert (status, ErrorResponse.from_dict(payload).code) == (409, "checkpoint")
+
+    def test_cluster_checkpoint_returns_manifest(self, tmp_path, workload):
+        cluster = (
+            ShardedEngine.builder()
+            .with_ckb(workload.dataset.kb)
+            .with_anchors(workload.dataset.anchors)
+            .with_ppdb(workload.dataset.ppdb)
+            .with_config(FAST)
+            .with_shard_triples(shard_partition(workload.seed_triples))
+            .build()
+        )
+        cluster_app = ServingApp(
+            JOCLClusterService(
+                cluster, store=FileStateStore(tmp_path / "cluster-store")
+            )
+        )
+        status, payload, _ = post(cluster_app, "/v1/checkpoint", {})
+        response = CheckpointResponse.from_dict(payload)
+        assert status == 200
+        assert response.snapshot is None and response.manifest is not None
+        status, payload, _ = post(cluster_app, "/v1/rollback", RollbackRequest().to_dict())
+        assert (status, ErrorResponse.from_dict(payload).code) == (409, "checkpoint")
+        status, payload, _ = cluster_app.handle("GET", "/v1/stats", b"")
+        assert status == 200
+        assert len(StatsResponse.from_dict(payload).serving) == cluster.n_shards
+
+
+# ----------------------------------------------------------------------
+# Transport robustness, driven through a gated stub service
+# ----------------------------------------------------------------------
+class _Answer:
+    def __init__(self, payload):
+        self._payload = payload
+
+    def to_dict(self):
+        return dict(self._payload)
+
+
+class _GatedService(JOCLService):
+    """A service whose resolve blocks until the test opens the gate.
+
+    Subclassing keeps ``ServingApp``'s isinstance dispatch honest while
+    bypassing the engine entirely — no inference in the robustness
+    tests, so their timing assertions stay deterministic.
+    """
+
+    def __init__(self):  # deliberately skips JOCLService.__init__: no engine
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def resolve(self, mention, kind=None):
+        self.entered.set()
+        self.gate.wait(timeout=30.0)
+        return _Answer({"mention": mention, "kind": kind})
+
+    def serving_stats(self):  # pragma: no cover - stats shape only
+        from repro.serving.service import ServingStats
+
+        return ServingStats()
+
+
+def _raw_http(host, port, payload_bytes):
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(payload_bytes)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while chunk := sock.recv(65536):
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+RESOLVE_BODY = json.dumps(ResolveRequest("x").to_dict()).encode("utf-8")
+
+
+def _request(host, port, method="POST", path="/v1/resolve", body=RESOLVE_BODY):
+    connection = http.client.HTTPConnection(host, port, timeout=10.0)
+    try:
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestTransportRobustness:
+    def test_backpressure_is_a_structured_429(self):
+        stub = _GatedService()
+        config = ServerConfig(max_in_flight=1, request_timeout_s=10.0)
+        with HTTPServingServer(ServingApp(stub), config) as server:
+            first = {}
+
+            def slow():
+                first["response"] = _request(server.host, server.port)
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            assert stub.entered.wait(timeout=5.0)
+            status, headers, body = _request(server.host, server.port)
+            error = ErrorResponse.from_dict(json.loads(body))
+            assert (status, error.code) == (429, "overloaded")
+            assert error.retry_after_s == config.retry_after_s
+            assert headers["Retry-After"] == f"{config.retry_after_s:.3f}"
+            stub.gate.set()
+            thread.join(timeout=10.0)
+            assert first["response"][0] == 200
+            gauges = server.gauges()
+            assert gauges["rejected_busy"] == 1
+            assert gauges["requests_served"] == 1
+
+    def test_slow_request_is_a_504_and_the_server_survives(self):
+        stub = _GatedService()
+        config = ServerConfig(request_timeout_s=0.1)
+        with HTTPServingServer(ServingApp(stub), config) as server:
+            status, _, body = _request(server.host, server.port)
+            assert (status, ErrorResponse.from_dict(json.loads(body)).code) == (
+                504,
+                "timeout",
+            )
+            stub.gate.set()  # the stranded worker finishes in the background
+            status, _, body = _request(server.host, server.port)
+            assert status == 200
+            assert server.gauges()["timed_out"] == 1
+
+    def test_drain_finishes_in_flight_and_rejects_new_work(self):
+        stub = _GatedService()
+        with HTTPServingServer(ServingApp(stub)) as server:
+            # A kept-alive connection established before the drain starts.
+            idle = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+            idle.request("GET", "/healthz")
+            first_response = idle.getresponse()
+            first_response.read()
+            assert first_response.status == 200
+
+            slow = {}
+
+            def in_flight():
+                slow["response"] = _request(server.host, server.port)
+
+            worker = threading.Thread(target=in_flight)
+            worker.start()
+            assert stub.entered.wait(timeout=5.0)
+
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            deadline = time.monotonic() + 5.0
+            while not server.gauges()["draining"]:
+                assert time.monotonic() < deadline, "drain flag never rose"
+                time.sleep(0.005)
+
+            # New work on the kept-alive connection is a structured 503.
+            idle.request("POST", "/v1/resolve", body=RESOLVE_BODY)
+            response = idle.getresponse()
+            error = ErrorResponse.from_dict(json.loads(response.read()))
+            assert (response.status, error.code) == (503, "shutting_down")
+            idle.close()
+
+            stub.gate.set()  # let the in-flight request finish the drain
+            worker.join(timeout=10.0)
+            stopper.join(timeout=10.0)
+            assert slow["response"][0] == 200
+            with pytest.raises(OSError):
+                _request(server.host, server.port)
+
+    def test_health_reports_draining(self):
+        stub = _GatedService()
+        with HTTPServingServer(ServingApp(stub)) as server:
+            status, _, body = _request(server.host, server.port, "GET", "/healthz", b"")
+            health = HealthResponse.from_dict(json.loads(body))
+            assert (status, health.status, health.draining) == (200, "ok", False)
+
+    def test_malformed_http_is_a_400_close(self):
+        stub = _GatedService()
+        with HTTPServingServer(ServingApp(stub)) as server:
+            raw = _raw_http(server.host, server.port, b"NOT A REQUEST LINE\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 400 ")
+            body = raw.split(b"\r\n\r\n", 1)[1]
+            assert ErrorResponse.from_dict(json.loads(body)).code == "bad_request"
+
+    def test_oversized_body_is_a_413(self):
+        stub = _GatedService()
+        config = ServerConfig(max_body_bytes=64)
+        with HTTPServingServer(ServingApp(stub), config) as server:
+            status, _, body = _request(
+                server.host, server.port, body=b"x" * 1024
+            )
+            assert (status, ErrorResponse.from_dict(json.loads(body)).code) == (
+                413,
+                "payload_too_large",
+            )
+
+    def test_double_start_raises(self):
+        stub = _GatedService()
+        with HTTPServingServer(ServingApp(stub)) as server:
+            with pytest.raises(EngineStateError):
+                server.start()
+        server.stop()  # idempotent
+
+    def test_port_before_start_raises(self):
+        server = HTTPServingServer(ServingApp(_GatedService()))
+        with pytest.raises(EngineStateError):
+            _ = server.port
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(InvalidRequestError):
+            ServerConfig(max_in_flight=0).validated()
+        with pytest.raises(InvalidRequestError):
+            ServerConfig(request_timeout_s=0.0).validated()
+
+
+# ----------------------------------------------------------------------
+# Wire equivalence + coalescing over a real socket
+# ----------------------------------------------------------------------
+class TestWireEquivalence:
+    def test_http_answers_match_in_process_service(self, workload, mentions):
+        """The serving-path identity, across the wire: replaying one
+        mixed stream over HTTP and in-process yields byte-identical
+        JSON answers, ingests included."""
+        http_session = JOCLService(
+            workload.engine(FAST, IncrementalRuntime()), batch_window_ms=2.0
+        )
+        reference = JOCLService(workload.engine(FAST, IncrementalRuntime()))
+        arrivals = workload.batches[0]
+        half = max(1, len(arrivals) // 2)
+        stream = [("resolve", mentions[i % len(mentions)]) for i in range(30)]
+        stream.insert(10, ("ingest", arrivals[:half]))
+        stream.insert(21, ("ingest", arrivals[half:]))
+
+        with HTTPServingServer(ServingApp(http_session)) as server:
+            for action, argument in stream:
+                if action == "resolve":
+                    mention, kind = argument
+                    status, _, body = _request(
+                        server.host,
+                        server.port,
+                        body=json.dumps(
+                            ResolveRequest(mention, kind).to_dict()
+                        ).encode("utf-8"),
+                    )
+                    assert status == 200
+                    over_wire = ResolveResponse.from_dict(json.loads(body)).result
+                    in_process = reference.resolve(mention, kind).to_dict()
+                    assert json.dumps(over_wire, sort_keys=True) == json.dumps(
+                        in_process, sort_keys=True
+                    )
+                else:
+                    status, _, body = _request(
+                        server.host,
+                        server.port,
+                        path="/v1/ingest",
+                        body=json.dumps(
+                            IngestRequest(tuple(argument)).to_dict()
+                        ).encode("utf-8"),
+                    )
+                    assert status == 200
+                    assert IngestResponse.from_dict(json.loads(body)).ingested == len(
+                        argument
+                    )
+                    reference.ingest(argument)
+
+    def test_concurrent_load_coalesces_batches(self, workload, mentions):
+        """The batching window does its job over a real socket: hot
+        concurrent arrivals land in shared decode batches."""
+        session = JOCLService(
+            workload.engine(FAST, IncrementalRuntime()),
+            max_batch_size=8,
+            batch_window_ms=5.0,
+        )
+        session.resolve(*mentions[0])  # warm the decode outside the load
+        config = LoadGenConfig(
+            mode="closed", n_requests=240, concurrency=12, hot_fraction=0.9,
+            hot_keys=4, seed=7,
+        )
+        plan = build_request_plan(mentions, config)
+        with HTTPServingServer(ServingApp(session)) as server:
+            report = run_load(server.host, server.port, plan, config)
+        assert report.ok == report.n_requests == 240
+        assert report.errors == {}
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        stats = session.serving_stats()
+        assert stats.coalesced_requests > 0
+        assert stats.deduplicated_requests > 0
+        assert stats.batches < stats.requests
+        assert stats.p99_ms >= stats.p50_ms > 0
+        assert stats.latency_samples >= 240
+
+    def test_open_loop_load_smoke(self, workload, mentions):
+        session = JOCLService(
+            workload.engine(FAST, IncrementalRuntime()), batch_window_ms=2.0
+        )
+        session.resolve(*mentions[0])
+        config = LoadGenConfig(
+            mode="open", n_requests=40, arrival_rate_per_s=400.0, seed=3
+        )
+        plan = build_request_plan(mentions, config)
+        with HTTPServingServer(ServingApp(session)) as server:
+            report = run_load(server.host, server.port, plan, config)
+        assert report.mode == "open"
+        assert report.ok == 40
+
+
+# ----------------------------------------------------------------------
+# The load harness itself
+# ----------------------------------------------------------------------
+class TestLoadGen:
+    def test_plan_is_deterministic(self, workload, mentions):
+        config = LoadGenConfig(n_requests=100, write_fraction=0.1, seed=5)
+        first = build_request_plan(mentions, config, workload.batches)
+        second = build_request_plan(mentions, config, workload.batches)
+        assert first == second
+
+    def test_plan_spreads_writes(self, workload, mentions):
+        config = LoadGenConfig(n_requests=100, write_fraction=0.05, seed=5)
+        plan = build_request_plan(mentions, config, workload.batches)
+        writes = [i for i, r in enumerate(plan) if r.kind == "write"]
+        assert len(writes) == min(5, len(workload.batches))
+        assert writes == sorted(writes)
+        assert writes[0] > 0 and writes[-1] < len(plan) - 1
+
+    def test_plan_respects_hot_set(self, mentions):
+        config = LoadGenConfig(n_requests=200, hot_fraction=1.0, hot_keys=2, seed=1)
+        plan = build_request_plan(mentions, config)
+        hot_bodies = {
+            json.dumps(ResolveRequest(m, k).to_dict()).encode("utf-8")
+            for m, k in mentions[:2]
+        }
+        assert all(request.body in hot_bodies for request in plan)
+
+    def test_empty_mentions_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            build_request_plan([], LoadGenConfig())
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            LoadGenConfig(mode="sideways"),
+            LoadGenConfig(n_requests=0),
+            LoadGenConfig(concurrency=0),
+            LoadGenConfig(write_fraction=1.5),
+            LoadGenConfig(hot_fraction=-0.1),
+            LoadGenConfig(hot_keys=0),
+            LoadGenConfig(mode="open", arrival_rate_per_s=0.0),
+        ],
+    )
+    def test_rejects_bad_config(self, config):
+        with pytest.raises(InvalidRequestError):
+            config.validated()
+
+    def test_load_report_round_trip(self):
+        report = LoadReport(
+            mode="closed", n_requests=10, wall_s=0.5, req_per_s=20.0, ok=9,
+            reads=8, writes=2, errors={429: 1}, p50_ms=1.0, p95_ms=2.0,
+            p99_ms=3.0,
+        )
+        assert LoadReport.from_dict(json.loads(json.dumps(report.to_dict()))) == report
+        with pytest.raises(SchemaVersionError):
+            payload = report.to_dict()
+            payload["schema_version"] = 99
+            LoadReport.from_dict(payload)

@@ -7,6 +7,7 @@ single-threaded ``engine.resolve`` loop.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -16,7 +17,7 @@ from repro.core import JOCLConfig
 from repro.datasets import StreamingIngestConfig, generate_streaming_ingest
 from repro.persist import FileStateStore
 from repro.runtime import IncrementalRuntime, SerialRuntime
-from repro.serving import JOCLService
+from repro.serving import JOCLService, latency_percentile
 from test_persist import decisions
 
 FAST = JOCLConfig(lbp_iterations=20)
@@ -191,6 +192,69 @@ class TestThreadedEquivalence:
         assert stats.batches < stats.requests
         assert stats.coalesced_requests > 0
         assert stats.max_batch > 1
+
+
+class TestBatchingWindowAndTelemetry:
+    def test_window_coalesces_hot_duplicates(self, workload):
+        """A few-ms window turns concurrent hot-key traffic into shared
+        batches, and in-batch duplicates into one engine resolve."""
+        engine = workload.engine(FAST, IncrementalRuntime())
+        service = JOCLService(engine, max_batch_size=8, batch_window_ms=5.0)
+        service.resolve(workload.seed_triples[0].subject)  # warm decode
+        hot = [t.subject for t in workload.seed_triples[:4]]
+        answers, errors = run_threaded(
+            lambda i: service.resolve(hot[i % len(hot)]).to_dict(), 80
+        )
+        assert not errors
+        reference = {m: engine.resolve(m).to_dict() for m in hot}
+        assert answers == [reference[hot[i % len(hot)]] for i in range(80)]
+        stats = service.serving_stats()
+        assert stats.deduplicated_requests > 0
+        assert stats.coalesced_requests > 0
+        assert stats.max_batch > 1
+        assert stats.max_queue_depth >= stats.max_batch
+
+    def test_latency_percentiles_populated(self, workload):
+        service = JOCLService(workload.engine(FAST, IncrementalRuntime()))
+        for triple in workload.seed_triples[:10]:
+            service.resolve(triple.subject)
+        stats = service.serving_stats()
+        assert stats.latency_samples == 10
+        assert 0 < stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+        assert stats.queue_depth == 0
+
+    def test_lone_request_pays_at_most_the_window(self, workload):
+        """A lone windowed resolve waits out the window (the documented
+        latency cost) but never more; the window=0 default stays eager."""
+        engine = workload.engine(FAST, IncrementalRuntime())
+        windowed = JOCLService(engine, batch_window_ms=100.0)
+        windowed.resolve(workload.seed_triples[0].subject)  # warm decode
+        start = time.perf_counter()
+        windowed.resolve(workload.seed_triples[1].subject)
+        windowed_s = time.perf_counter() - start
+        assert 0.09 <= windowed_s < 2.0
+
+        eager = JOCLService(engine)
+        start = time.perf_counter()
+        eager.resolve(workload.seed_triples[1].subject)
+        assert time.perf_counter() - start < 0.09
+
+    def test_rejects_bad_window(self, workload):
+        with pytest.raises(ValueError, match="batch_window_ms"):
+            JOCLService(
+                workload.engine(FAST, SerialRuntime()), batch_window_ms=-1.0
+            )
+
+    def test_percentile_helper_contract(self):
+        samples = sorted(float(value) for value in range(1, 101))
+        assert latency_percentile(samples, 0.50) == 50.0
+        assert latency_percentile(samples, 0.95) == 95.0
+        assert latency_percentile(samples, 0.99) == 99.0
+        assert latency_percentile(samples, 1.0) == 100.0
+        assert latency_percentile(samples, 0.0) == 1.0
+        assert latency_percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            latency_percentile(samples, 1.5)
 
 
 # ----------------------------------------------------------------------

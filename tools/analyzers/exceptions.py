@@ -69,7 +69,7 @@ class ExceptionContractCheck:
             return False
         return any(
             f"/{package}/" in normalized or normalized.endswith(f"/{package}.py")
-            for package in ("api", "serving", "cluster")
+            for package in ("api", "serving", "cluster", "http")
         )
 
     def run(self, module: ParsedModule) -> Iterable[Finding]:

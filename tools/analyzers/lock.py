@@ -1,8 +1,9 @@
 """LOCK: writer-lock discipline in the concurrent layers.
 
-Scope: modules under ``repro/serving/`` and ``repro/cluster/`` — the
-two layers whose correctness story ("readers never observe a half
-applied write", "cluster cuts are consistent") is a locking story.
+Scope: modules under ``repro/serving/``, ``repro/cluster/`` and
+``repro/http/`` — the layers whose correctness story ("readers never
+observe a half applied write", "cluster cuts are consistent", "the
+event loop owns the transport state") is a locking story.
 
 For every class that *owns* a lock (an ``__init__`` attribute assigned
 from the ``threading.Lock``/``RLock``/``Condition`` family, a
@@ -88,7 +89,11 @@ class LockDisciplineCheck:
 
     def interested(self, path: str) -> bool:
         normalized = path.replace("\\", "/")
-        return "/serving/" in normalized or "/cluster/" in normalized
+        return (
+            "/serving/" in normalized
+            or "/cluster/" in normalized
+            or "/http/" in normalized
+        )
 
     def run(self, module: ParsedModule) -> Iterable[Finding]:
         findings: list[Finding] = []
